@@ -1,0 +1,215 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Binding table vs software authorization** (§3.4 alternative).
+//! 2. **Asynchronous / IPI / synchronous world_call** (§3.3 rejected
+//!    designs), including the scheduling-load sweep of §7.1.2.
+//! 3. **Current-World-ID prefetch register** (§5.1 alternative): prefetch
+//!    on every context switch vs fill-on-miss.
+//! 4. **Parameter copying vs shared memory** (ShadowContext, §6).
+//!
+//! Simulated cycle numbers are printed first; Criterion then measures the
+//! simulation's wall time for regression tracking.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossover::alt::{
+    async_message_call, crossover_call_equivalent, sync_ipi_call, AltCallProfile,
+};
+use crossover::binding::{bound_world_call, BindingTable};
+use crossover::call::{Direction, WorldCallUnit};
+use crossover::manager::{AuthPolicy, WorldManager};
+use crossover::table::WorldTable;
+use crossover::world::{Wid, WorldDescriptor};
+use guestos::syscall::Syscall;
+use hypervisor::platform::Platform;
+use hypervisor::sched::SchedModel;
+use hypervisor::vm::VmConfig;
+use systems::proxos::Proxos;
+use workloads::micro::{run_redirected, MicroOp};
+
+struct AuthFixture {
+    platform: Platform,
+    mgr: WorldManager,
+    caller: Wid,
+    callee: Wid,
+}
+
+fn auth_fixture(policy: AuthPolicy) -> AuthFixture {
+    let mut platform = Platform::new_default();
+    let vm1 = platform.create_vm(VmConfig::named("a")).expect("vm");
+    let vm2 = platform.create_vm(VmConfig::named("b")).expect("vm");
+    let mut mgr = WorldManager::new();
+    let cd = WorldDescriptor::guest_user(&platform, vm1, 0x1000, 0).expect("desc");
+    let ed = WorldDescriptor::guest_kernel(&platform, vm2, 0x2000, 0).expect("desc");
+    let caller = mgr.register_world(&mut platform, cd).expect("register");
+    let callee = mgr.register_world(&mut platform, ed).expect("register");
+    match policy {
+        AuthPolicy::AllowList(_) => mgr.set_policy(callee, AuthPolicy::allow([caller])),
+        p => mgr.set_policy(callee, p),
+    }
+    platform.vmentry(vm1).expect("vmentry");
+    platform.cpu_mut().force_cr3(0x1000);
+    AuthFixture {
+        platform,
+        mgr,
+        caller,
+        callee,
+    }
+}
+
+fn software_auth_roundtrip_cycles() -> u64 {
+    let mut f = auth_fixture(AuthPolicy::AllowList(Default::default()));
+    // Warm.
+    let t = f.mgr.call(&mut f.platform, f.caller, f.callee).expect("call");
+    f.mgr.ret(&mut f.platform, t).expect("ret");
+    let before = f.platform.cpu().meter().cycles();
+    let t = f.mgr.call(&mut f.platform, f.caller, f.callee).expect("call");
+    f.mgr.ret(&mut f.platform, t).expect("ret");
+    f.platform.cpu().meter().cycles() - before
+}
+
+fn binding_table_roundtrip_cycles() -> u64 {
+    let mut platform = Platform::new_default();
+    let vm1 = platform.create_vm(VmConfig::named("a")).expect("vm");
+    let vm2 = platform.create_vm(VmConfig::named("b")).expect("vm");
+    let mut table = WorldTable::new();
+    let cd = WorldDescriptor::guest_user(&platform, vm1, 0x1000, 0).expect("desc");
+    let ed = WorldDescriptor::guest_kernel(&platform, vm2, 0x2000, 0).expect("desc");
+    let caller = table.create(cd).expect("create");
+    let callee = table.create(ed).expect("create");
+    let mut unit = WorldCallUnit::new();
+    let mut bindings = BindingTable::new();
+    bindings.bind(caller, callee);
+    platform.vmentry(vm1).expect("vmentry");
+    platform.cpu_mut().force_cr3(0x1000);
+    // Warm the caches.
+    bound_world_call(
+        &mut unit, &bindings, &mut platform, &table, caller, callee, Direction::Call,
+    )
+    .expect("call");
+    bound_world_call(
+        &mut unit, &bindings, &mut platform, &table, callee, caller, Direction::Return,
+    )
+    .expect("return");
+    let before = platform.cpu().meter().cycles();
+    // Hardware-checked call: no callee-side software auth needed.
+    platform.cpu_mut().charge_work(30, 10, "save state");
+    bound_world_call(
+        &mut unit, &bindings, &mut platform, &table, caller, callee, Direction::Call,
+    )
+    .expect("call");
+    bound_world_call(
+        &mut unit, &bindings, &mut platform, &table, callee, caller, Direction::Return,
+    )
+    .expect("return");
+    platform.cpu_mut().charge_work(30, 10, "restore state");
+    platform.cpu().meter().cycles() - before
+}
+
+fn prefetch_ablation_cycles(worlds_registered: usize, context_switches: u64) -> (u64, u64) {
+    // On-demand filling: one WTC miss per world, amortized over the run.
+    let miss_cost = 2600u64;
+    let fill_cost = 250u64;
+    let on_demand = worlds_registered as u64 * (miss_cost + fill_cost);
+    // Prefetch register reload on *every* context switch — wasted fills
+    // when few worlds exist (§5.1: "prefetching a non-existed world at
+    // every context switch will cause cache miss and useless world table
+    // walk").
+    let prefetch = context_switches * fill_cost
+        + if worlds_registered < 4 {
+            // Most switches land on processes with no world: useless walk.
+            context_switches * miss_cost / 2
+        } else {
+            0
+        };
+    (on_demand, prefetch)
+}
+
+fn param_copy_ablation() -> (u64, u64) {
+    // Shared-memory (copy-once) vs hypervisor copying (copy-twice) for a
+    // stat-sized payload, measured end to end on ShadowContext's two
+    // implementations.
+    use systems::shadowcontext::ShadowContext;
+    let stat = Syscall::Stat {
+        path: "/etc/passwd".into(),
+    };
+    let mut opt = ShadowContext::optimized().expect("shadowcontext");
+    let (_, shared) = opt.measure_syscall(&stat).expect("measure");
+    let mut base = ShadowContext::baseline().expect("shadowcontext");
+    let (_, copied) = base.measure_syscall(&stat).expect("measure");
+    (shared.cycles.0, copied.cycles.0)
+}
+
+fn print_ablation_report() {
+    println!("Ablation: binding table (hardware auth) vs software allow-list");
+    println!(
+        "  software-auth warm round trip: {} cycles",
+        software_auth_roundtrip_cycles()
+    );
+    println!(
+        "  binding-table warm round trip: {} cycles\n",
+        binding_table_roundtrip_cycles()
+    );
+
+    println!("Ablation: rejected call designs (NULL-class service, 4 KiB working set)");
+    let profile = AltCallProfile::default();
+    let mut p = Platform::new_default();
+    for load in [0u32, 2, 8] {
+        let asy = async_message_call(&mut p, &SchedModel::loaded(load), profile);
+        println!("  async message-passing, load {load}: {asy} cycles");
+    }
+    let ipi = sync_ipi_call(&mut p, profile).expect("host context");
+    println!("  synchronous IPI:              {ipi} cycles");
+    let xo = crossover_call_equivalent(&mut p, profile);
+    println!("  CrossOver world_call:         {xo} cycles\n");
+
+    println!("Ablation: Current-World-ID prefetch register (§5.1 alternative)");
+    for (worlds, switches) in [(2usize, 1000u64), (16, 1000)] {
+        let (on_demand, prefetch) = prefetch_ablation_cycles(worlds, switches);
+        println!(
+            "  {worlds:>2} worlds, {switches} ctx switches: fill-on-miss {on_demand} cycles vs prefetch {prefetch} cycles"
+        );
+    }
+    println!();
+
+    let (shared, copied) = param_copy_ablation();
+    println!("Ablation: parameter passing for a redirected stat");
+    println!("  shared memory (copy once):     {shared} cycles");
+    println!("  hypervisor copies (copy twice): {copied} cycles\n");
+
+    println!("Sweep: target-VM load vs redirected NULL syscall (§7.1.2 claim)");
+    for load in [0u32, 1, 4, 16] {
+        let mut base = Proxos::baseline().expect("proxos");
+        base.env.platform.set_sched(SchedModel::loaded(load));
+        let b = run_redirected(&mut base, MicroOp::NullSyscall).expect("baseline");
+        let mut opt = Proxos::optimized().expect("proxos");
+        opt.env.platform.set_sched(SchedModel::loaded(load));
+        let o = run_redirected(&mut opt, MicroOp::NullSyscall).expect("optimized");
+        println!(
+            "  load {load:>2}: original {:>8} cycles, CrossOver {:>6} cycles",
+            b.cycles.0, o.cycles.0
+        );
+    }
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    print_ablation_report();
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    group.bench_function("software-auth-roundtrip", |b| {
+        b.iter(software_auth_roundtrip_cycles)
+    });
+    group.bench_function("binding-table-roundtrip", |b| {
+        b.iter(binding_table_roundtrip_cycles)
+    });
+    group.bench_function("param-copy-vs-shared", |b| b.iter(param_copy_ablation));
+    group.finish();
+}
+
+criterion_group!(ablations, benches);
+criterion_main!(ablations);

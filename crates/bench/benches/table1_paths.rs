@@ -1,0 +1,27 @@
+//! Table 1 bench: ring-crossing analysis of the eleven surveyed systems.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use systems::paths::survey;
+
+fn benches(c: &mut Criterion) {
+    println!("{}", xover_bench::reports::table1());
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    group.bench_function("survey-ratios", |b| {
+        b.iter(|| {
+            survey()
+                .iter()
+                .map(|s| s.ratio())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(table1, benches);
+criterion_main!(table1);

@@ -1,0 +1,50 @@
+//! Table 3 bench: hop planning over the world graph for every mechanism.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossover::plan::{HopPlanner, Mechanism};
+
+fn benches(c: &mut Criterion) {
+    println!("{}", xover_bench::reports::table3());
+    let mut group = c.benchmark_group("table3");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    let planner = HopPlanner::new(2);
+    for mech in [
+        Mechanism::HardwareDirect,
+        Mechanism::Existing,
+        Mechanism::Vmfunc,
+        Mechanism::CrossOver,
+    ] {
+        group.bench_function(format!("all-pairs/{mech}"), |b| {
+            b.iter(|| {
+                let mut total = 0u32;
+                for (from, to) in HopPlanner::table3_pairs() {
+                    total += planner.hops(from, to, mech).unwrap_or(0);
+                }
+                total
+            })
+        });
+    }
+    // Scaling: a larger universe (the planner is used programmatically by
+    // callers sizing multi-VM deployments).
+    for vms in [2u16, 8, 32] {
+        let planner = HopPlanner::new(vms);
+        group.bench_function(format!("cross-vm-call/{vms}-vms"), |b| {
+            b.iter(|| {
+                planner.hops(
+                    crossover::plan::WorldCoord::guest_user(1),
+                    crossover::plan::WorldCoord::guest_kernel(vms),
+                    Mechanism::Existing,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(table3, benches);
+criterion_main!(table3);

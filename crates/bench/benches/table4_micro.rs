@@ -1,0 +1,82 @@
+//! Table 4 bench: microbenchmark latencies for the four case-study
+//! systems, original vs optimized.
+//!
+//! Criterion measures the wall time of simulating each call path; the
+//! *simulated* latencies (the paper's actual metric) are printed once at
+//! startup via the Table 4 report. Both tell the same story: the
+//! optimized paths do strictly less work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::micro::{run_native, run_redirected, MicroOp, RedirectTarget};
+use systems::env::CrossVmEnv;
+use systems::hypershell::HyperShell;
+use systems::proxos::Proxos;
+use systems::shadowcontext::ShadowContext;
+use systems::tahoma::Tahoma;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/native");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for op in MicroOp::ALL {
+        let mut env = CrossVmEnv::new("native", "peer").expect("env");
+        group.bench_function(op.name(), |b| {
+            b.iter(|| run_native(&mut env, op).expect("native run"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_system<T, F>(c: &mut Criterion, label: &str, mut build: F)
+where
+    T: RedirectTarget,
+    F: FnMut() -> T,
+{
+    let mut group = c.benchmark_group(format!("table4/{label}"));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for op in MicroOp::ALL {
+        let mut target = build();
+        group.bench_function(op.name(), |b| {
+            b.iter(|| run_redirected(&mut target, op).expect("redirected run"))
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // Print the simulated-latency table once, so `cargo bench` output
+    // contains the paper-comparable numbers.
+    println!("{}", xover_bench::reports::table4());
+    let c = configure(c);
+    bench_native(c);
+    bench_system(c, "proxos-original", || Proxos::baseline().expect("proxos"));
+    bench_system(c, "proxos-optimized", || Proxos::optimized().expect("proxos"));
+    bench_system(c, "hypershell-original", || {
+        HyperShell::baseline().expect("hypershell")
+    });
+    bench_system(c, "hypershell-optimized", || {
+        HyperShell::optimized().expect("hypershell")
+    });
+    bench_system(c, "tahoma-original", || Tahoma::baseline().expect("tahoma"));
+    bench_system(c, "tahoma-optimized", || Tahoma::optimized().expect("tahoma"));
+    bench_system(c, "shadowcontext-original", || {
+        ShadowContext::baseline().expect("shadowcontext")
+    });
+    bench_system(c, "shadowcontext-optimized", || {
+        ShadowContext::optimized().expect("shadowcontext")
+    });
+}
+
+criterion_group!(table4, benches);
+criterion_main!(table4);

@@ -1,0 +1,31 @@
+//! Table 5 bench: the six utility-tool traces under each redirection
+//! mode.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::utilities::{run_utility, utilities, UtilityMode};
+
+fn benches(c: &mut Criterion) {
+    println!("{}", xover_bench::reports::table5());
+    let mut group = c.benchmark_group("table5");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for u in utilities() {
+        for (mode, label) in [
+            (UtilityMode::Native, "native"),
+            (UtilityMode::WithoutCrossOver, "without-crossover"),
+            (UtilityMode::WithCrossOver, "with-crossover"),
+        ] {
+            group.bench_function(format!("{}/{label}", u.name), |b| {
+                b.iter(|| run_utility(&u, mode).expect("utility run"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(table5, benches);
+criterion_main!(table5);

@@ -1,0 +1,30 @@
+//! Table 6 bench: split-execution OpenSSH scp throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::openssh::{scp_throughput, SshMode, FILE_SIZES_MB};
+
+fn benches(c: &mut Criterion) {
+    println!("{}", xover_bench::reports::table6());
+    let mut group = c.benchmark_group("table6");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for mb in FILE_SIZES_MB {
+        for (mode, label) in [
+            (SshMode::Native, "native"),
+            (SshMode::WithCrossOver, "with-crossover"),
+            (SshMode::WithoutCrossOver, "without-crossover"),
+        ] {
+            group.bench_function(format!("scp-{mb}mb/{label}"), |b| {
+                b.iter(|| scp_throughput(mode, mb).expect("scp run"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(table6, benches);
+criterion_main!(table6);

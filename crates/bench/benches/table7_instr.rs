@@ -1,0 +1,32 @@
+//! Table 7 bench: instruction counts per lmbench operation under each
+//! redirection mechanism.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::lmbench::{LmbenchHarness, LmbenchMode, LmbenchOp};
+
+fn benches(c: &mut Criterion) {
+    println!("{}", xover_bench::reports::table7());
+    let mut group = c.benchmark_group("table7");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for (mode, label) in [
+        (LmbenchMode::Native, "native"),
+        (LmbenchMode::WithCrossOver, "with-crossover"),
+        (LmbenchMode::WithoutCrossOver, "without-crossover"),
+    ] {
+        let mut harness = LmbenchHarness::new().expect("harness");
+        for op in LmbenchOp::ALL {
+            group.bench_function(format!("{}/{label}", op.name()), |b| {
+                b.iter(|| harness.instructions(op, mode).expect("measurement"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(table7, benches);
+criterion_main!(table7);

@@ -1,0 +1,181 @@
+//! Parameter sweeps as CSV series — the quantitative backing for the
+//! paper's discussion points that have no table of their own.
+//!
+//! ```text
+//! sweeps load       # target-VM load vs redirected-call latency (§7.1.2)
+//! sweeps capacity   # world-table-cache capacity vs hit rate (§5.1)
+//! sweeps payload    # transfer size vs redirection cost (§6 copying)
+//! sweeps nested     # nesting depth vs cross-world hops (§1 motivation)
+//! sweeps all        # everything
+//! ```
+
+use crossover::plan::{HopPlanner, Mechanism, WorldCoord};
+use guestos::syscall::Syscall;
+use hypervisor::sched::SchedModel;
+use machine::cost::Frequency;
+use systems::crossvm::{hypervisor_cross_vm_syscall, vmfunc_cross_vm_syscall};
+use systems::env::CrossVmEnv;
+use systems::proxos::Proxos;
+use workloads::micro::{run_redirected, MicroOp};
+
+fn sweep_load() {
+    println!("# target-VM load vs redirected NULL syscall latency (us)");
+    println!("load,original_us,crossover_us");
+    for load in [0u32, 1, 2, 4, 8, 16, 32] {
+        let mut base = Proxos::baseline().expect("proxos");
+        base.env.platform.set_sched(SchedModel::loaded(load));
+        let b = run_redirected(&mut base, MicroOp::NullSyscall).expect("baseline");
+        let mut opt = Proxos::optimized().expect("proxos");
+        opt.env.platform.set_sched(SchedModel::loaded(load));
+        let o = run_redirected(&mut opt, MicroOp::NullSyscall).expect("optimized");
+        println!(
+            "{load},{:.3},{:.3}",
+            b.micros(Frequency::GHZ_3_4),
+            o.micros(Frequency::GHZ_3_4)
+        );
+    }
+    println!();
+}
+
+fn sweep_capacity() {
+    println!("# world-table-cache capacity vs hit rate (6 caller/callee pairs, round robin)");
+    println!("capacity,wt_hit_rate,iwt_hit_rate,wt_evictions");
+    for capacity in [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+        let mut p = hypervisor::platform::Platform::new_default();
+        let vm1 = p
+            .create_vm(hypervisor::vm::VmConfig::named("a"))
+            .expect("vm");
+        let vm2 = p
+            .create_vm(hypervisor::vm::VmConfig::named("b"))
+            .expect("vm");
+        let mut table = crossover::table::WorldTable::with_quota(64);
+        let mut unit = crossover::call::WorldCallUnit::with_capacity(capacity);
+        let mut pairs = Vec::new();
+        for i in 0..6u64 {
+            let cd = crossover::world::WorldDescriptor::guest_user(&p, vm1, 0x1000 * (i + 1), 0)
+                .expect("desc");
+            let ed =
+                crossover::world::WorldDescriptor::guest_kernel(&p, vm2, 0x1000 * (i + 1), 0)
+                    .expect("desc");
+            pairs.push((
+                table.create(cd).expect("create"),
+                table.create(ed).expect("create"),
+                0x1000 * (i + 1),
+            ));
+        }
+        p.vmentry(vm1).expect("vmentry");
+        for round in 0..60 {
+            let (_, callee, cr3) = pairs[round % pairs.len()];
+            p.cpu_mut().force_cr3(cr3);
+            if p.current_vm() != Some(vm1) {
+                p.crossover_switch(
+                    machine::trace::TransitionKind::WorldReturn,
+                    machine::mode::CpuMode::GUEST_USER,
+                    cr3,
+                    p.eptp_of(vm1).expect("eptp"),
+                )
+                .expect("reset");
+            }
+            let _ = unit.world_call(
+                &mut p,
+                &table,
+                callee,
+                crossover::call::Direction::Call,
+            );
+        }
+        let wt = unit.wt_stats();
+        let iwt = unit.iwt_stats();
+        println!(
+            "{capacity},{:.3},{:.3},{}",
+            wt.hit_rate(),
+            iwt.hit_rate(),
+            wt.evictions
+        );
+    }
+    println!();
+}
+
+fn sweep_payload() {
+    println!("# write payload size vs redirected syscall latency (us)");
+    println!("bytes,hypervisor_us,vmfunc_us");
+    let mut env = CrossVmEnv::new("a", "b").expect("env");
+    // Open a target file in the remote VM once.
+    let fd = match hypervisor_cross_vm_syscall(
+        &mut env,
+        &Syscall::Open {
+            path: "/payload-target".into(),
+            create: true,
+        },
+    )
+    .expect("open")
+    {
+        guestos::SyscallRet::Fd(fd) => fd,
+        other => unreachable!("open returned {other:?}"),
+    };
+    env.settle_in_vm1().expect("settle");
+    for bytes in [0usize, 64, 256, 1024, 4096, 16384] {
+        let write = Syscall::Write {
+            fd,
+            data: vec![0u8; bytes],
+        };
+        let snap = env.platform.cpu().meter().snapshot();
+        hypervisor_cross_vm_syscall(&mut env, &write).expect("baseline write");
+        let base = env.platform.cpu().meter().since(snap);
+        env.settle_in_vm1().expect("settle");
+        let snap = env.platform.cpu().meter().snapshot();
+        vmfunc_cross_vm_syscall(&mut env, &write).expect("vmfunc write");
+        let opt = env.platform.cpu().meter().since(snap);
+        println!(
+            "{bytes},{:.3},{:.3}",
+            base.micros(Frequency::GHZ_3_4),
+            opt.micros(Frequency::GHZ_3_4)
+        );
+    }
+    println!();
+}
+
+fn sweep_nested() {
+    println!("# cross-VM call hops by nesting depth and mechanism");
+    println!("topology,sw_hops,vmfunc_hops,crossover_hops");
+    // Flat: U_VM1 -> U_VM2.
+    let flat = HopPlanner::new(2);
+    let (f, t) = (WorldCoord::guest_user(1), WorldCoord::guest_user(2));
+    println!(
+        "flat-L1,{},{},{}",
+        flat.hops(f, t, Mechanism::Existing).expect("reachable"),
+        flat.hops(f, t, Mechanism::Vmfunc).expect("reachable"),
+        flat.hops(f, t, Mechanism::CrossOver).expect("reachable"),
+    );
+    // Nested: U_VM1.1 -> U_VM1.2 (two L2s under one guest hypervisor).
+    let nested = HopPlanner::with_nested(1, 2);
+    let (f, t) = (WorldCoord::nested_user(1, 1), WorldCoord::nested_user(1, 2));
+    println!(
+        "nested-L2,{},{},{}",
+        nested.hops(f, t, Mechanism::Existing).expect("reachable"),
+        nested
+            .hops(f, t, Mechanism::Vmfunc)
+            .map_or("-".into(), |h| h.to_string()),
+        nested.hops(f, t, Mechanism::CrossOver).expect("reachable"),
+    );
+    println!();
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "load" => sweep_load(),
+        "capacity" => sweep_capacity(),
+        "payload" => sweep_payload(),
+        "nested" => sweep_nested(),
+        "all" => {
+            sweep_load();
+            sweep_capacity();
+            sweep_payload();
+            sweep_nested();
+        }
+        other => {
+            eprintln!("unknown sweep '{other}' (load|capacity|payload|nested|all)");
+            std::process::exit(2);
+        }
+    }
+}

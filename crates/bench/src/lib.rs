@@ -1,0 +1,17 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation as text reports, and hosts the Criterion benches.
+//!
+//! The `tables` binary prints any report:
+//!
+//! ```text
+//! cargo run -p xover-bench --bin tables -- --all
+//! cargo run -p xover-bench --bin tables -- --table 4
+//! cargo run -p xover-bench --bin tables -- --figure 2
+//! ```
+
+pub mod reports;
+
+pub use reports::{
+    figure1, figure2, figure3, figure4, figure5, table1, table3, table4, table5, table6,
+    table7,
+};

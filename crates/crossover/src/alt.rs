@@ -1,0 +1,201 @@
+//! The alternative call designs §3.3 considers and rejects, modeled so
+//! the ablation benches can quantify the rejection.
+//!
+//! * **Asynchronous message passing** — the caller posts a request and the
+//!   callee services it when scheduled. Cheap per message, but the reply
+//!   latency includes the callee's scheduling delay, and the caller and
+//!   callee run on different cores so the working set migrates ("not
+//!   cache-friendly", §3.3).
+//! * **Synchronous IPI** — the caller interrupts a core that must already
+//!   be running the callee; binding callee to core requires a privileged
+//!   scheduler operation per call.
+//!
+//! CrossOver's non-disruptive synchronous `world_call` avoids both: no
+//! scheduler, no IPI, no cache migration.
+
+use hypervisor::platform::Platform;
+use hypervisor::sched::SchedModel;
+use machine::trace::TransitionKind;
+
+/// Cycles lost to cache/TLB working-set migration when the callee runs on
+/// a different core (the data-intensive penalty of §3.3). Scaled by the
+/// working-set size in cache lines.
+pub const CACHE_MIGRATION_CYCLES_PER_LINE: u64 = 45;
+
+/// Parameters of an alternative-design call.
+#[derive(Debug, Clone, Copy)]
+pub struct AltCallProfile {
+    /// Working set the callee touches, in 64-byte cache lines.
+    pub working_set_lines: u64,
+    /// Cycles of actual service work at the callee.
+    pub service_cycles: u64,
+}
+
+impl Default for AltCallProfile {
+    fn default() -> AltCallProfile {
+        AltCallProfile {
+            working_set_lines: 64, // 4 KiB of shared arguments/results
+            service_cycles: 626,   // a NULL-syscall-class body
+        }
+    }
+}
+
+/// Charges one **asynchronous message-passing** call round trip onto
+/// `platform` and returns the cycles it cost.
+///
+/// The callee is woken by its own VM's scheduler (whose latency scales
+/// with `sched`), services the request on another core, and the reply
+/// wakes the caller back. Both hand-offs migrate the working set.
+pub fn async_message_call(
+    platform: &mut Platform,
+    sched: &SchedModel,
+    profile: AltCallProfile,
+) -> u64 {
+    let before = platform.cpu().meter().cycles();
+    // Post the request (lock-free queue write + doorbell).
+    platform.cpu_mut().charge_work(180, 25, "post request");
+    // Callee side: scheduling delay before the message is seen.
+    platform.cpu_mut().charge_work(
+        sched.wakeup_latency_cycles(),
+        sched.wakeup_latency_instructions(),
+        "callee scheduling delay",
+    );
+    // Working set migrates to the callee's core.
+    platform.cpu_mut().charge_work(
+        profile.working_set_lines * CACHE_MIGRATION_CYCLES_PER_LINE,
+        0,
+        "working-set migration to callee",
+    );
+    platform
+        .cpu_mut()
+        .charge_work(profile.service_cycles, 200, "service");
+    // Reply path: post + caller wakeup + migration back.
+    platform.cpu_mut().charge_work(180, 25, "post reply");
+    platform.cpu_mut().charge_work(
+        sched.wakeup_latency_cycles(),
+        sched.wakeup_latency_instructions(),
+        "caller scheduling delay",
+    );
+    platform.cpu_mut().charge_work(
+        profile.working_set_lines * CACHE_MIGRATION_CYCLES_PER_LINE,
+        0,
+        "working-set migration back",
+    );
+    platform.cpu().meter().cycles() - before
+}
+
+/// Charges one **synchronous IPI** call round trip and returns its cost.
+///
+/// Each call needs a privileged scheduler binding (a hypercall if made
+/// from a guest) to guarantee the target core runs the callee, then an
+/// IPI each way.
+///
+/// # Errors
+///
+/// Propagates hypercall failures when invoked from guest context.
+pub fn sync_ipi_call(
+    platform: &mut Platform,
+    profile: AltCallProfile,
+) -> Result<u64, hypervisor::HvError> {
+    let before = platform.cpu().meter().cycles();
+    // Privileged binding of callee to the target core (§3.3: "the caller
+    // needs to invoke a privileged operation to the schedulers").
+    if platform.cpu().mode().operation().is_guest() {
+        platform.hypercall_roundtrip(0x20)?;
+    } else {
+        platform.cpu_mut().charge_work(900, 160, "scheduler binding");
+    }
+    platform.cpu_mut().touch(TransitionKind::IpiSend);
+    platform.cpu_mut().touch(TransitionKind::IpiReceive);
+    // Working set migrates to the remote core.
+    platform.cpu_mut().charge_work(
+        profile.working_set_lines * CACHE_MIGRATION_CYCLES_PER_LINE,
+        0,
+        "working-set migration",
+    );
+    platform
+        .cpu_mut()
+        .charge_work(profile.service_cycles, 200, "service");
+    platform.cpu_mut().touch(TransitionKind::IpiSend);
+    platform.cpu_mut().touch(TransitionKind::IpiReceive);
+    platform.cpu_mut().charge_work(
+        profile.working_set_lines * CACHE_MIGRATION_CYCLES_PER_LINE,
+        0,
+        "working-set migration back",
+    );
+    Ok(platform.cpu().meter().cycles() - before)
+}
+
+/// Charges one CrossOver `world_call` round trip with the same service
+/// profile, for comparison — same core, no migration, no scheduler.
+pub fn crossover_call_equivalent(platform: &mut Platform, profile: AltCallProfile) -> u64 {
+    let before = platform.cpu().meter().cycles();
+    platform.cpu_mut().charge_work(30, 10, "save state");
+    platform.cpu_mut().touch(TransitionKind::WorldCall);
+    platform
+        .cpu_mut()
+        .charge_work(profile.service_cycles, 200, "service");
+    platform.cpu_mut().touch(TransitionKind::WorldReturn);
+    platform.cpu_mut().charge_work(30, 10, "restore state");
+    platform.cpu().meter().cycles() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_platform() -> Platform {
+        Platform::new_default()
+    }
+
+    #[test]
+    fn crossover_beats_async_on_an_idle_system() {
+        let mut p = host_platform();
+        let profile = AltCallProfile::default();
+        let asy = async_message_call(&mut p, &SchedModel::idle(), profile);
+        let sync = crossover_call_equivalent(&mut p, profile);
+        assert!(
+            sync * 3 < asy,
+            "async {asy} should dwarf crossover {sync} even when idle"
+        );
+    }
+
+    #[test]
+    fn async_latency_grows_with_load_crossover_does_not() {
+        let mut p = host_platform();
+        let profile = AltCallProfile::default();
+        let idle = async_message_call(&mut p, &SchedModel::idle(), profile);
+        let loaded = async_message_call(&mut p, &SchedModel::loaded(8), profile);
+        assert!(loaded > idle * 5, "idle {idle}, loaded {loaded}");
+        // CrossOver is scheduler-independent by construction.
+        let c1 = crossover_call_equivalent(&mut p, profile);
+        let c2 = crossover_call_equivalent(&mut p, profile);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn ipi_design_pays_binding_and_interrupt_costs() {
+        let mut p = host_platform();
+        let profile = AltCallProfile::default();
+        let ipi = sync_ipi_call(&mut p, profile).unwrap();
+        let sync = crossover_call_equivalent(&mut p, profile);
+        assert!(sync * 3 < ipi, "ipi {ipi} vs crossover {sync}");
+        assert_eq!(p.cpu().trace().count(TransitionKind::IpiSend), 2);
+    }
+
+    #[test]
+    fn migration_penalty_scales_with_working_set() {
+        let mut p = host_platform();
+        let small = AltCallProfile {
+            working_set_lines: 8,
+            service_cycles: 626,
+        };
+        let large = AltCallProfile {
+            working_set_lines: 1024,
+            service_cycles: 626,
+        };
+        let a_small = async_message_call(&mut p, &SchedModel::idle(), small);
+        let a_large = async_message_call(&mut p, &SchedModel::idle(), large);
+        assert!(a_large > a_small + 2 * 900 * CACHE_MIGRATION_CYCLES_PER_LINE / 2);
+    }
+}

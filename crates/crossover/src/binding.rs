@@ -1,0 +1,220 @@
+//! The binding-table alternative design (§3.4, "put calling authorization
+//! to hardware").
+//!
+//! Instead of callee-software authorization, a hypervisor-managed *binding
+//! table* records which (caller, callee) pairs are permitted, and the
+//! processor refuses `world_call`s with no binding. The paper keeps this
+//! out of the main design ("may further improve the performance of
+//! authorization in the callee but may be less flexible"); this module
+//! implements it as the ablation the benches compare against.
+
+use std::collections::HashSet;
+
+use hypervisor::platform::Platform;
+
+use crate::call::{Direction, SwitchOutcome, WorldCallUnit};
+use crate::table::WorldTable;
+use crate::world::Wid;
+use crate::WorldError;
+
+/// The hardware-checked binding table.
+///
+/// # Example
+///
+/// ```
+/// use xover_crossover::binding::BindingTable;
+/// use xover_crossover::world::Wid;
+/// # let (a, b) = xover_crossover::binding::test_wids();
+///
+/// let mut bindings = BindingTable::new();
+/// assert!(!bindings.is_bound(a, b));
+/// bindings.bind(a, b);
+/// assert!(bindings.is_bound(a, b));
+/// assert!(!bindings.is_bound(b, a), "bindings are directional");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BindingTable {
+    bindings: HashSet<(u64, u64)>,
+}
+
+impl BindingTable {
+    /// Creates an empty binding table.
+    pub fn new() -> BindingTable {
+        BindingTable::default()
+    }
+
+    /// Number of registered bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Registers the directional binding `caller → callee`. Done once per
+    /// pair, via the hypervisor ("this binding is needed only once
+    /// between two worlds").
+    pub fn bind(&mut self, caller: Wid, callee: Wid) {
+        self.bindings.insert((caller.raw(), callee.raw()));
+    }
+
+    /// Revokes a binding.
+    pub fn unbind(&mut self, caller: Wid, callee: Wid) {
+        self.bindings.remove(&(caller.raw(), callee.raw()));
+    }
+
+    /// Whether `caller → callee` is bound.
+    pub fn is_bound(&self, caller: Wid, callee: Wid) -> bool {
+        self.bindings.contains(&(caller.raw(), callee.raw()))
+    }
+
+    /// Revokes every binding involving `wid` (world deletion).
+    pub fn purge(&mut self, wid: Wid) {
+        self.bindings
+            .retain(|&(a, b)| a != wid.raw() && b != wid.raw());
+    }
+}
+
+/// A `world_call` checked against the binding table *in hardware*: the
+/// caller is identified, the binding verified (refusing before any
+/// switch), and only then the world switch performed. The callee can skip
+/// its software authorization entirely.
+///
+/// # Errors
+///
+/// * [`WorldError::NotBound`] if the pair has no binding.
+/// * Whatever [`WorldCallUnit::world_call`] can raise.
+pub fn bound_world_call(
+    unit: &mut WorldCallUnit,
+    bindings: &BindingTable,
+    platform: &mut Platform,
+    table: &WorldTable,
+    caller: Wid,
+    callee: Wid,
+    direction: Direction,
+) -> Result<SwitchOutcome, WorldError> {
+    // The binding check happens before the switch, in parallel with the
+    // table lookups on real hardware: it costs nothing extra in our cost
+    // model (that is precisely its advantage over software auth).
+    let bound = match direction {
+        Direction::Call => bindings.is_bound(caller, callee),
+        // Returns are implicitly permitted along an established binding.
+        Direction::Return => bindings.is_bound(callee, caller),
+    };
+    if !bound {
+        return Err(WorldError::NotBound { caller, callee });
+    }
+    unit.world_call(platform, table, callee, direction)
+}
+
+/// Test/doctest helper producing two distinct WIDs without a platform.
+#[doc(hidden)]
+pub fn test_wids() -> (Wid, Wid) {
+    let mut table = WorldTable::new();
+    let a = table
+        .create(crate::world::WorldDescriptor::host_user(0x1000, 0))
+        .expect("quota");
+    let b = table
+        .create(crate::world::WorldDescriptor::host_user(0x2000, 0))
+        .expect("quota");
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldDescriptor;
+    use hypervisor::vm::VmConfig;
+    use machine::mode::CpuMode;
+
+    #[test]
+    fn binding_lifecycle() {
+        let (a, b) = test_wids();
+        let mut t = BindingTable::new();
+        t.bind(a, b);
+        t.bind(b, a);
+        assert_eq!(t.len(), 2);
+        t.unbind(a, b);
+        assert!(!t.is_bound(a, b));
+        assert!(t.is_bound(b, a));
+        t.purge(a);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unbound_call_refused_before_any_switch() {
+        let mut p = Platform::new_default();
+        let vm1 = p.create_vm(VmConfig::default()).unwrap();
+        let vm2 = p.create_vm(VmConfig::default()).unwrap();
+        let mut table = WorldTable::new();
+        let caller = table
+            .create(WorldDescriptor::guest_user(&p, vm1, 0x1000, 0).unwrap())
+            .unwrap();
+        let callee = table
+            .create(WorldDescriptor::guest_kernel(&p, vm2, 0x2000, 0).unwrap())
+            .unwrap();
+        let mut unit = WorldCallUnit::new();
+        let bindings = BindingTable::new();
+        p.vmentry(vm1).unwrap();
+        p.cpu_mut().force_cr3(0x1000);
+        let transitions = p.cpu().trace().len();
+        let err = bound_world_call(
+            &mut unit,
+            &bindings,
+            &mut p,
+            &table,
+            caller,
+            callee,
+            Direction::Call,
+        )
+        .unwrap_err();
+        assert_eq!(err, WorldError::NotBound { caller, callee });
+        assert_eq!(p.cpu().trace().len(), transitions, "no switch happened");
+        assert_eq!(p.cpu().mode(), CpuMode::GUEST_USER);
+    }
+
+    #[test]
+    fn bound_call_and_return_succeed() {
+        let mut p = Platform::new_default();
+        let vm1 = p.create_vm(VmConfig::default()).unwrap();
+        let vm2 = p.create_vm(VmConfig::default()).unwrap();
+        let mut table = WorldTable::new();
+        let caller = table
+            .create(WorldDescriptor::guest_user(&p, vm1, 0x1000, 0).unwrap())
+            .unwrap();
+        let callee = table
+            .create(WorldDescriptor::guest_kernel(&p, vm2, 0x2000, 0).unwrap())
+            .unwrap();
+        let mut unit = WorldCallUnit::new();
+        let mut bindings = BindingTable::new();
+        bindings.bind(caller, callee);
+        p.vmentry(vm1).unwrap();
+        p.cpu_mut().force_cr3(0x1000);
+        bound_world_call(
+            &mut unit,
+            &bindings,
+            &mut p,
+            &table,
+            caller,
+            callee,
+            Direction::Call,
+        )
+        .unwrap();
+        assert_eq!(p.cpu().mode(), CpuMode::GUEST_KERNEL);
+        // Return along the same binding is permitted without a reverse
+        // binding.
+        bound_world_call(
+            &mut unit,
+            &bindings,
+            &mut p,
+            &table,
+            callee,
+            caller,
+            Direction::Return,
+        )
+        .unwrap();
+        assert_eq!(p.cpu().mode(), CpuMode::GUEST_USER);
+    }
+}

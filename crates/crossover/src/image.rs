@@ -1,0 +1,323 @@
+//! The world table's in-memory image.
+//!
+//! §3.2: "we place the world table in a region of memory that can be
+//! accessed only by the highest privileged software." The
+//! [`crate::table::WorldTable`] is the hypervisor's software view; this
+//! module serializes it into actual simulated host-physical frames in the
+//! Figure 5 record layout (P, WID, H/G, Ring, EPTP, PTP, PC), and
+//! implements the *hardware table walk* that the world-call unit performs
+//! on a cache miss — a real read of physical memory, not a Rust map
+//! lookup.
+
+use hypervisor::platform::Platform;
+use machine::mode::{Operation, Ring};
+use mmu::addr::{Hpa, PAGE_SIZE};
+use mmu::MmuError;
+
+use crate::table::WorldTable;
+use crate::world::{Wid, WorldContext, WorldEntry};
+
+/// Bytes per serialized world-table record.
+pub const RECORD_BYTES: u64 = 40;
+
+/// Byte layout of one record:
+/// `[P:1][pad:1][ring:1][hg:1][wid:8][eptp:8][ptp:8][pc:8][pad:4]`.
+const P_OFF: u64 = 0;
+const RING_OFF: u64 = 2;
+const HG_OFF: u64 = 3;
+const WID_OFF: u64 = 4;
+const EPTP_OFF: u64 = 12;
+const PTP_OFF: u64 = 20;
+const PC_OFF: u64 = 28;
+
+/// Errors from image operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageError {
+    /// The region cannot hold this many worlds.
+    CapacityExceeded {
+        /// Worlds in the table.
+        worlds: usize,
+        /// Records the region can hold.
+        capacity: usize,
+    },
+    /// A record contained an invalid field (memory corruption).
+    CorruptRecord {
+        /// Index of the bad record.
+        index: usize,
+    },
+    /// Physical memory access failed.
+    Mmu(MmuError),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::CapacityExceeded { worlds, capacity } => {
+                write!(f, "{worlds} worlds exceed image capacity {capacity}")
+            }
+            ImageError::CorruptRecord { index } => write!(f, "corrupt record {index}"),
+            ImageError::Mmu(e) => write!(f, "physical memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<MmuError> for ImageError {
+    fn from(e: MmuError) -> ImageError {
+        ImageError::Mmu(e)
+    }
+}
+
+/// A fixed physical region holding the serialized world table.
+///
+/// # Example
+///
+/// ```
+/// use xover_crossover::image::WorldTableImage;
+/// use xover_crossover::table::WorldTable;
+/// use xover_crossover::world::WorldDescriptor;
+/// use hypervisor::platform::Platform;
+///
+/// let mut platform = Platform::new_default();
+/// let mut table = WorldTable::new();
+/// let wid = table.create(WorldDescriptor::host_user(0x1000, 0xAA))?;
+/// let image = WorldTableImage::allocate(&mut platform, 1);
+/// image.sync(&table, &mut platform)?;
+/// let entry = image.hardware_walk(&platform, wid)?.expect("present");
+/// assert_eq!(entry.entry_point, 0xAA);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorldTableImage {
+    base: Hpa,
+    capacity: usize,
+}
+
+impl WorldTableImage {
+    /// Allocates `pages` host frames for the image. The region belongs to
+    /// the hypervisor: it is never mapped into any EPT, so no guest can
+    /// reach it.
+    pub fn allocate(platform: &mut Platform, pages: u64) -> WorldTableImage {
+        let base = platform.phys_mut().alloc_frames(pages);
+        WorldTableImage {
+            base,
+            capacity: (pages * PAGE_SIZE / RECORD_BYTES) as usize,
+        }
+    }
+
+    /// Base host-physical address of the image.
+    pub fn base(&self) -> Hpa {
+        self.base
+    }
+
+    /// Records the region can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn record_addr(&self, index: usize) -> Hpa {
+        self.base + index as u64 * RECORD_BYTES
+    }
+
+    /// Serializes the entire table into the region (the hypervisor does
+    /// this after every create/delete).
+    ///
+    /// # Errors
+    ///
+    /// * [`ImageError::CapacityExceeded`] if the table has outgrown the
+    ///   region.
+    /// * [`ImageError::Mmu`] on unbacked memory.
+    pub fn sync(&self, table: &WorldTable, platform: &mut Platform) -> Result<(), ImageError> {
+        let entries: Vec<&WorldEntry> = table.iter().collect();
+        if entries.len() > self.capacity {
+            return Err(ImageError::CapacityExceeded {
+                worlds: entries.len(),
+                capacity: self.capacity,
+            });
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            let mut rec = [0u8; RECORD_BYTES as usize];
+            rec[P_OFF as usize] = 1;
+            rec[RING_OFF as usize] = entry.context.ring.level();
+            rec[HG_OFF as usize] = u8::from(entry.context.operation.is_guest());
+            rec[WID_OFF as usize..WID_OFF as usize + 8]
+                .copy_from_slice(&entry.wid.raw().to_le_bytes());
+            rec[EPTP_OFF as usize..EPTP_OFF as usize + 8]
+                .copy_from_slice(&entry.context.eptp.to_le_bytes());
+            rec[PTP_OFF as usize..PTP_OFF as usize + 8]
+                .copy_from_slice(&entry.context.ptp.to_le_bytes());
+            rec[PC_OFF as usize..PC_OFF as usize + 8]
+                .copy_from_slice(&entry.entry_point.to_le_bytes());
+            platform.phys_mut().write(self.record_addr(i), &rec)?;
+        }
+        // Clear the record after the last entry so stale tails are not
+        // walked (present bit 0 terminates the walk).
+        if entries.len() < self.capacity {
+            let zero = [0u8; RECORD_BYTES as usize];
+            platform
+                .phys_mut()
+                .write(self.record_addr(entries.len()), &zero)?;
+        }
+        Ok(())
+    }
+
+    fn parse_record(rec: &[u8], index: usize) -> Result<Option<WorldEntry>, ImageError> {
+        if rec[P_OFF as usize] == 0 {
+            return Ok(None);
+        }
+        let ring = Ring::from_level(rec[RING_OFF as usize])
+            .ok_or(ImageError::CorruptRecord { index })?;
+        let operation = if rec[HG_OFF as usize] == 1 {
+            Operation::NonRoot
+        } else {
+            Operation::Root
+        };
+        let read_u64 = |off: u64| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&rec[off as usize..off as usize + 8]);
+            u64::from_le_bytes(b)
+        };
+        Ok(Some(WorldEntry {
+            present: true,
+            wid: Wid::from_raw(read_u64(WID_OFF)),
+            context: WorldContext {
+                operation,
+                ring,
+                eptp: read_u64(EPTP_OFF),
+                ptp: read_u64(PTP_OFF),
+            },
+            entry_point: read_u64(PC_OFF),
+        }))
+    }
+
+    /// The hardware table walk: scans physical memory records until the
+    /// WID matches or a non-present record terminates the table.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::CorruptRecord`] / [`ImageError::Mmu`] on bad memory.
+    pub fn hardware_walk(
+        &self,
+        platform: &Platform,
+        wid: Wid,
+    ) -> Result<Option<WorldEntry>, ImageError> {
+        for i in 0..self.capacity {
+            let mut rec = [0u8; RECORD_BYTES as usize];
+            platform.phys().read(self.record_addr(i), &mut rec)?;
+            match Self::parse_record(&rec, i)? {
+                None => return Ok(None),
+                Some(entry) if entry.wid == wid => return Ok(Some(entry)),
+                Some(_) => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    /// The inverted walk used to identify a caller: scans for a record
+    /// matching `context`.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::CorruptRecord`] / [`ImageError::Mmu`] on bad memory.
+    pub fn hardware_walk_context(
+        &self,
+        platform: &Platform,
+        context: &WorldContext,
+    ) -> Result<Option<WorldEntry>, ImageError> {
+        for i in 0..self.capacity {
+            let mut rec = [0u8; RECORD_BYTES as usize];
+            platform.phys().read(self.record_addr(i), &mut rec)?;
+            match Self::parse_record(&rec, i)? {
+                None => return Ok(None),
+                Some(entry) if entry.context == *context => return Ok(Some(entry)),
+                Some(_) => continue,
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldDescriptor;
+    use hypervisor::vm::VmConfig;
+
+    fn setup() -> (Platform, WorldTable, WorldTableImage) {
+        let mut p = Platform::new_default();
+        let vm = p.create_vm(VmConfig::named("t")).unwrap();
+        let mut t = WorldTable::new();
+        t.create(WorldDescriptor::guest_user(&p, vm, 0x1000, 0x40_0000).unwrap())
+            .unwrap();
+        t.create(WorldDescriptor::guest_kernel(&p, vm, 0x2000, 0xFFFF_8000).unwrap())
+            .unwrap();
+        t.create(WorldDescriptor::host_user(0x9000, 0x11)).unwrap();
+        let img = WorldTableImage::allocate(&mut p, 1);
+        img.sync(&t, &mut p).unwrap();
+        (p, t, img)
+    }
+
+    #[test]
+    fn image_round_trips_every_entry() {
+        let (p, t, img) = setup();
+        for entry in t.iter() {
+            let walked = img.hardware_walk(&p, entry.wid).unwrap().unwrap();
+            assert_eq!(&walked, entry);
+            let by_ctx = img
+                .hardware_walk_context(&p, &entry.context)
+                .unwrap()
+                .unwrap();
+            assert_eq!(by_ctx.wid, entry.wid);
+        }
+    }
+
+    #[test]
+    fn absent_wid_walks_to_none() {
+        let (p, _, img) = setup();
+        assert_eq!(img.hardware_walk(&p, Wid::from_raw(999)).unwrap(), None);
+    }
+
+    #[test]
+    fn deleting_and_resyncing_removes_the_record() {
+        let (mut p, mut t, img) = setup();
+        let victim = t.iter().next().unwrap().wid;
+        t.delete(victim).unwrap();
+        img.sync(&t, &mut p).unwrap();
+        assert_eq!(img.hardware_walk(&p, victim).unwrap(), None);
+        // Remaining worlds still resolve.
+        for entry in t.iter() {
+            assert!(img.hardware_walk(&p, entry.wid).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn corrupt_ring_field_detected() {
+        let (mut p, _, img) = setup();
+        // Smash record 0's ring byte with an invalid level.
+        let addr = img.base() + RING_OFF;
+        p.phys_mut().write(addr, &[7]).unwrap();
+        assert!(matches!(
+            img.hardware_walk(&p, Wid::from_raw(1)),
+            Err(ImageError::CorruptRecord { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut p = Platform::new_default();
+        let mut t = WorldTable::new();
+        // A 1-record region.
+        let img = WorldTableImage {
+            base: p.phys_mut().alloc_frames(1),
+            capacity: 1,
+        };
+        t.create(WorldDescriptor::host_user(0x1000, 0)).unwrap();
+        img.sync(&t, &mut p).unwrap();
+        t.create(WorldDescriptor::host_user(0x2000, 0)).unwrap();
+        assert!(matches!(
+            img.sync(&t, &mut p),
+            Err(ImageError::CapacityExceeded { worlds: 2, capacity: 1 })
+        ));
+    }
+}

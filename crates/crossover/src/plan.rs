@@ -1,0 +1,695 @@
+//! The hop planner behind Table 3 (world-call classification) and the
+//! path analysis behind Table 1 / Figure 2.
+//!
+//! A *hop* is one hardware-supported control transition. The planner does
+//! a breadth-first search over the graph of worlds whose edges are the
+//! transitions each [`Mechanism`] provides, so the hop counts in the
+//! reproduced Table 3 are computed, not transcribed.
+//!
+//! ## Edge models
+//!
+//! * [`Mechanism::HardwareDirect`] — only the four single-instruction
+//!   transitions of Figure 1: `syscall`/`sysret` within a domain and
+//!   `vmcall`/`vmexit`+`vmentry` between a guest and the hypervisor.
+//!   Pairs without a direct instruction are unreachable (the paper leaves
+//!   those cells blank).
+//! * [`Mechanism::Existing`] — what deployed software stacks compose:
+//!   `syscall`/`sysret` within a domain, `vmcall` from the guest *kernel*
+//!   (commodity guests do not let applications vmcall directly — they trap
+//!   into their own kernel first), `vmentry` resuming a guest *kernel*.
+//!   One semantic rule from the studied systems applies: a call whose
+//!   target is another VM's **kernel syscall service** must arrive via
+//!   that VM's user world (the dummy/stub-process pattern of
+//!   ShadowContext, Proxos and MiniBox), because syscalls execute on
+//!   behalf of a user context. This reproduces Table 3's
+//!   `U_VM1 → K_VM2 = 4`.
+//! * [`Mechanism::Vmfunc`] — adds the EPTP-switch edges of §4:
+//!   `U_VMi → U_VMj` and `K_VMi → K_VMj` in one hop (same ring, same CR3
+//!   trick). Host transitions are unchanged.
+//! * [`Mechanism::CrossOver`] — `world_call` connects any two registered
+//!   worlds directly: always one hop.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use machine::mode::{CpuMode, Operation, Ring};
+
+/// The protection domain a world lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// The host (VMX root) side.
+    Host,
+    /// Guest VM number `n`.
+    Vm(u16),
+    /// A nested (L2) VM: VM `l2` running under the guest hypervisor in
+    /// L1 VM `l1` — the "cloud on cloud" setting of Xen-Blanket and
+    /// CloudVisor that motivates §1. Every L2 trap is first taken by the
+    /// L0 hypervisor and reflected to the L1 guest hypervisor (the
+    /// Turtles model), which is exactly why nested cross-world calls are
+    /// so expensive without CrossOver.
+    Nested {
+        /// The L1 VM hosting the guest hypervisor.
+        l1: u16,
+        /// The L2 VM's number within that guest hypervisor.
+        l2: u16,
+    },
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Host => write!(f, "host"),
+            Domain::Vm(n) => write!(f, "VM{n}"),
+            Domain::Nested { l1, l2 } => write!(f, "VM{l1}.{l2}"),
+        }
+    }
+}
+
+/// A world coordinate for planning purposes: domain + user/kernel +
+/// address-space instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorldCoord {
+    /// Which protection domain.
+    pub domain: Domain,
+    /// User or kernel side of that domain.
+    pub ring: Ring,
+    /// Address-space instance within the domain's user side: two host
+    /// processes are distinct worlds even though they share a privilege
+    /// mode (the `U_host <-> U_host` row of Table 3). Kernels are
+    /// instance 0.
+    pub instance: u16,
+}
+
+impl WorldCoord {
+    /// Guest user world of VM `n` (`U_VMn`).
+    pub fn guest_user(n: u16) -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Vm(n),
+            ring: Ring::Ring3,
+            instance: 0,
+        }
+    }
+
+    /// Guest kernel world of VM `n` (`K_VMn`).
+    pub fn guest_kernel(n: u16) -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Vm(n),
+            ring: Ring::Ring0,
+            instance: 0,
+        }
+    }
+
+    /// Host user world (`U_host`), process instance 0.
+    pub fn host_user() -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Host,
+            ring: Ring::Ring3,
+            instance: 0,
+        }
+    }
+
+    /// A distinct host user process (`U_host` instance `n`).
+    pub fn host_user_instance(n: u16) -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Host,
+            ring: Ring::Ring3,
+            instance: n,
+        }
+    }
+
+    /// Host kernel world (`K_host`, the hypervisor).
+    pub fn host_kernel() -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Host,
+            ring: Ring::Ring0,
+            instance: 0,
+        }
+    }
+
+    /// User world of nested VM `l2` under L1 VM `l1`.
+    pub fn nested_user(l1: u16, l2: u16) -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Nested { l1, l2 },
+            ring: Ring::Ring3,
+            instance: 0,
+        }
+    }
+
+    /// Kernel world of nested VM `l2` under L1 VM `l1`.
+    pub fn nested_kernel(l1: u16, l2: u16) -> WorldCoord {
+        WorldCoord {
+            domain: Domain::Nested { l1, l2 },
+            ring: Ring::Ring0,
+            instance: 0,
+        }
+    }
+
+    /// The privilege mode of this coordinate.
+    pub fn mode(&self) -> CpuMode {
+        let op = match self.domain {
+            Domain::Host => Operation::Root,
+            Domain::Vm(_) | Domain::Nested { .. } => Operation::NonRoot,
+        };
+        CpuMode::new(op, self.ring)
+    }
+
+    /// Whether moving to `other` switches host/guest operation
+    /// (Table 3's "H/G Swtch" column).
+    pub fn crosses_hg(&self, other: &WorldCoord) -> bool {
+        matches!(self.domain, Domain::Host) != matches!(other.domain, Domain::Host)
+    }
+
+    /// Whether this coordinate is inside a nested (L2) VM.
+    pub fn is_nested(&self) -> bool {
+        matches!(self.domain, Domain::Nested { .. })
+    }
+
+    /// Whether moving to `other` switches ring level ("Ring Swtch").
+    pub fn crosses_ring(&self, other: &WorldCoord) -> bool {
+        self.ring != other.ring
+    }
+
+    /// Whether moving to `other` switches address space ("Space Swtch").
+    /// Distinct domains always imply distinct spaces; within a domain,
+    /// user↔kernel share one space (the kernel is mapped high), while
+    /// distinct user instances are distinct spaces.
+    pub fn crosses_space(&self, other: &WorldCoord) -> bool {
+        self.domain != other.domain
+            || (self.ring.is_user() && other.ring.is_user() && self.instance != other.instance)
+    }
+}
+
+impl fmt::Display for WorldCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = if self.ring.is_user() { "U" } else { "K" };
+        if self.instance == 0 {
+            write!(f, "{}_{}", side, self.domain)
+        } else {
+            write!(f, "{}_{}'{}", side, self.domain, self.instance)
+        }
+    }
+}
+
+/// The transition mechanism available to the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Single-instruction hardware transitions only.
+    HardwareDirect,
+    /// Composition of existing mechanisms as deployed systems do.
+    Existing,
+    /// Existing plus the VMFUNC cross-VM edges of §4.
+    Vmfunc,
+    /// Full CrossOver `world_call`.
+    CrossOver,
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mechanism::HardwareDirect => write!(f, "HW"),
+            Mechanism::Existing => write!(f, "SW"),
+            Mechanism::Vmfunc => write!(f, "VMFUNC"),
+            Mechanism::CrossOver => write!(f, "CrossOver"),
+        }
+    }
+}
+
+/// Computes minimal hop counts between worlds under each mechanism.
+#[derive(Debug, Clone)]
+pub struct HopPlanner {
+    /// Number of guest VMs in the universe the planner searches over.
+    vms: u16,
+    /// Nested (L2) VMs per L1 VM (0 = flat virtualization).
+    nested_per_vm: u16,
+}
+
+impl HopPlanner {
+    /// Creates a planner over `vms` guest VMs plus the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vms` is zero (the paper's universe has at least one VM).
+    pub fn new(vms: u16) -> HopPlanner {
+        assert!(vms > 0, "need at least one VM");
+        HopPlanner {
+            vms,
+            nested_per_vm: 0,
+        }
+    }
+
+    /// Creates a planner whose L1 VMs each host `nested_per_vm` L2 VMs
+    /// behind a guest hypervisor (the Xen-Blanket topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vms` is zero.
+    pub fn with_nested(vms: u16, nested_per_vm: u16) -> HopPlanner {
+        assert!(vms > 0, "need at least one VM");
+        HopPlanner { vms, nested_per_vm }
+    }
+
+    /// All worlds in the universe (two host user processes so that
+    /// cross-process host calls are expressible).
+    pub fn worlds(&self) -> Vec<WorldCoord> {
+        let mut out = vec![
+            WorldCoord::host_user(),
+            WorldCoord::host_user_instance(1),
+            WorldCoord::host_kernel(),
+        ];
+        for n in 1..=self.vms {
+            out.push(WorldCoord::guest_user(n));
+            out.push(WorldCoord::guest_kernel(n));
+            for l2 in 1..=self.nested_per_vm {
+                out.push(WorldCoord::nested_user(n, l2));
+                out.push(WorldCoord::nested_kernel(n, l2));
+            }
+        }
+        out
+    }
+
+    fn neighbors(&self, from: WorldCoord, mech: Mechanism) -> Vec<WorldCoord> {
+        let mut out = Vec::new();
+        match mech {
+            Mechanism::CrossOver => {
+                // world_call: direct edge to every other world.
+                for w in self.worlds() {
+                    if w != from {
+                        out.push(w);
+                    }
+                }
+            }
+            Mechanism::HardwareDirect => {
+                match (from.domain, from.ring) {
+                    // syscall / sysret within one address space.
+                    (d, Ring::Ring3) => out.push(WorldCoord {
+                        domain: d,
+                        ring: Ring::Ring0,
+                        instance: 0,
+                    }),
+                    (d, Ring::Ring0) => out.push(WorldCoord {
+                        domain: d,
+                        ring: Ring::Ring3,
+                        instance: from.instance,
+                    }),
+                    _ => {}
+                }
+                match from.domain {
+                    Domain::Vm(_) | Domain::Nested { .. } => {
+                        // vmcall / vmexit from anywhere in non-root mode
+                        // traps to L0 (VMCALL is legal at any CPL; nested
+                        // exits are taken by L0 first).
+                        out.push(WorldCoord::host_kernel());
+                    }
+                    Domain::Host => {
+                        if from.ring.is_kernel() {
+                            // vmentry resumes the interrupted guest
+                            // context — user or kernel, L1 or L2.
+                            for n in 1..=self.vms {
+                                out.push(WorldCoord::guest_user(n));
+                                out.push(WorldCoord::guest_kernel(n));
+                                for l2 in 1..=self.nested_per_vm {
+                                    out.push(WorldCoord::nested_user(n, l2));
+                                    out.push(WorldCoord::nested_kernel(n, l2));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Mechanism::Existing | Mechanism::Vmfunc => {
+                if from.ring.is_user() {
+                    // syscall into the domain kernel.
+                    out.push(WorldCoord {
+                        domain: from.domain,
+                        ring: Ring::Ring0,
+                        instance: 0,
+                    });
+                } else {
+                    // The kernel can resume (or context-switch to) any
+                    // user process of its domain.
+                    out.push(WorldCoord {
+                        domain: from.domain,
+                        ring: Ring::Ring3,
+                        instance: 0,
+                    });
+                    if matches!(from.domain, Domain::Host) {
+                        out.push(WorldCoord {
+                            domain: from.domain,
+                            ring: Ring::Ring3,
+                            instance: 1,
+                        });
+                    }
+                }
+                match from.domain {
+                    Domain::Vm(n) => {
+                        if from.ring.is_kernel() {
+                            // Commodity stacks: the guest kernel traps to
+                            // the hypervisor; applications first syscall
+                            // into their own kernel.
+                            out.push(WorldCoord::host_kernel());
+                            // A guest *hypervisor* kernel can resume its
+                            // own nested guests (via L0's reflection --
+                            // charged as the entry hop).
+                            for l2 in 1..=self.nested_per_vm {
+                                out.push(WorldCoord::nested_kernel(n, l2));
+                            }
+                        }
+                    }
+                    Domain::Nested { .. } => {
+                        if from.ring.is_kernel() {
+                            // Every L2 exit is taken by L0 (the Turtles
+                            // model); reaching the L1 guest hypervisor
+                            // goes through it.
+                            out.push(WorldCoord::host_kernel());
+                        }
+                    }
+                    Domain::Host => {
+                        if from.ring.is_kernel() {
+                            // vmentry resumes the guest kernel, L1 or L2.
+                            for n in 1..=self.vms {
+                                out.push(WorldCoord::guest_kernel(n));
+                                for l2 in 1..=self.nested_per_vm {
+                                    out.push(WorldCoord::nested_kernel(n, l2));
+                                }
+                            }
+                        }
+                    }
+                }
+                if mech == Mechanism::Vmfunc {
+                    // §4.2: same-ring cross-VM switches in one hop.
+                    if let Domain::Vm(i) = from.domain {
+                        for n in 1..=self.vms {
+                            if n != i {
+                                out.push(WorldCoord {
+                                    domain: Domain::Vm(n),
+                                    ring: from.ring,
+                                    instance: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimal number of hops from `from` to `to` under `mech`, or `None`
+    /// if unreachable (blank cells of Table 3's HW column).
+    pub fn hops(&self, from: WorldCoord, to: WorldCoord, mech: Mechanism) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let raw = self.bfs(from, to, mech)?;
+        // Nested-reflection rule: a call between two *different* L2 VMs
+        // under existing mechanisms pays the L1 guest hypervisor's
+        // reflection round trip (L0 -> L1 -> L0) on top of the direct
+        // BFS path, because L0 cannot schedule another L2 without its
+        // guest hypervisor's decision (the Turtles model).
+        let nested_penalty = if matches!(mech, Mechanism::Existing | Mechanism::Vmfunc)
+            && from.is_nested()
+            && to.is_nested()
+            && from.domain != to.domain
+        {
+            2
+        } else {
+            0
+        };
+        // The syscall-service rule (see module docs): with existing
+        // mechanisms, a user world calling another VM's kernel *syscall
+        // service* routes via that VM's user world.
+        if mech == Mechanism::Existing
+            && from.ring.is_user()
+            && to.ring.is_kernel()
+            && to.crosses_space(&from)
+            && matches!(to.domain, Domain::Vm(_) | Domain::Nested { .. })
+        {
+            // One extra hop: the call detours through the target VM's
+            // user-side dummy/stub process before trapping into its
+            // kernel (U_VM1 → K_VM1 → K_host → [U_VM2] → K_VM2).
+            return Some(raw + 1 + nested_penalty);
+        }
+        Some(raw + nested_penalty)
+    }
+
+    fn bfs(&self, from: WorldCoord, to: WorldCoord, mech: Mechanism) -> Option<u32> {
+        let mut queue = VecDeque::new();
+        let mut visited = std::collections::HashSet::new();
+        queue.push_back((from, 0u32));
+        visited.insert(from);
+        while let Some((cur, dist)) = queue.pop_front() {
+            if cur == to {
+                return Some(dist);
+            }
+            for next in self.neighbors(cur, mech) {
+                if visited.insert(next) {
+                    queue.push_back((next, dist + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// The ten world-call types of Table 3, in the paper's row order.
+    pub fn table3_pairs() -> [(WorldCoord, WorldCoord); 10] {
+        [
+            (WorldCoord::guest_user(1), WorldCoord::host_kernel()),
+            (WorldCoord::guest_kernel(1), WorldCoord::host_kernel()),
+            (WorldCoord::guest_user(1), WorldCoord::guest_kernel(1)),
+            (WorldCoord::host_user(), WorldCoord::host_kernel()),
+            (WorldCoord::guest_user(1), WorldCoord::host_user()),
+            (WorldCoord::guest_kernel(1), WorldCoord::host_user()),
+            (WorldCoord::host_user(), WorldCoord::host_user_instance(1)),
+            (WorldCoord::guest_kernel(1), WorldCoord::guest_kernel(2)),
+            (WorldCoord::guest_user(1), WorldCoord::guest_user(2)),
+            (WorldCoord::guest_user(1), WorldCoord::guest_kernel(2)),
+        ]
+    }
+}
+
+impl Default for HopPlanner {
+    /// A two-VM universe, matching the paper's evaluation setup.
+    fn default() -> HopPlanner {
+        HopPlanner::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> HopPlanner {
+        HopPlanner::new(2)
+    }
+
+    #[test]
+    fn crossover_is_always_one_hop() {
+        let p = planner();
+        for (from, to) in HopPlanner::table3_pairs() {
+            if from == to {
+                continue;
+            }
+            assert_eq!(
+                p.hops(from, to, Mechanism::CrossOver),
+                Some(1),
+                "{from} -> {to}"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_direct_matches_figure1() {
+        let p = planner();
+        // The four direct transitions.
+        let direct = [
+            (WorldCoord::guest_user(1), WorldCoord::host_kernel()),
+            (WorldCoord::guest_kernel(1), WorldCoord::host_kernel()),
+            (WorldCoord::guest_user(1), WorldCoord::guest_kernel(1)),
+            (WorldCoord::host_user(), WorldCoord::host_kernel()),
+        ];
+        for (from, to) in direct {
+            assert_eq!(
+                p.hops(from, to, Mechanism::HardwareDirect),
+                Some(1),
+                "{from} -> {to}"
+            );
+        }
+    }
+
+    #[test]
+    fn existing_mechanism_matches_table3_sw_column() {
+        let p = planner();
+        // Rows 5-10 of Table 3 (the indirect ones), paper's SW hop counts.
+        let expected = [
+            (WorldCoord::guest_user(1), WorldCoord::host_user(), 3),
+            (WorldCoord::guest_kernel(1), WorldCoord::host_user(), 2),
+            (
+                WorldCoord::guest_kernel(1),
+                WorldCoord::guest_kernel(2),
+                2,
+            ),
+            (WorldCoord::guest_user(1), WorldCoord::guest_user(2), 4),
+            (WorldCoord::guest_user(1), WorldCoord::guest_kernel(2), 4),
+        ];
+        for (from, to, hops) in expected {
+            assert_eq!(
+                p.hops(from, to, Mechanism::Existing),
+                Some(hops),
+                "{from} -> {to}"
+            );
+        }
+    }
+
+    #[test]
+    fn vmfunc_matches_table3_vmfunc_column() {
+        let p = planner();
+        assert_eq!(
+            p.hops(
+                WorldCoord::guest_kernel(1),
+                WorldCoord::guest_kernel(2),
+                Mechanism::Vmfunc
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            p.hops(
+                WorldCoord::guest_user(1),
+                WorldCoord::guest_user(2),
+                Mechanism::Vmfunc
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            p.hops(
+                WorldCoord::guest_user(1),
+                WorldCoord::guest_kernel(2),
+                Mechanism::Vmfunc
+            ),
+            Some(2),
+            "one ring switch + one EPT switch (§4.2)"
+        );
+    }
+
+    #[test]
+    fn vmfunc_does_not_help_host_transitions() {
+        let p = planner();
+        for mech in [Mechanism::Existing, Mechanism::Vmfunc] {
+            assert_eq!(
+                p.hops(WorldCoord::guest_user(1), WorldCoord::host_user(), mech),
+                Some(3),
+                "VMFUNC cannot cross H/G mode"
+            );
+        }
+    }
+
+    #[test]
+    fn same_world_is_zero_hops() {
+        let p = planner();
+        let w = WorldCoord::guest_user(1);
+        for mech in [
+            Mechanism::HardwareDirect,
+            Mechanism::Existing,
+            Mechanism::Vmfunc,
+            Mechanism::CrossOver,
+        ] {
+            assert_eq!(p.hops(w, w, mech), Some(0));
+        }
+    }
+
+    #[test]
+    fn switch_classification_matches_table3() {
+        // Row 1: U_VM1 <-> K_host crosses everything.
+        let u1 = WorldCoord::guest_user(1);
+        let khost = WorldCoord::host_kernel();
+        assert!(u1.crosses_hg(&khost));
+        assert!(u1.crosses_ring(&khost));
+        assert!(u1.crosses_space(&khost));
+        // Row 3: U_VM1 <-> K_VM1 crosses ring only.
+        let k1 = WorldCoord::guest_kernel(1);
+        assert!(!u1.crosses_hg(&k1));
+        assert!(u1.crosses_ring(&k1));
+        assert!(!u1.crosses_space(&k1));
+        // Row 9: U_VM1 <-> U_VM2 crosses space only.
+        let u2 = WorldCoord::guest_user(2);
+        assert!(!u1.crosses_hg(&u2));
+        assert!(!u1.crosses_ring(&u2));
+        assert!(u1.crosses_space(&u2));
+    }
+
+    #[test]
+    fn universe_size_scales() {
+        let p = HopPlanner::new(4);
+        assert_eq!(p.worlds().len(), 3 + 8);
+        // Cross-VM hops are the same regardless of which pair.
+        assert_eq!(
+            p.hops(
+                WorldCoord::guest_user(3),
+                WorldCoord::guest_user(4),
+                Mechanism::Vmfunc
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM")]
+    fn zero_vms_panics() {
+        HopPlanner::new(0);
+    }
+
+    #[test]
+    fn display_notation_matches_paper() {
+        assert_eq!(WorldCoord::guest_user(1).to_string(), "U_VM1");
+        assert_eq!(WorldCoord::guest_kernel(2).to_string(), "K_VM2");
+        assert_eq!(WorldCoord::host_user().to_string(), "U_host");
+        assert_eq!(WorldCoord::host_kernel().to_string(), "K_host");
+    }
+
+    #[test]
+    fn nested_worlds_enumerate() {
+        let p = HopPlanner::with_nested(2, 2);
+        // 3 host-side + 2*(2 + 2*2) guest-side.
+        assert_eq!(p.worlds().len(), 3 + 2 * (2 + 4));
+        assert_eq!(WorldCoord::nested_user(1, 2).to_string(), "U_VM1.2");
+    }
+
+    #[test]
+    fn nested_cross_vm_calls_are_brutally_indirect_without_crossover() {
+        // Two L2 VMs under the same guest hypervisor (Xen-Blanket's
+        // setting): an L2-user to L2-user call pays for the double
+        // hypervisor stack, while CrossOver still connects them in one.
+        let p = HopPlanner::with_nested(1, 2);
+        let from = WorldCoord::nested_user(1, 1);
+        let to = WorldCoord::nested_user(1, 2);
+        let sw = p.hops(from, to, Mechanism::Existing).expect("reachable");
+        assert!(sw >= 5, "expected >= 5 hops, got {sw}");
+        assert_eq!(p.hops(from, to, Mechanism::CrossOver), Some(1));
+    }
+
+    #[test]
+    fn l2_exits_reach_both_l0_and_the_guest_hypervisor() {
+        let p = HopPlanner::with_nested(1, 1);
+        let k2 = WorldCoord::nested_kernel(1, 1);
+        assert_eq!(
+            p.hops(k2, WorldCoord::host_kernel(), Mechanism::Existing),
+            Some(1),
+            "L0 takes every L2 exit"
+        );
+        assert_eq!(
+            p.hops(k2, WorldCoord::guest_kernel(1), Mechanism::Existing),
+            Some(2),
+            "reflected to the L1 guest hypervisor via L0"
+        );
+    }
+
+    #[test]
+    fn flat_planner_is_unchanged_by_nested_support() {
+        let flat = HopPlanner::new(2);
+        let nested = HopPlanner::with_nested(2, 0);
+        for (from, to) in HopPlanner::table3_pairs() {
+            for mech in [Mechanism::Existing, Mechanism::Vmfunc, Mechanism::CrossOver] {
+                assert_eq!(flat.hops(from, to, mech), nested.hops(from, to, mech));
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The Current-World-ID prefetch register (§5.1 alternative design).
+//!
+//! "An alternative design that may further improve performance is to add
+//! a hardware controlled register called Current World ID that stores the
+//! world ID of the current context, reloaded by the CPU automatically
+//! after context switches... This design, however, may be not feasible
+//! when only a few worlds create their world entries. In that case,
+//! prefetching a non-existed world at every context switch will cause
+//! cache miss and useless world table walk."
+//!
+//! This module implements that register so the trade-off can be measured
+//! instead of argued: on every context switch the register speculatively
+//! resolves the new context against the world table (off the critical
+//! path, but the table walk still costs work); on a `world_call` the
+//! caller's WID is already at hand if the speculation hit.
+
+use hypervisor::platform::Platform;
+use machine::trace::TransitionKind;
+
+use crate::table::WorldTable;
+use crate::world::{Wid, WorldContext};
+
+/// Statistics for the prefetch register.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Context switches where the speculative walk found a world.
+    pub useful_walks: u64,
+    /// Context switches where the walk found nothing (wasted work).
+    pub useless_walks: u64,
+    /// world_calls that used the prefetched WID (skipping the IWT path).
+    pub register_hits: u64,
+    /// world_calls where the register was stale or empty.
+    pub register_misses: u64,
+}
+
+/// The hardware Current-World-ID register.
+///
+/// # Example
+///
+/// ```
+/// use xover_crossover::prefetch::CurrentWidRegister;
+/// let reg = CurrentWidRegister::new();
+/// assert!(reg.current().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CurrentWidRegister {
+    current: Option<(WorldContext, Wid)>,
+    stats: PrefetchStats,
+}
+
+/// Cycles of the speculative world-table walk performed off the critical
+/// path at each context switch. Cheaper than the fault path (no trap) but
+/// not free — it competes for the table-walker.
+pub const SPECULATIVE_WALK_CYCLES: u64 = 180;
+/// Instructions of the microcoded walk.
+pub const SPECULATIVE_WALK_INSTRUCTIONS: u64 = 0;
+
+impl CurrentWidRegister {
+    /// Creates an empty register.
+    pub fn new() -> CurrentWidRegister {
+        CurrentWidRegister::default()
+    }
+
+    /// The currently latched (context, WID), if any.
+    pub fn current(&self) -> Option<(WorldContext, Wid)> {
+        self.current
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    /// Hardware hook: the CPU changed context (CR3 write / VMEntry /
+    /// world switch). Speculatively resolves the new context.
+    pub fn on_context_switch(&mut self, platform: &mut Platform, table: &WorldTable) {
+        platform.cpu_mut().charge_work(
+            SPECULATIVE_WALK_CYCLES,
+            SPECULATIVE_WALK_INSTRUCTIONS,
+            "speculative world-table walk",
+        );
+        let ctx = WorldContext::capture(platform);
+        match table.lookup_context(&ctx) {
+            Some(wid) => {
+                self.stats.useful_walks += 1;
+                self.current = Some((ctx, wid));
+            }
+            None => {
+                self.stats.useless_walks += 1;
+                self.current = None;
+            }
+        }
+    }
+
+    /// Hardware hook: a `world_call` needs the caller's WID. Returns it
+    /// instantly when the register is valid for the current context;
+    /// otherwise the caller must take the normal IWT path (and pay the
+    /// miss fault if that also misses).
+    pub fn caller_wid(&mut self, platform: &Platform) -> Option<Wid> {
+        let ctx = WorldContext::capture(platform);
+        match self.current {
+            Some((latched, wid)) if latched == ctx => {
+                self.stats.register_hits += 1;
+                Some(wid)
+            }
+            _ => {
+                self.stats.register_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Total cycles spent on speculative walks so far (for reports).
+    pub fn walk_cycles_spent(&self) -> u64 {
+        (self.stats.useful_walks + self.stats.useless_walks) * SPECULATIVE_WALK_CYCLES
+    }
+}
+
+/// Simulates a run of `context_switches` switches across `worlds_mapped`
+/// of `processes` total address spaces, returning (prefetch cycles spent,
+/// IWT-fault cycles that on-demand filling would have spent). This is the
+/// quantitative form of §5.1's feasibility argument.
+pub fn prefetch_tradeoff(
+    platform: &mut Platform,
+    table: &WorldTable,
+    registered_cr3s: &[u64],
+    unregistered_cr3s: &[u64],
+    context_switches: u64,
+) -> (u64, u64) {
+    let mut reg = CurrentWidRegister::new();
+    let all: Vec<u64> = registered_cr3s
+        .iter()
+        .chain(unregistered_cr3s.iter())
+        .copied()
+        .collect();
+    for i in 0..context_switches {
+        let cr3 = all[(i as usize) % all.len()];
+        platform.cpu_mut().force_cr3(cr3);
+        reg.on_context_switch(platform, table);
+    }
+    let prefetch_cost = reg.walk_cycles_spent();
+    // On-demand: each *registered* world faults once, ever.
+    let miss_fault = platform
+        .cpu()
+        .cost_model()
+        .price(TransitionKind::WtcMissFault)
+        .cycles;
+    let fill = platform
+        .cpu()
+        .cost_model()
+        .price(TransitionKind::WtcFill)
+        .cycles;
+    let on_demand_cost = registered_cr3s.len() as u64 * (miss_fault + fill);
+    (prefetch_cost, on_demand_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldDescriptor;
+    use hypervisor::vm::VmConfig;
+
+    fn setup(registered: &[u64]) -> (Platform, WorldTable) {
+        let mut p = Platform::new_default();
+        let vm = p.create_vm(VmConfig::named("t")).unwrap();
+        let mut table = WorldTable::with_quota(64);
+        for &cr3 in registered {
+            table
+                .create(WorldDescriptor::guest_user(&p, vm, cr3, 0).unwrap())
+                .unwrap();
+        }
+        p.vmentry(vm).unwrap();
+        (p, table)
+    }
+
+    #[test]
+    fn register_latches_registered_contexts() {
+        let (mut p, table) = setup(&[0x1000]);
+        let mut reg = CurrentWidRegister::new();
+        p.cpu_mut().force_cr3(0x1000);
+        reg.on_context_switch(&mut p, &table);
+        assert!(reg.current().is_some());
+        assert!(reg.caller_wid(&p).is_some());
+        assert_eq!(reg.stats().register_hits, 1);
+    }
+
+    #[test]
+    fn unregistered_contexts_waste_the_walk() {
+        let (mut p, table) = setup(&[0x1000]);
+        let mut reg = CurrentWidRegister::new();
+        p.cpu_mut().force_cr3(0x999_9000);
+        reg.on_context_switch(&mut p, &table);
+        assert!(reg.current().is_none());
+        assert_eq!(reg.stats().useless_walks, 1);
+        assert!(reg.caller_wid(&p).is_none());
+    }
+
+    #[test]
+    fn stale_register_misses_after_unseen_switch() {
+        let (mut p, table) = setup(&[0x1000, 0x2000]);
+        let mut reg = CurrentWidRegister::new();
+        p.cpu_mut().force_cr3(0x1000);
+        reg.on_context_switch(&mut p, &table);
+        // Context changes without the hardware hook firing (e.g. a raw
+        // CR3 write the prefetcher missed): the register must not serve
+        // the stale WID.
+        p.cpu_mut().force_cr3(0x2000);
+        assert!(reg.caller_wid(&p).is_none());
+        assert_eq!(reg.stats().register_misses, 1);
+    }
+
+    #[test]
+    fn tradeoff_favors_on_demand_with_few_worlds() {
+        // §5.1's claim: with only 2 worlds among many processes, prefetch
+        // does mostly useless walks.
+        let (mut p, table) = setup(&[0x1000, 0x2000]);
+        let unregistered: Vec<u64> = (0..30).map(|i| 0x10_0000 + i * 0x1000).collect();
+        let (prefetch, on_demand) =
+            prefetch_tradeoff(&mut p, &table, &[0x1000, 0x2000], &unregistered, 1000);
+        assert!(
+            prefetch > on_demand,
+            "prefetch {prefetch} should exceed on-demand {on_demand} with 2/32 worlds"
+        );
+    }
+
+    #[test]
+    fn tradeoff_favors_prefetch_when_every_process_is_a_world() {
+        let registered: Vec<u64> = (0..32).map(|i| 0x1000 + i * 0x1000).collect();
+        let (mut p, table) = setup(&registered);
+        // Few switches relative to world count: on-demand pays a fault
+        // per world; prefetch walks cheaply and always usefully.
+        let (prefetch, on_demand) =
+            prefetch_tradeoff(&mut p, &table, &registered, &[], 40);
+        assert!(
+            prefetch < on_demand,
+            "prefetch {prefetch} should beat on-demand {on_demand} when all processes are worlds"
+        );
+    }
+}

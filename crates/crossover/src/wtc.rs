@@ -1,0 +1,319 @@
+//! The world-table caches of §5.1.
+//!
+//! Two small hardware caches sit next to the VMFUNC logic (Figure 5b):
+//!
+//! * the **WT Cache**, keyed by WID, used to find the *callee's* context
+//!   during a `world_call`;
+//! * the **IWT Cache** (inverted world table), keyed by the caller's
+//!   hardware context (H/G, Ring, EPTP, PTP), used to identify the
+//!   *caller*.
+//!
+//! Both are **software-managed**, like a software-filled TLB: on a miss
+//! the hardware raises an exception and the hypervisor walks the world
+//! table and fills the entry via `manage_wtc` (VMFUNC leaf 0x2). That
+//! choice keeps the hardware trivial and lets the hypervisor pick fill
+//! and eviction policy (§5.1).
+
+use std::collections::HashMap;
+
+use crate::world::{Wid, WorldContext, WorldEntry};
+
+/// Statistics shared by both caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries installed by `manage_wtc` fill.
+    pub fills: u64,
+    /// Entries removed by invalidation.
+    pub invalidations: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Default capacity of each world-table cache. The paper sizes them as
+/// "two small world table caches"; 32 entries comfortably holds every
+/// world of the evaluated systems.
+pub const DEFAULT_WTC_CAPACITY: usize = 32;
+
+/// The WID-keyed cache used for callee lookup.
+#[derive(Debug, Clone)]
+pub struct WtCache {
+    entries: HashMap<u64, WorldEntry>,
+    order: Vec<u64>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl WtCache {
+    /// Creates an empty cache with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> WtCache {
+        assert!(capacity > 0, "capacity must be positive");
+        WtCache {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hardware lookup by WID.
+    pub fn lookup(&mut self, wid: Wid) -> Option<WorldEntry> {
+        match self.entries.get(&wid.raw()) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `manage_wtc` fill operation.
+    pub fn fill(&mut self, entry: WorldEntry) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&entry.wid.raw()) {
+            if let Some(oldest) = self.order.first().copied() {
+                self.order.remove(0);
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        if self.entries.insert(entry.wid.raw(), entry).is_none() {
+            self.order.push(entry.wid.raw());
+        }
+        self.stats.fills += 1;
+    }
+
+    /// `manage_wtc` invalidate operation (world deleted).
+    pub fn invalidate(&mut self, wid: Wid) {
+        if self.entries.remove(&wid.raw()).is_some() {
+            self.order.retain(|&w| w != wid.raw());
+            self.stats.invalidations += 1;
+        }
+    }
+}
+
+/// The context-keyed inverted cache used for caller identification.
+#[derive(Debug, Clone)]
+pub struct IwtCache {
+    entries: HashMap<WorldContext, Wid>,
+    order: Vec<WorldContext>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl IwtCache {
+    /// Creates an empty cache with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> IwtCache {
+        assert!(capacity > 0, "capacity must be positive");
+        IwtCache {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hardware lookup by caller context.
+    pub fn lookup(&mut self, context: &WorldContext) -> Option<Wid> {
+        match self.entries.get(context) {
+            Some(w) => {
+                self.stats.hits += 1;
+                Some(*w)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `manage_wtc` fill operation.
+    pub fn fill(&mut self, context: WorldContext, wid: Wid) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&context) {
+            if let Some(oldest) = self.order.first().copied() {
+                self.order.remove(0);
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        if self.entries.insert(context, wid).is_none() {
+            self.order.push(context);
+        }
+        self.stats.fills += 1;
+    }
+
+    /// `manage_wtc` invalidate operation.
+    pub fn invalidate_wid(&mut self, wid: Wid) {
+        let keys: Vec<WorldContext> = self
+            .entries
+            .iter()
+            .filter(|(_, w)| **w == wid)
+            .map(|(c, _)| *c)
+            .collect();
+        for k in keys {
+            self.entries.remove(&k);
+            self.order.retain(|c| c != &k);
+            self.stats.invalidations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::mode::{Operation, Ring};
+
+    fn ctx(ptp: u64) -> WorldContext {
+        WorldContext {
+            operation: Operation::NonRoot,
+            ring: Ring::Ring0,
+            eptp: 1,
+            ptp,
+        }
+    }
+
+    fn entry(wid: u64, ptp: u64) -> WorldEntry {
+        WorldEntry {
+            present: true,
+            wid: Wid::from_raw(wid),
+            context: ctx(ptp),
+            entry_point: 0xE000,
+        }
+    }
+
+    #[test]
+    fn wt_hit_miss_fill() {
+        let mut c = WtCache::new(4);
+        assert!(c.lookup(Wid::from_raw(1)).is_none());
+        c.fill(entry(1, 0x1000));
+        assert!(c.lookup(Wid::from_raw(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wt_capacity_evicts_fifo() {
+        let mut c = WtCache::new(2);
+        c.fill(entry(1, 0x1000));
+        c.fill(entry(2, 0x2000));
+        c.fill(entry(3, 0x3000));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(Wid::from_raw(1)).is_none());
+        assert!(c.lookup(Wid::from_raw(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn wt_invalidate_removes() {
+        let mut c = WtCache::new(4);
+        c.fill(entry(1, 0x1000));
+        c.invalidate(Wid::from_raw(1));
+        assert!(c.lookup(Wid::from_raw(1)).is_none());
+        assert_eq!(c.stats().invalidations, 1);
+        // Invalidating a missing entry is a no-op.
+        c.invalidate(Wid::from_raw(9));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn iwt_lookup_by_context() {
+        let mut c = IwtCache::new(4);
+        assert!(c.lookup(&ctx(0x1000)).is_none());
+        c.fill(ctx(0x1000), Wid::from_raw(7));
+        assert_eq!(c.lookup(&ctx(0x1000)), Some(Wid::from_raw(7)));
+        // A context differing only in PTP misses.
+        assert!(c.lookup(&ctx(0x2000)).is_none());
+    }
+
+    #[test]
+    fn iwt_invalidate_by_wid() {
+        let mut c = IwtCache::new(4);
+        c.fill(ctx(0x1000), Wid::from_raw(7));
+        c.fill(ctx(0x2000), Wid::from_raw(8));
+        c.invalidate_wid(Wid::from_raw(7));
+        assert!(c.lookup(&ctx(0x1000)).is_none());
+        assert_eq!(c.lookup(&ctx(0x2000)), Some(Wid::from_raw(8)));
+    }
+
+    #[test]
+    fn iwt_capacity_evicts() {
+        let mut c = IwtCache::new(2);
+        c.fill(ctx(0x1000), Wid::from_raw(1));
+        c.fill(ctx(0x2000), Wid::from_raw(2));
+        c.fill(ctx(0x3000), Wid::from_raw(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&ctx(0x1000)).is_none());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn refill_same_key_does_not_grow() {
+        let mut c = WtCache::new(2);
+        c.fill(entry(1, 0x1000));
+        c.fill(entry(1, 0x1000));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().fills, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_wt_panics() {
+        WtCache::new(0);
+    }
+}

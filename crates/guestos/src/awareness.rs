@@ -1,0 +1,199 @@
+//! Guest-OS awareness of world switches (§5.3 software support).
+//!
+//! CrossOver switches worlds *under* the guest OS: "after the call, the
+//! OS still thinks that the current running process is process-a. Thus,
+//! if there comes a timer interrupt that further triggers a context
+//! switch, the OS will save process-b's context to the data structure of
+//! process-a." §5.3 fixes this by making the scheduler reload the process
+//! state before a context switch (as the authors did in xv6), and handles
+//! the single-core lock optimizations "by preventing more than one vcpu
+//! with the same ID from executing the same piece of code."
+//!
+//! This module models both the hazard and the fix:
+//!
+//! * [`TimerOutcome`] — what a timer interrupt observes: a consistent
+//!   kernel, or a world/OS mismatch that an *unaware* kernel would turn
+//!   into state corruption and an *aware* kernel repairs.
+//! * [`ReentryGuard`] — the critical-section guard that refuses a second
+//!   world executing the same single-core-optimized code path.
+
+use std::fmt;
+
+/// What a timer interrupt found when it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerOutcome {
+    /// The running address space matches the OS's current process.
+    Consistent,
+    /// Mismatch detected and repaired: the scheduler reloaded the actual
+    /// running process's identity before saving any context (§5.3 fix).
+    Repaired {
+        /// CR3 the CPU was actually running.
+        actual_cr3: u64,
+    },
+}
+
+/// The unrecoverable condition an *unaware* kernel reaches: it saved the
+/// wrong world's context into a process structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateCorruption {
+    /// CR3 the OS believed was running.
+    pub expected_cr3: u64,
+    /// CR3 that was actually running.
+    pub actual_cr3: u64,
+}
+
+impl fmt::Display for StateCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel saved context of cr3 {:#x} into the process owning cr3 {:#x}",
+            self.actual_cr3, self.expected_cr3
+        )
+    }
+}
+
+impl std::error::Error for StateCorruption {}
+
+/// Error for the single-core lock hazard: a second world entered a
+/// critical section that single-vCPU optimizations assume is unshared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReentryViolation {
+    /// Identifier of the world already inside.
+    pub holder: u64,
+    /// Identifier of the world that tried to enter.
+    pub intruder: u64,
+}
+
+impl fmt::Display for ReentryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "world {:#x} entered a single-core critical section held by world {:#x}",
+            self.intruder, self.holder
+        )
+    }
+}
+
+impl std::error::Error for ReentryViolation {}
+
+/// The §5.3 re-entry guard: "preventing more than one vcpu with the same
+/// ID from executing the same piece of code."
+///
+/// # Example
+///
+/// ```
+/// use xover_guestos::awareness::ReentryGuard;
+///
+/// let mut guard = ReentryGuard::new();
+/// guard.enter(0xA).unwrap();
+/// assert!(guard.enter(0xB).is_err(), "second world refused");
+/// guard.exit(0xA).unwrap();
+/// assert!(guard.enter(0xB).is_ok());
+/// # guard.exit(0xB).unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReentryGuard {
+    holder: Option<u64>,
+    refusals: u64,
+}
+
+impl ReentryGuard {
+    /// Creates an unheld guard.
+    pub fn new() -> ReentryGuard {
+        ReentryGuard::default()
+    }
+
+    /// The world currently inside, if any.
+    pub fn holder(&self) -> Option<u64> {
+        self.holder
+    }
+
+    /// How many entries were refused so far.
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+
+    /// Enters the critical section as `world`. Re-entry by the *same*
+    /// world is permitted (it is one logical vCPU).
+    ///
+    /// # Errors
+    ///
+    /// [`ReentryViolation`] if a different world is inside.
+    pub fn enter(&mut self, world: u64) -> Result<(), ReentryViolation> {
+        match self.holder {
+            None => {
+                self.holder = Some(world);
+                Ok(())
+            }
+            Some(h) if h == world => Ok(()),
+            Some(h) => {
+                self.refusals += 1;
+                Err(ReentryViolation {
+                    holder: h,
+                    intruder: world,
+                })
+            }
+        }
+    }
+
+    /// Leaves the critical section.
+    ///
+    /// # Errors
+    ///
+    /// [`ReentryViolation`] if `world` is not the holder (an exit from a
+    /// section it never entered — also a §5.3-class bug).
+    pub fn exit(&mut self, world: u64) -> Result<(), ReentryViolation> {
+        match self.holder {
+            Some(h) if h == world => {
+                self.holder = None;
+                Ok(())
+            }
+            other => Err(ReentryViolation {
+                holder: other.unwrap_or(0),
+                intruder: world,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_allows_single_holder_and_reentry_by_same_world() {
+        let mut g = ReentryGuard::new();
+        g.enter(1).unwrap();
+        g.enter(1).unwrap();
+        assert_eq!(g.holder(), Some(1));
+    }
+
+    #[test]
+    fn guard_refuses_second_world() {
+        let mut g = ReentryGuard::new();
+        g.enter(1).unwrap();
+        let err = g.enter(2).unwrap_err();
+        assert_eq!(err, ReentryViolation { holder: 1, intruder: 2 });
+        assert_eq!(g.refusals(), 1);
+    }
+
+    #[test]
+    fn exit_by_non_holder_is_a_violation() {
+        let mut g = ReentryGuard::new();
+        g.enter(1).unwrap();
+        assert!(g.exit(2).is_err());
+        assert!(g.exit(1).is_ok());
+        assert!(g.exit(1).is_err(), "double exit");
+    }
+
+    #[test]
+    fn corruption_display_names_both_worlds() {
+        let c = StateCorruption {
+            expected_cr3: 0x1000,
+            actual_cr3: 0x2000,
+        };
+        let s = c.to_string();
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("0x2000"));
+    }
+}

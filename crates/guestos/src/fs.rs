@@ -1,0 +1,295 @@
+//! An in-RAM filesystem.
+//!
+//! Flat namespace (paths are opaque strings), inode-backed, with the
+//! metadata `stat`/`fstat` report. Enough filesystem for lmbench's file
+//! micro-ops and the utility-tool traces, with real side effects so tests
+//! can verify that redirected syscalls execute in the *other* VM's FS.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(pub u64);
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// Metadata returned by `stat`/`fstat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: Ino,
+    /// File size in bytes.
+    pub size: u64,
+    /// Unix-style mode bits.
+    pub mode: u32,
+    /// Link count.
+    pub nlink: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Inode {
+    data: Vec<u8>,
+    mode: u32,
+    nlink: u32,
+}
+
+/// Errors from filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound {
+        /// The path looked up.
+        path: String,
+    },
+    /// Inode number is stale (file was removed).
+    StaleInode {
+        /// The stale inode.
+        ino: Ino,
+    },
+    /// Path already exists (exclusive create).
+    Exists {
+        /// The conflicting path.
+        path: String,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { path } => write!(f, "no such file: {path}"),
+            FsError::StaleInode { ino } => write!(f, "stale inode: {ino}"),
+            FsError::Exists { path } => write!(f, "file exists: {path}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// The in-RAM filesystem: a flat map of paths to inodes.
+///
+/// # Example
+///
+/// ```
+/// use xover_guestos::fs::RamFs;
+///
+/// let mut fs = RamFs::new();
+/// let ino = fs.create("/etc/passwd", 0o644)?;
+/// fs.write_at(ino, 0, b"root:x:0:0")?;
+/// assert_eq!(fs.stat("/etc/passwd")?.size, 10);
+/// # Ok::<(), xover_guestos::fs::FsError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RamFs {
+    paths: HashMap<String, Ino>,
+    inodes: HashMap<u64, Inode>,
+    next_ino: u64,
+}
+
+impl RamFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> RamFs {
+        RamFs {
+            next_ino: 1,
+            ..RamFs::default()
+        }
+    }
+
+    /// Creates a filesystem pre-populated with the files the benchmark
+    /// workloads expect (`/dev/zero`, `/dev/null`, a few `/etc` files and
+    /// `/proc` entries for the utility traces).
+    pub fn with_standard_files() -> RamFs {
+        let mut fs = RamFs::new();
+        for (path, mode, content) in [
+            ("/dev/zero", 0o666, &[0u8; 64][..]),
+            ("/dev/null", 0o666, &[][..]),
+            ("/etc/passwd", 0o644, b"root:x:0:0:root:/root:/bin/sh\n".as_slice()),
+            ("/etc/group", 0o644, b"root:x:0:\n".as_slice()),
+            ("/proc/uptime", 0o444, b"86400.00 43200.00\n".as_slice()),
+            ("/proc/loadavg", 0o444, b"0.01 0.02 0.00 1/64 1234\n".as_slice()),
+            ("/proc/stat", 0o444, b"cpu 1 2 3 4\n".as_slice()),
+            ("/var/run/utmp", 0o644, b"user tty1\n".as_slice()),
+            ("/tmp/file", 0o644, b"benchmark scratch file\n".as_slice()),
+        ] {
+            let ino = fs.create(path, mode).expect("fresh fs has no conflicts");
+            fs.write_at(ino, 0, content).expect("inode just created");
+        }
+        fs
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if the path is taken.
+    pub fn create(&mut self, path: &str, mode: u32) -> Result<Ino, FsError> {
+        if self.paths.contains_key(path) {
+            return Err(FsError::Exists {
+                path: path.to_string(),
+            });
+        }
+        let ino = Ino(self.next_ino);
+        self.next_ino += 1;
+        self.inodes.insert(
+            ino.0,
+            Inode {
+                data: Vec::new(),
+                mode,
+                nlink: 1,
+            },
+        );
+        self.paths.insert(path.to_string(), ino);
+        Ok(ino)
+    }
+
+    /// Looks up a path.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn lookup(&self, path: &str) -> Result<Ino, FsError> {
+        self.paths.get(path).copied().ok_or_else(|| FsError::NotFound {
+            path: path.to_string(),
+        })
+    }
+
+    /// Removes a path (the inode is freed when its link count drops).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let ino = self.paths.remove(path).ok_or_else(|| FsError::NotFound {
+            path: path.to_string(),
+        })?;
+        if let Some(inode) = self.inodes.get_mut(&ino.0) {
+            inode.nlink -= 1;
+            if inode.nlink == 0 {
+                self.inodes.remove(&ino.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Stats a path.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn stat(&self, path: &str) -> Result<FileStat, FsError> {
+        let ino = self.lookup(path)?;
+        self.fstat(ino)
+    }
+
+    /// Stats an inode.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::StaleInode`] if the inode was removed.
+    pub fn fstat(&self, ino: Ino) -> Result<FileStat, FsError> {
+        let inode = self.inodes.get(&ino.0).ok_or(FsError::StaleInode { ino })?;
+        Ok(FileStat {
+            ino,
+            size: inode.data.len() as u64,
+            mode: inode.mode,
+            nlink: inode.nlink,
+        })
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::StaleInode`] if the inode was removed.
+    pub fn read_at(&self, ino: Ino, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let inode = self.inodes.get(&ino.0).ok_or(FsError::StaleInode { ino })?;
+        let start = (offset as usize).min(inode.data.len());
+        let end = (start + len).min(inode.data.len());
+        Ok(inode.data[start..end].to_vec())
+    }
+
+    /// Writes `data` at `offset`, extending the file as needed. Returns
+    /// bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::StaleInode`] if the inode was removed.
+    pub fn write_at(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<usize, FsError> {
+        let inode = self
+            .inodes
+            .get_mut(&ino.0)
+            .ok_or(FsError::StaleInode { ino })?;
+        let end = offset as usize + data.len();
+        if inode.data.len() < end {
+            inode.data.resize(end, 0);
+        }
+        inode.data[offset as usize..end].copy_from_slice(data);
+        Ok(data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_unlink() {
+        let mut fs = RamFs::new();
+        let ino = fs.create("/a", 0o644).unwrap();
+        assert_eq!(fs.lookup("/a").unwrap(), ino);
+        assert!(matches!(fs.create("/a", 0o644), Err(FsError::Exists { .. })));
+        fs.unlink("/a").unwrap();
+        assert!(matches!(fs.lookup("/a"), Err(FsError::NotFound { .. })));
+        assert!(matches!(fs.fstat(ino), Err(FsError::StaleInode { .. })));
+    }
+
+    #[test]
+    fn read_write_round_trip_and_size() {
+        let mut fs = RamFs::new();
+        let ino = fs.create("/f", 0o644).unwrap();
+        assert_eq!(fs.write_at(ino, 0, b"hello").unwrap(), 5);
+        assert_eq!(fs.read_at(ino, 0, 5).unwrap(), b"hello");
+        assert_eq!(fs.read_at(ino, 1, 3).unwrap(), b"ell");
+        // Sparse write extends with zeros.
+        fs.write_at(ino, 8, b"!").unwrap();
+        let stat = fs.fstat(ino).unwrap();
+        assert_eq!(stat.size, 9);
+        assert_eq!(fs.read_at(ino, 5, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let mut fs = RamFs::new();
+        let ino = fs.create("/f", 0o644).unwrap();
+        fs.write_at(ino, 0, b"ab").unwrap();
+        assert_eq!(fs.read_at(ino, 0, 100).unwrap(), b"ab");
+        assert!(fs.read_at(ino, 10, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn standard_files_present() {
+        let fs = RamFs::with_standard_files();
+        assert!(fs.stat("/dev/zero").is_ok());
+        assert!(fs.stat("/etc/passwd").unwrap().size > 0);
+        assert!(fs.file_count() >= 8);
+    }
+
+    #[test]
+    fn stat_reports_mode_and_nlink() {
+        let mut fs = RamFs::new();
+        fs.create("/m", 0o755).unwrap();
+        let s = fs.stat("/m").unwrap();
+        assert_eq!(s.mode, 0o755);
+        assert_eq!(s.nlink, 1);
+        assert_eq!(s.size, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! An xv6-like guest operating system for the CrossOver reproduction.
+//!
+//! The paper's microbenchmarks are system calls (NULL syscall, NULL I/O,
+//! `open`/`close`, `stat`, `pipe`) executed either natively or redirected
+//! to another VM. For those measurements to be emergent rather than
+//! hardcoded, the guests must have a real syscall path: a user→kernel trap,
+//! a dispatcher, a syscall body with side effects on real kernel state, and
+//! a return. This crate provides that OS:
+//!
+//! * [`fs`] — an in-RAM filesystem with inodes, sizes and mode bits.
+//! * [`pipe`] — kernel pipe objects with bounded buffers.
+//! * [`process`] — processes, file-descriptor tables, parent links, and
+//!   per-process page tables rooted at unique CR3 values.
+//! * [`syscall`] — the syscall surface ([`syscall::Syscall`]) and the
+//!   calibrated per-syscall body costs.
+//! * [`kernel`] — the [`kernel::Kernel`]: scheduler, syscall dispatcher
+//!   (with the redirection hooks the case-study systems attach to), and
+//!   process lifecycle.
+//! * [`awareness`] — the §5.3 software support making the OS safe under
+//!   world switches it did not perform itself.
+//! * [`sched`] — the round-robin run queue behind redirected-call
+//!   wakeups.
+//!
+//! One [`kernel::Kernel`] instance exists per VM; all its operations charge
+//! work and transitions against the shared
+//! [`hypervisor::platform::Platform`].
+//!
+//! # Example
+//!
+//! ```
+//! use hypervisor::platform::Platform;
+//! use hypervisor::vm::VmConfig;
+//! use xover_guestos::kernel::Kernel;
+//! use xover_guestos::syscall::{Syscall, SyscallRet};
+//!
+//! let mut p = Platform::new_default();
+//! let vm = p.create_vm(VmConfig::default())?;
+//! let mut kernel = Kernel::new(vm, "guest-a");
+//! let pid = kernel.spawn(&mut p, "init")?;
+//! p.vmentry(vm)?;
+//! kernel.run(pid);
+//! let ret = kernel.syscall(&mut p, Syscall::Getppid)?;
+//! assert!(matches!(ret, SyscallRet::Pid(_)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod awareness;
+pub mod fs;
+pub mod kernel;
+pub mod pipe;
+pub mod sched;
+pub mod process;
+pub mod syscall;
+
+pub use fs::{FileStat, RamFs};
+pub use kernel::Kernel;
+pub use process::{Pid, Process};
+pub use syscall::{Syscall, SyscallError, SyscallRet};

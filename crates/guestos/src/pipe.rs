@@ -1,0 +1,228 @@
+//! Kernel pipe objects.
+//!
+//! lmbench's `pipe` benchmark (Table 4's most expensive row) bounces one
+//! byte between two processes through a pipe, paying two context switches
+//! per round trip. The pipe itself is a bounded ring buffer with reader
+//! and writer reference counts.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default pipe capacity in bytes (Linux uses 64 KiB; the benchmarks move
+/// single bytes, so the value only matters for the backpressure tests).
+pub const PIPE_CAPACITY: usize = 65_536;
+
+/// Errors from pipe operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeError {
+    /// Writing to a pipe with no readers (EPIPE / SIGPIPE territory).
+    BrokenPipe,
+    /// Writing more than the remaining capacity (a real kernel would
+    /// block; the simulation surfaces it so callers model the block).
+    WouldBlock,
+}
+
+impl fmt::Display for PipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipeError::BrokenPipe => write!(f, "broken pipe: no readers"),
+            PipeError::WouldBlock => write!(f, "pipe full: write would block"),
+        }
+    }
+}
+
+impl std::error::Error for PipeError {}
+
+/// A bounded in-kernel pipe.
+///
+/// # Example
+///
+/// ```
+/// use xover_guestos::pipe::Pipe;
+///
+/// let mut pipe = Pipe::new();
+/// pipe.write(b"x")?;
+/// assert_eq!(pipe.read(1), b"x");
+/// assert!(pipe.is_empty());
+/// # Ok::<(), xover_guestos::pipe::PipeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    buf: VecDeque<u8>,
+    capacity: usize,
+    readers: u32,
+    writers: u32,
+}
+
+impl Pipe {
+    /// Creates a pipe with the default capacity and one reader + one
+    /// writer reference (the two fds `pipe(2)` returns).
+    pub fn new() -> Pipe {
+        Pipe::with_capacity(PIPE_CAPACITY)
+    }
+
+    /// Creates a pipe with a specific capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Pipe {
+        assert!(capacity > 0, "pipe capacity must be positive");
+        Pipe {
+            buf: VecDeque::new(),
+            capacity,
+            readers: 1,
+            writers: 1,
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remaining capacity.
+    pub fn space(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// Number of live reader references.
+    pub fn readers(&self) -> u32 {
+        self.readers
+    }
+
+    /// Number of live writer references.
+    pub fn writers(&self) -> u32 {
+        self.writers
+    }
+
+    /// Adds one reader reference (a read fd was duplicated/inherited).
+    pub fn add_reader(&mut self) {
+        self.readers += 1;
+    }
+
+    /// Adds one writer reference (a write fd was duplicated/inherited).
+    pub fn add_writer(&mut self) {
+        self.writers += 1;
+    }
+
+    /// Drops one reader reference (a read fd was closed).
+    pub fn close_reader(&mut self) {
+        self.readers = self.readers.saturating_sub(1);
+    }
+
+    /// Drops one writer reference (a write fd was closed).
+    pub fn close_writer(&mut self) {
+        self.writers = self.writers.saturating_sub(1);
+    }
+
+    /// Whether both ends are fully closed.
+    pub fn is_defunct(&self) -> bool {
+        self.readers == 0 && self.writers == 0
+    }
+
+    /// Writes `data` into the pipe.
+    ///
+    /// # Errors
+    ///
+    /// * [`PipeError::BrokenPipe`] if no readers remain.
+    /// * [`PipeError::WouldBlock`] if `data` exceeds the free space.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize, PipeError> {
+        if self.readers == 0 {
+            return Err(PipeError::BrokenPipe);
+        }
+        if data.len() > self.space() {
+            return Err(PipeError::WouldBlock);
+        }
+        self.buf.extend(data);
+        Ok(data.len())
+    }
+
+    /// Reads up to `len` bytes. Returns fewer (possibly zero — EOF if no
+    /// writers remain) when the buffer has less.
+    pub fn read(&mut self, len: usize) -> Vec<u8> {
+        let n = len.min(self.buf.len());
+        self.buf.drain(..n).collect()
+    }
+
+    /// Whether a read of any size would return data now.
+    pub fn readable(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Whether a reader at EOF: empty and no writers.
+    pub fn at_eof(&self) -> bool {
+        self.buf.is_empty() && self.writers == 0
+    }
+}
+
+impl Default for Pipe {
+    fn default() -> Pipe {
+        Pipe::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_fifo_order() {
+        let mut p = Pipe::new();
+        p.write(b"abc").unwrap();
+        p.write(b"de").unwrap();
+        assert_eq!(p.read(4), b"abcd");
+        assert_eq!(p.read(10), b"e");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut p = Pipe::with_capacity(4);
+        p.write(b"abcd").unwrap();
+        assert_eq!(p.write(b"e"), Err(PipeError::WouldBlock));
+        p.read(2);
+        assert_eq!(p.write(b"ef"), Ok(2));
+    }
+
+    #[test]
+    fn broken_pipe_after_readers_close() {
+        let mut p = Pipe::new();
+        p.close_reader();
+        assert_eq!(p.write(b"x"), Err(PipeError::BrokenPipe));
+    }
+
+    #[test]
+    fn eof_semantics() {
+        let mut p = Pipe::new();
+        p.write(b"x").unwrap();
+        p.close_writer();
+        assert!(!p.at_eof(), "buffered data still readable");
+        assert_eq!(p.read(1), b"x");
+        assert!(p.at_eof());
+        assert!(p.read(1).is_empty());
+    }
+
+    #[test]
+    fn defunct_when_both_ends_closed() {
+        let mut p = Pipe::new();
+        assert!(!p.is_defunct());
+        p.close_reader();
+        p.close_writer();
+        assert!(p.is_defunct());
+        // Double close saturates.
+        p.close_reader();
+        assert_eq!(p.readers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Pipe::with_capacity(0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Processes: descriptor tables, parent links, address spaces.
+
+use std::fmt;
+
+use mmu::pagetable::PageTable;
+
+use crate::fs::Ino;
+
+/// Process identifier, unique within one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// File descriptor index within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd:{}", self.0)
+    }
+}
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdObject {
+    /// An open regular file with a seek offset.
+    File {
+        /// Backing inode.
+        ino: Ino,
+        /// Current seek offset.
+        offset: u64,
+    },
+    /// Read end of a kernel pipe (index into the kernel's pipe table).
+    PipeRead {
+        /// Pipe table index.
+        pipe: usize,
+    },
+    /// Write end of a kernel pipe.
+    PipeWrite {
+        /// Pipe table index.
+        pipe: usize,
+    },
+}
+
+/// Scheduler state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcState {
+    /// Ready to run.
+    #[default]
+    Runnable,
+    /// Waiting for an event (pipe data, redirected-call completion).
+    Blocked,
+    /// Exited; slot awaits reaping.
+    Zombie,
+}
+
+/// A process: name, parent, address space and descriptor table.
+///
+/// The address space is a real [`PageTable`] rooted at a per-process CR3
+/// value. Helper contexts for cross-VM calls are created with a *fixed,
+/// well-known* CR3 so that the paper's §4.3 requirement — "the caller and
+/// callee must have the same value in CR3" — holds across VMs.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: Pid,
+    ppid: Pid,
+    name: String,
+    state: ProcState,
+    page_table: PageTable,
+    fds: Vec<Option<FdObject>>,
+}
+
+impl Process {
+    /// Creates a process. Used by the kernel; library users go through
+    /// [`crate::kernel::Kernel::spawn`].
+    pub(crate) fn new(pid: Pid, ppid: Pid, name: &str, cr3: u64) -> Process {
+        Process {
+            pid,
+            ppid,
+            name: name.to_string(),
+            state: ProcState::Runnable,
+            page_table: PageTable::new(cr3),
+            fds: Vec::new(),
+        }
+    }
+
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Parent pid.
+    pub fn ppid(&self) -> Pid {
+        self.ppid
+    }
+
+    /// Process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Scheduler state.
+    pub fn state(&self) -> ProcState {
+        self.state
+    }
+
+    /// Sets the scheduler state.
+    pub fn set_state(&mut self, state: ProcState) {
+        self.state = state;
+    }
+
+    /// CR3 root of this process's address space.
+    pub fn cr3(&self) -> u64 {
+        self.page_table.cr3()
+    }
+
+    /// The process page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable page table access (the kernel maps pages on behalf of the
+    /// process).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+
+    /// Installs `obj` in the lowest free descriptor slot.
+    pub fn install_fd(&mut self, obj: FdObject) -> Fd {
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(obj);
+                return Fd(i as u32);
+            }
+        }
+        self.fds.push(Some(obj));
+        Fd(self.fds.len() as u32 - 1)
+    }
+
+    /// Looks up a descriptor.
+    pub fn fd(&self, fd: Fd) -> Option<&FdObject> {
+        self.fds.get(fd.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable descriptor lookup.
+    pub fn fd_mut(&mut self, fd: Fd) -> Option<&mut FdObject> {
+        self.fds.get_mut(fd.0 as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Removes a descriptor, returning what it referred to.
+    pub fn remove_fd(&mut self, fd: Fd) -> Option<FdObject> {
+        self.fds.get_mut(fd.0 as usize).and_then(|s| s.take())
+    }
+
+    /// Snapshot of the live descriptor table as (index, object) pairs —
+    /// what `fork` copies into the child.
+    pub fn fds_snapshot(&self) -> Vec<(u32, FdObject)> {
+        self.fds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|obj| (i as u32, obj)))
+            .collect()
+    }
+
+    /// Number of live descriptors.
+    pub fn open_fd_count(&self) -> usize {
+        self.fds.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc() -> Process {
+        Process::new(Pid(2), Pid(1), "test", 0x2000)
+    }
+
+    #[test]
+    fn identity_and_parent() {
+        let p = proc();
+        assert_eq!(p.pid(), Pid(2));
+        assert_eq!(p.ppid(), Pid(1));
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.cr3(), 0x2000);
+    }
+
+    #[test]
+    fn fd_table_reuses_lowest_slot() {
+        let mut p = proc();
+        let a = p.install_fd(FdObject::File {
+            ino: Ino(1),
+            offset: 0,
+        });
+        let b = p.install_fd(FdObject::File {
+            ino: Ino(2),
+            offset: 0,
+        });
+        assert_eq!(a, Fd(0));
+        assert_eq!(b, Fd(1));
+        p.remove_fd(a);
+        let c = p.install_fd(FdObject::PipeRead { pipe: 0 });
+        assert_eq!(c, Fd(0), "lowest free slot is reused, like POSIX");
+        assert_eq!(p.open_fd_count(), 2);
+    }
+
+    #[test]
+    fn fd_lookup_and_mutation() {
+        let mut p = proc();
+        let fd = p.install_fd(FdObject::File {
+            ino: Ino(7),
+            offset: 0,
+        });
+        if let Some(FdObject::File { offset, .. }) = p.fd_mut(fd) {
+            *offset = 42;
+        }
+        assert!(matches!(
+            p.fd(fd),
+            Some(FdObject::File {
+                ino: Ino(7),
+                offset: 42
+            })
+        ));
+        assert!(p.fd(Fd(99)).is_none());
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut p = proc();
+        assert_eq!(p.state(), ProcState::Runnable);
+        p.set_state(ProcState::Blocked);
+        assert_eq!(p.state(), ProcState::Blocked);
+        p.set_state(ProcState::Zombie);
+        assert_eq!(p.state(), ProcState::Zombie);
+    }
+}

@@ -1,0 +1,131 @@
+//! A round-robin run queue for the guest scheduler.
+//!
+//! The baseline systems' latencies hinge on *when the servicing process
+//! runs* (Proxos: "executed when the host process is scheduled"). This
+//! run queue is the mechanism behind those wakeups; the cost of a pass is
+//! charged by [`crate::kernel::Kernel::context_switch`], which callers
+//! combine with queue decisions.
+
+use std::collections::VecDeque;
+
+use crate::process::Pid;
+
+/// A FIFO round-robin run queue.
+///
+/// # Example
+///
+/// ```
+/// use xover_guestos::process::Pid;
+/// use xover_guestos::sched::RunQueue;
+///
+/// let mut rq = RunQueue::new();
+/// rq.enqueue(Pid(1));
+/// rq.enqueue(Pid(2));
+/// assert_eq!(rq.pick_next(), Some(Pid(1)));
+/// // pick_next rotates: the picked task goes to the back.
+/// assert_eq!(rq.pick_next(), Some(Pid(2)));
+/// assert_eq!(rq.pick_next(), Some(Pid(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    queue: VecDeque<Pid>,
+}
+
+impl RunQueue {
+    /// Creates an empty queue.
+    pub fn new() -> RunQueue {
+        RunQueue::default()
+    }
+
+    /// Number of runnable tasks.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Adds a task to the back of the queue (no-op if already queued,
+    /// preserving its position — a wakeup must not jump the line).
+    pub fn enqueue(&mut self, pid: Pid) {
+        if !self.queue.contains(&pid) {
+            self.queue.push_back(pid);
+        }
+    }
+
+    /// Removes a task wherever it is (blocking or exit).
+    pub fn remove(&mut self, pid: Pid) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|&p| p != pid);
+        before != self.queue.len()
+    }
+
+    /// Picks the next task and rotates it to the back (round robin).
+    /// Returns `None` when idle.
+    pub fn pick_next(&mut self) -> Option<Pid> {
+        let pid = self.queue.pop_front()?;
+        self.queue.push_back(pid);
+        Some(pid)
+    }
+
+    /// Whether `pid` is queued.
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.queue.contains(&pid)
+    }
+
+    /// Position of `pid` from the queue head (its wakeup distance in
+    /// quanta — the quantity the [`hypervisor::sched::SchedModel`] load
+    /// factor abstracts).
+    pub fn distance(&self, pid: Pid) -> Option<usize> {
+        self.queue.iter().position(|&p| p == pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotation() {
+        let mut rq = RunQueue::new();
+        for i in 1..=3 {
+            rq.enqueue(Pid(i));
+        }
+        let order: Vec<u32> = (0..6).map(|_| rq.pick_next().unwrap().0).collect();
+        assert_eq!(order, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn enqueue_is_idempotent_and_position_preserving() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(Pid(1));
+        rq.enqueue(Pid(2));
+        rq.enqueue(Pid(1)); // double wakeup
+        assert_eq!(rq.len(), 2);
+        assert_eq!(rq.distance(Pid(1)), Some(0));
+    }
+
+    #[test]
+    fn remove_and_idle() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(Pid(1));
+        assert!(rq.remove(Pid(1)));
+        assert!(!rq.remove(Pid(1)));
+        assert!(rq.is_empty());
+        assert_eq!(rq.pick_next(), None);
+    }
+
+    #[test]
+    fn distance_reflects_wakeup_latency() {
+        let mut rq = RunQueue::new();
+        for i in 1..=5 {
+            rq.enqueue(Pid(i));
+        }
+        assert_eq!(rq.distance(Pid(5)), Some(4));
+        rq.pick_next();
+        assert_eq!(rq.distance(Pid(5)), Some(3));
+        assert_eq!(rq.distance(Pid(9)), None);
+    }
+}

@@ -1,0 +1,384 @@
+//! The syscall surface and its calibrated costs.
+//!
+//! Each syscall's *body* cost (cycles, instructions) is a workload
+//! constant calibrated so that the native lmbench rows of the paper's
+//! Table 4 (latencies) and Table 7 (instruction counts) are reproduced;
+//! every *overhead* — trap, dispatch, redirection, world switches — is
+//! charged by the code paths that actually execute, so the deltas the
+//! paper reports emerge from execution rather than being assumed.
+
+use std::fmt;
+
+use crate::fs::{FileStat, FsError};
+use crate::pipe::PipeError;
+use crate::process::{Fd, Pid};
+
+/// Cycles charged by the in-kernel syscall dispatcher (table lookup,
+/// argument marshalling) for every syscall, on top of the trap itself.
+pub const DISPATCH_CYCLES: u64 = 160;
+/// Instructions retired by the dispatcher.
+pub const DISPATCH_INSTRUCTIONS: u64 = 120;
+
+/// A system call request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Syscall {
+    /// The empty syscall (lmbench "NULL system call", implemented as
+    /// `getppid`-class work).
+    Null,
+    /// The empty I/O: read one byte from `/dev/zero` (lmbench "NULL I/O").
+    NullIo,
+    /// Returns the parent pid.
+    Getppid,
+    /// Opens a path, optionally creating it.
+    Open {
+        /// Path to open.
+        path: String,
+        /// Create if absent.
+        create: bool,
+    },
+    /// Closes a descriptor.
+    Close {
+        /// Descriptor to close.
+        fd: Fd,
+    },
+    /// Reads up to `len` bytes from a descriptor.
+    Read {
+        /// Source descriptor.
+        fd: Fd,
+        /// Maximum bytes to read.
+        len: usize,
+    },
+    /// Writes bytes to a descriptor.
+    Write {
+        /// Destination descriptor.
+        fd: Fd,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Stats a path.
+    Stat {
+        /// Path to stat.
+        path: String,
+    },
+    /// Stats an open descriptor.
+    Fstat {
+        /// Descriptor to stat.
+        fd: Fd,
+    },
+    /// Creates a pipe, returning (read fd, write fd).
+    Pipe,
+    /// Removes a path.
+    Unlink {
+        /// Path to remove.
+        path: String,
+    },
+    /// Duplicates a descriptor into the lowest free slot.
+    Dup {
+        /// Descriptor to duplicate.
+        fd: Fd,
+    },
+    /// Repositions a file descriptor's offset (absolute).
+    Lseek {
+        /// Descriptor to seek.
+        fd: Fd,
+        /// New absolute offset.
+        offset: u64,
+    },
+    /// Returns the calling process's pid.
+    Getpid,
+    /// Forks the current process: clones the descriptor table into a new
+    /// address space (lmbench's pipe benchmark forks its peer).
+    Fork,
+}
+
+impl Syscall {
+    /// The cost-class of this call.
+    pub fn kind(&self) -> SyscallKind {
+        match self {
+            Syscall::Null => SyscallKind::Null,
+            Syscall::NullIo => SyscallKind::NullIo,
+            Syscall::Getppid => SyscallKind::Getppid,
+            Syscall::Open { .. } => SyscallKind::Open,
+            Syscall::Close { .. } => SyscallKind::Close,
+            Syscall::Read { .. } => SyscallKind::Read,
+            Syscall::Write { .. } => SyscallKind::Write,
+            Syscall::Stat { .. } => SyscallKind::Stat,
+            Syscall::Fstat { .. } => SyscallKind::Fstat,
+            Syscall::Pipe => SyscallKind::Pipe,
+            Syscall::Unlink { .. } => SyscallKind::Unlink,
+            Syscall::Dup { .. } => SyscallKind::Dup,
+            Syscall::Lseek { .. } => SyscallKind::Lseek,
+            Syscall::Getpid => SyscallKind::Getpid,
+            Syscall::Fork => SyscallKind::Fork,
+        }
+    }
+
+    /// Approximate bytes of argument + result data a *redirected* version
+    /// of this call must move between worlds (registers handle the rest).
+    /// Shared-memory paths copy this once; the copying baseline of
+    /// ShadowContext copies it twice.
+    pub fn transfer_bytes(&self) -> usize {
+        match self {
+            Syscall::Null
+            | Syscall::Getppid
+            | Syscall::Getpid
+            | Syscall::Pipe
+            | Syscall::Fork => 0,
+            Syscall::Dup { .. } | Syscall::Lseek { .. } => 8,
+            Syscall::NullIo => 1,
+            Syscall::Open { path, .. } => path.len() + 8,
+            Syscall::Close { .. } => 8,
+            Syscall::Read { len, .. } => len + 16,
+            Syscall::Write { data, .. } => data.len() + 16,
+            Syscall::Stat { path } => path.len() + 144, // struct stat
+            Syscall::Fstat { .. } => 8 + 144,
+            Syscall::Unlink { path } => path.len(),
+        }
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Syscall::Null => write!(f, "null"),
+            Syscall::NullIo => write!(f, "null-io"),
+            Syscall::Getppid => write!(f, "getppid"),
+            Syscall::Open { path, .. } => write!(f, "open({path})"),
+            Syscall::Close { fd } => write!(f, "close({fd})"),
+            Syscall::Read { fd, len } => write!(f, "read({fd}, {len})"),
+            Syscall::Write { fd, data } => write!(f, "write({fd}, {} bytes)", data.len()),
+            Syscall::Stat { path } => write!(f, "stat({path})"),
+            Syscall::Fstat { fd } => write!(f, "fstat({fd})"),
+            Syscall::Pipe => write!(f, "pipe()"),
+            Syscall::Unlink { path } => write!(f, "unlink({path})"),
+            Syscall::Dup { fd } => write!(f, "dup({fd})"),
+            Syscall::Lseek { fd, offset } => write!(f, "lseek({fd}, {offset})"),
+            Syscall::Getpid => write!(f, "getpid()"),
+            Syscall::Fork => write!(f, "fork()"),
+        }
+    }
+}
+
+/// Cost classes of syscalls, with calibrated body costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallKind {
+    /// NULL syscall.
+    Null,
+    /// One-byte `/dev/zero` read.
+    NullIo,
+    /// `getppid`.
+    Getppid,
+    /// `open`.
+    Open,
+    /// `close`.
+    Close,
+    /// `read`.
+    Read,
+    /// `write`.
+    Write,
+    /// `stat`.
+    Stat,
+    /// `fstat`.
+    Fstat,
+    /// `pipe` creation.
+    Pipe,
+    /// `unlink`.
+    Unlink,
+    /// `dup`.
+    Dup,
+    /// `lseek`.
+    Lseek,
+    /// `getpid`.
+    Getpid,
+    /// `fork`.
+    Fork,
+}
+
+impl SyscallKind {
+    /// Cycles the syscall body burns in the kernel (excluding trap and
+    /// dispatch). Calibrated against Table 4's guest-native latencies at
+    /// 3.4 GHz.
+    pub fn body_cycles(self) -> u64 {
+        match self {
+            SyscallKind::Null | SyscallKind::Getppid => 626,
+            SyscallKind::NullIo => 796,
+            SyscallKind::Open => 2650,
+            SyscallKind::Close => 1322,
+            SyscallKind::Read => 800,
+            SyscallKind::Write => 780,
+            SyscallKind::Stat => 1510,
+            SyscallKind::Fstat => 900,
+            SyscallKind::Pipe => 1500,
+            SyscallKind::Unlink => 1200,
+            SyscallKind::Dup => 450,
+            SyscallKind::Lseek => 380,
+            SyscallKind::Getpid => 600,
+            // fork: page-table duplication dominates.
+            SyscallKind::Fork => 95_000,
+        }
+    }
+
+    /// Instructions the body retires. Calibrated against Table 7's
+    /// native-Linux instruction counts (which include lmbench's user-side
+    /// stub of ~40 instructions charged separately by the workload crate).
+    pub fn body_instructions(self) -> u64 {
+        match self {
+            SyscallKind::Null | SyscallKind::Getppid => 1665,
+            SyscallKind::NullIo => 300,
+            SyscallKind::Open => 1000,
+            SyscallKind::Close => 599,
+            SyscallKind::Read => 299,
+            SyscallKind::Write => 256,
+            SyscallKind::Stat => 1033,
+            SyscallKind::Fstat => 303,
+            SyscallKind::Pipe => 350,
+            SyscallKind::Unlink => 400,
+            SyscallKind::Dup => 160,
+            SyscallKind::Lseek => 130,
+            SyscallKind::Getpid => 1600,
+            SyscallKind::Fork => 28_000,
+        }
+    }
+}
+
+/// Successful syscall results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallRet {
+    /// No payload.
+    Unit,
+    /// A new descriptor.
+    Fd(Fd),
+    /// Bytes read.
+    Bytes(Vec<u8>),
+    /// Byte count written.
+    Written(usize),
+    /// File metadata.
+    Stat(FileStat),
+    /// A pid.
+    Pid(Pid),
+    /// A pipe's (read, write) descriptor pair.
+    PipePair(Fd, Fd),
+}
+
+/// Syscall failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallError {
+    /// Descriptor not open.
+    BadFd {
+        /// The offending descriptor.
+        fd: Fd,
+    },
+    /// Filesystem error.
+    Fs(FsError),
+    /// Pipe error.
+    Pipe(PipeError),
+    /// The kernel has no current process to run the call.
+    NoCurrentProcess,
+    /// The call was issued while the platform is executing a different VM.
+    WrongVm,
+}
+
+impl fmt::Display for SyscallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyscallError::BadFd { fd } => write!(f, "bad file descriptor: {fd}"),
+            SyscallError::Fs(e) => write!(f, "{e}"),
+            SyscallError::Pipe(e) => write!(f, "{e}"),
+            SyscallError::NoCurrentProcess => write!(f, "no current process"),
+            SyscallError::WrongVm => write!(f, "syscall issued while another VM is executing"),
+        }
+    }
+}
+
+impl std::error::Error for SyscallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyscallError::Fs(e) => Some(e),
+            SyscallError::Pipe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for SyscallError {
+    fn from(e: FsError) -> SyscallError {
+        SyscallError::Fs(e)
+    }
+}
+
+impl From<PipeError> for SyscallError {
+    fn from(e: PipeError) -> SyscallError {
+        SyscallError::Pipe(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_one_to_one() {
+        assert_eq!(Syscall::Null.kind(), SyscallKind::Null);
+        assert_eq!(
+            Syscall::Open {
+                path: "/x".into(),
+                create: false
+            }
+            .kind(),
+            SyscallKind::Open
+        );
+        assert_eq!(Syscall::Pipe.kind(), SyscallKind::Pipe);
+    }
+
+    #[test]
+    fn null_syscall_native_latency_matches_paper() {
+        // enter(100) + dispatch(160) + body + exit(100) = 986 cycles
+        // = 0.29 us at 3.4 GHz, Table 4's guest-native NULL syscall.
+        let total = 100 + DISPATCH_CYCLES + SyscallKind::Null.body_cycles() + 100;
+        assert_eq!(total, 986);
+    }
+
+    #[test]
+    fn open_close_pair_matches_table4_native() {
+        // Two syscalls: 2*(100+160+100) + open + close = 4692 cycles
+        // = 1.38 us, Table 4's guest-native open&close row.
+        let per_call_overhead = 100 + DISPATCH_CYCLES + 100;
+        let total = 2 * per_call_overhead
+            + SyscallKind::Open.body_cycles()
+            + SyscallKind::Close.body_cycles();
+        assert_eq!(total, 4692);
+    }
+
+    #[test]
+    fn stat_latency_matches_table4_native() {
+        let total = 100 + DISPATCH_CYCLES + SyscallKind::Stat.body_cycles() + 100;
+        // 1870 cycles = 0.55 us.
+        assert_eq!(total, 1870);
+    }
+
+    #[test]
+    fn transfer_bytes_scale_with_payload() {
+        assert_eq!(Syscall::Null.transfer_bytes(), 0);
+        let w = Syscall::Write {
+            fd: Fd(1),
+            data: vec![0; 100],
+        };
+        assert_eq!(w.transfer_bytes(), 116);
+        let s = Syscall::Stat { path: "/ab".into() };
+        assert_eq!(s.transfer_bytes(), 3 + 144);
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: SyscallError = FsError::NotFound { path: "/x".into() }.into();
+        assert!(matches!(e, SyscallError::Fs(_)));
+        let e: SyscallError = PipeError::BrokenPipe.into();
+        assert!(matches!(e, SyscallError::Pipe(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Syscall::Read { fd: Fd(3), len: 10 };
+        assert_eq!(s.to_string(), "read(fd:3, 10)");
+    }
+}

@@ -1,0 +1,128 @@
+//! VMExit reasons.
+
+use std::fmt;
+
+use mmu::addr::Gpa;
+
+/// Why a guest trapped to the hypervisor.
+///
+/// Each reason carries the handler cost the hypervisor charges when
+/// dispatching it (see [`crate::platform::Platform::vmexit`]); the costs
+/// model KVM's handler paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitReason {
+    /// Explicit `vmcall` with a hypercall number.
+    Vmcall(u64),
+    /// EPT violation at a guest-physical address.
+    EptViolation(Gpa),
+    /// External interrupt arrived while in guest mode.
+    ExternalInterrupt,
+    /// Guest executed `hlt` (idle / waiting for injection).
+    Hlt,
+    /// Port or MMIO access that must be emulated (virtual devices).
+    IoAccess,
+    /// Guest executed `int3`; HyperShell's helper process uses this to
+    /// poll the hypervisor for redirected syscalls (§6, case study 2).
+    Breakpoint,
+    /// VMFUNC executed with an invalid EPTP index ("VM function fault").
+    VmfuncFault,
+    /// A CrossOver world-table-cache miss trapped for a software fill
+    /// (§5.1: the WT/IWT caches are software-managed like a soft TLB).
+    WorldTableCacheMiss,
+}
+
+impl ExitReason {
+    /// Cycles of hypervisor handler work this exit reason costs, on top
+    /// of the raw VMExit/VMEntry hardware transition prices.
+    pub fn handler_cycles(self) -> u64 {
+        match self {
+            // Hypercall dispatch: decode + table lookup + handler body.
+            ExitReason::Vmcall(_) => 1500,
+            // EPT violations walk both paging structures.
+            ExitReason::EptViolation(_) => 2200,
+            ExitReason::ExternalInterrupt => 900,
+            ExitReason::Hlt => 700,
+            // Device emulation is the most expensive common exit.
+            ExitReason::IoAccess => 2800,
+            ExitReason::Breakpoint => 1100,
+            ExitReason::VmfuncFault => 1000,
+            // World-table walk + cache fill, kept small by design (§5.1).
+            ExitReason::WorldTableCacheMiss => 1300,
+        }
+    }
+
+    /// Instructions retired by the handler (for Table 7 style instruction
+    /// accounting).
+    pub fn handler_instructions(self) -> u64 {
+        match self {
+            ExitReason::Vmcall(_) => 230,
+            ExitReason::EptViolation(_) => 610,
+            ExitReason::ExternalInterrupt => 260,
+            ExitReason::Hlt => 180,
+            ExitReason::IoAccess => 750,
+            ExitReason::Breakpoint => 300,
+            ExitReason::VmfuncFault => 280,
+            ExitReason::WorldTableCacheMiss => 340,
+        }
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Vmcall(nr) => write!(f, "vmcall({nr})"),
+            ExitReason::EptViolation(gpa) => write!(f, "ept-violation({gpa})"),
+            ExitReason::ExternalInterrupt => write!(f, "external-interrupt"),
+            ExitReason::Hlt => write!(f, "hlt"),
+            ExitReason::IoAccess => write!(f, "io-access"),
+            ExitReason::Breakpoint => write!(f, "breakpoint"),
+            ExitReason::VmfuncFault => write!(f, "vmfunc-fault"),
+            ExitReason::WorldTableCacheMiss => write!(f, "wtc-miss"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_costs_are_positive() {
+        let reasons = [
+            ExitReason::Vmcall(0),
+            ExitReason::EptViolation(Gpa(0)),
+            ExitReason::ExternalInterrupt,
+            ExitReason::Hlt,
+            ExitReason::IoAccess,
+            ExitReason::Breakpoint,
+            ExitReason::VmfuncFault,
+            ExitReason::WorldTableCacheMiss,
+        ];
+        for r in reasons {
+            assert!(r.handler_cycles() > 0, "{r}");
+            assert!(r.handler_instructions() > 0, "{r}");
+        }
+    }
+
+    #[test]
+    fn io_is_most_expensive_common_exit() {
+        assert!(ExitReason::IoAccess.handler_cycles() > ExitReason::Vmcall(0).handler_cycles());
+        assert!(ExitReason::IoAccess.handler_cycles() > ExitReason::Hlt.handler_cycles());
+    }
+
+    #[test]
+    fn wtc_miss_is_cheap_by_design() {
+        // §5.1: the software fill path is deliberately lightweight so rare
+        // misses do not erase the benefit of intervention-free calls.
+        assert!(
+            ExitReason::WorldTableCacheMiss.handler_cycles()
+                < ExitReason::EptViolation(Gpa(0)).handler_cycles()
+        );
+    }
+
+    #[test]
+    fn display_includes_payloads() {
+        assert_eq!(ExitReason::Vmcall(7).to_string(), "vmcall(7)");
+        assert!(ExitReason::EptViolation(Gpa(0x1000)).to_string().contains("0x1000"));
+    }
+}

@@ -1,0 +1,251 @@
+//! A small SMP substrate: multiple cores with private meters and
+//! cross-core IPIs.
+//!
+//! The paper's §3.3 rejects asynchronous and IPI-based call designs
+//! partly on multi-core grounds: the callee runs on *another* core, so
+//! the working set migrates and the reply waits on cross-core
+//! signalling. The main [`crate::platform::Platform`] is single-vCPU
+//! (faithful to the paper's benchmark guests); this module provides the
+//! multi-core accounting those rejected designs need, so the ablations
+//! can model them honestly rather than on one shared meter.
+
+use machine::cost::CostModel;
+use machine::cpu::Cpu;
+use machine::mode::CpuMode;
+use machine::trace::TransitionKind;
+
+use std::collections::VecDeque;
+
+/// Identifier of a core in an [`SmpMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreId(pub u32);
+
+/// A pending inter-processor interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipi {
+    /// Sending core.
+    pub from: CoreId,
+    /// Interrupt vector.
+    pub vector: u8,
+}
+
+/// A multi-core machine: per-core CPUs (each with its own meter and
+/// trace) plus IPI queues.
+///
+/// # Example
+///
+/// ```
+/// use xover_hypervisor::smp::{CoreId, SmpMachine};
+///
+/// let mut smp = SmpMachine::new(4);
+/// smp.send_ipi(CoreId(0), CoreId(2), 0xEE)?;
+/// let ipi = smp.take_ipi(CoreId(2))?.expect("delivered");
+/// assert_eq!(ipi.from, CoreId(0));
+/// # Ok::<(), xover_hypervisor::smp::SmpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmpMachine {
+    cores: Vec<Cpu>,
+    ipi_queues: Vec<VecDeque<Ipi>>,
+}
+
+/// Errors from SMP operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmpError {
+    /// Referenced a core that does not exist.
+    NoSuchCore {
+        /// The offending id.
+        core: CoreId,
+    },
+    /// A core attempted to IPI itself.
+    SelfIpi {
+        /// The offending id.
+        core: CoreId,
+    },
+}
+
+impl std::fmt::Display for SmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmpError::NoSuchCore { core } => write!(f, "no such core: {}", core.0),
+            SmpError::SelfIpi { core } => write!(f, "core {} sent an IPI to itself", core.0),
+        }
+    }
+}
+
+impl std::error::Error for SmpError {}
+
+impl SmpMachine {
+    /// Creates a machine with `cores` cores (Haswell cost model), all in
+    /// host kernel mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32) -> SmpMachine {
+        assert!(cores > 0, "need at least one core");
+        let cores: Vec<Cpu> = (0..cores)
+            .map(|i| {
+                let mut cpu = Cpu::new(i, CostModel::haswell_3_4ghz());
+                cpu.force_mode(CpuMode::HOST_KERNEL);
+                cpu
+            })
+            .collect();
+        let queues = cores.iter().map(|_| VecDeque::new()).collect();
+        SmpMachine {
+            cores,
+            ipi_queues: queues,
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Read access to one core's CPU.
+    ///
+    /// # Errors
+    ///
+    /// [`SmpError::NoSuchCore`] for an unknown core.
+    pub fn core(&self, id: CoreId) -> Result<&Cpu, SmpError> {
+        self.cores
+            .get(id.0 as usize)
+            .ok_or(SmpError::NoSuchCore { core: id })
+    }
+
+    /// Mutable access to one core's CPU.
+    ///
+    /// # Errors
+    ///
+    /// [`SmpError::NoSuchCore`] for an unknown core.
+    pub fn core_mut(&mut self, id: CoreId) -> Result<&mut Cpu, SmpError> {
+        self.cores
+            .get_mut(id.0 as usize)
+            .ok_or(SmpError::NoSuchCore { core: id })
+    }
+
+    /// Sends an IPI from `from` to `to`: the send cost lands on the
+    /// sender's meter; the receive cost is charged when the target takes
+    /// the interrupt via [`SmpMachine::take_ipi`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SmpError::NoSuchCore`] for unknown cores.
+    /// * [`SmpError::SelfIpi`] for self-IPIs (modelled as disallowed).
+    pub fn send_ipi(&mut self, from: CoreId, to: CoreId, vector: u8) -> Result<(), SmpError> {
+        if from == to {
+            return Err(SmpError::SelfIpi { core: from });
+        }
+        if to.0 as usize >= self.cores.len() {
+            return Err(SmpError::NoSuchCore { core: to });
+        }
+        self.core_mut(from)?.touch(TransitionKind::IpiSend);
+        self.ipi_queues[to.0 as usize].push_back(Ipi { from, vector });
+        Ok(())
+    }
+
+    /// Takes the next pending IPI on `core`, charging the receive cost.
+    /// Returns `None` when no interrupt is pending.
+    ///
+    /// # Errors
+    ///
+    /// [`SmpError::NoSuchCore`] for an unknown core.
+    pub fn take_ipi(&mut self, core: CoreId) -> Result<Option<Ipi>, SmpError> {
+        if core.0 as usize >= self.cores.len() {
+            return Err(SmpError::NoSuchCore { core });
+        }
+        match self.ipi_queues[core.0 as usize].pop_front() {
+            Some(ipi) => {
+                self.core_mut(core)?.touch(TransitionKind::IpiReceive);
+                Ok(Some(ipi))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Pending IPI count on `core`.
+    ///
+    /// # Errors
+    ///
+    /// [`SmpError::NoSuchCore`] for an unknown core.
+    pub fn pending_ipis(&self, core: CoreId) -> Result<usize, SmpError> {
+        self.ipi_queues
+            .get(core.0 as usize)
+            .map(|q| q.len())
+            .ok_or(SmpError::NoSuchCore { core })
+    }
+
+    /// Total cycles across all cores (system-wide work, the metric the
+    /// async design optimizes at the expense of latency).
+    pub fn total_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.meter().cycles()).sum()
+    }
+
+    /// The maximum single-core cycle count (a proxy for wall-clock when
+    /// cores run concurrently).
+    pub fn makespan_cycles(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.meter().cycles())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_meters_are_independent() {
+        let mut smp = SmpMachine::new(2);
+        smp.core_mut(CoreId(0)).unwrap().charge_work(100, 10, "a");
+        assert_eq!(smp.core(CoreId(0)).unwrap().meter().cycles(), 100);
+        assert_eq!(smp.core(CoreId(1)).unwrap().meter().cycles(), 0);
+        assert_eq!(smp.total_cycles(), 100);
+        assert_eq!(smp.makespan_cycles(), 100);
+    }
+
+    #[test]
+    fn ipi_round_trip_charges_both_sides() {
+        let mut smp = SmpMachine::new(2);
+        smp.send_ipi(CoreId(0), CoreId(1), 0xEE).unwrap();
+        assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), 1);
+        let ipi = smp.take_ipi(CoreId(1)).unwrap().unwrap();
+        assert_eq!(ipi, Ipi { from: CoreId(0), vector: 0xEE });
+        // Send cost on core 0, receive cost on core 1.
+        assert!(smp.core(CoreId(0)).unwrap().meter().cycles() > 0);
+        assert!(smp.core(CoreId(1)).unwrap().meter().cycles() > 0);
+        assert!(smp.take_ipi(CoreId(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn self_ipi_and_bad_cores_rejected() {
+        let mut smp = SmpMachine::new(1);
+        assert_eq!(
+            smp.send_ipi(CoreId(0), CoreId(0), 1),
+            Err(SmpError::SelfIpi { core: CoreId(0) })
+        );
+        assert_eq!(
+            smp.send_ipi(CoreId(0), CoreId(5), 1),
+            Err(SmpError::NoSuchCore { core: CoreId(5) })
+        );
+        assert!(smp.core(CoreId(9)).is_err());
+    }
+
+    #[test]
+    fn ipis_deliver_in_order() {
+        let mut smp = SmpMachine::new(3);
+        smp.send_ipi(CoreId(0), CoreId(2), 1).unwrap();
+        smp.send_ipi(CoreId(1), CoreId(2), 2).unwrap();
+        assert_eq!(smp.take_ipi(CoreId(2)).unwrap().unwrap().vector, 1);
+        assert_eq!(smp.take_ipi(CoreId(2)).unwrap().unwrap().vector, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        SmpMachine::new(0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Virtual machines and their per-VM hypervisor state.
+
+use std::fmt;
+
+use mmu::addr::Gpa;
+
+/// Identifier of a virtual machine.
+///
+/// Per §4.3, "after a VM boots up, the hypervisor will assign a unique VM
+/// ID to each VM and keep track of each VM's EPT pointer by storing it in
+/// the EPTP-list address with an offset, which is the same as the VM ID" —
+/// so a `VmId`'s [`VmId::index`] doubles as the VMFUNC EPTP-list index for
+/// cross-VM switching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(u16);
+
+impl VmId {
+    /// Creates a VM id from its raw index.
+    pub fn new(index: u16) -> VmId {
+        VmId(index)
+    }
+
+    /// The raw index, also used as the VMFUNC EPTP-list offset.
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VM-{}", self.0)
+    }
+}
+
+/// Configuration for creating a VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Guest RAM size in pages (paper guests are 2 GB; tests use far
+    /// less — memory is lazily backed either way).
+    pub ram_pages: u64,
+    /// Human-readable name for traces and reports.
+    pub name: String,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            ram_pages: 512, // 2 MiB of lazily-backed guest RAM for tests
+            name: String::from("guest"),
+        }
+    }
+}
+
+impl VmConfig {
+    /// Creates a named config with the default RAM size.
+    pub fn named(name: &str) -> VmConfig {
+        VmConfig {
+            name: name.to_string(),
+            ..VmConfig::default()
+        }
+    }
+}
+
+/// Run state of a VM as seen by the hypervisor's scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmRunState {
+    /// Has runnable work.
+    #[default]
+    Runnable,
+    /// Blocked waiting for an event (e.g. an injected completion).
+    Blocked,
+}
+
+/// Per-VM hypervisor-side state.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    id: VmId,
+    config: VmConfig,
+    /// Index of this VM's primary EPT in the platform's EPT arena.
+    ept: usize,
+    /// EPTP-list for VMFUNC: maps list index -> EPT arena index.
+    /// `None` until the hypervisor configures it.
+    eptp_list: Option<Vec<Option<usize>>>,
+    /// Next free guest-physical page for simple bump allocation of guest
+    /// RAM regions.
+    next_gpa: Gpa,
+    run_state: VmRunState,
+}
+
+/// Number of entries in a VMFUNC EPTP list (architecturally 512).
+pub const EPTP_LIST_ENTRIES: usize = 512;
+
+impl Vm {
+    /// Creates per-VM state. Used by the platform; library users go
+    /// through [`crate::platform::Platform::create_vm`].
+    pub(crate) fn new(id: VmId, config: VmConfig, ept: usize) -> Vm {
+        Vm {
+            id,
+            config,
+            ept,
+            eptp_list: None,
+            next_gpa: Gpa(0x10_000), // leave low memory for fixed structures
+            run_state: VmRunState::default(),
+        }
+    }
+
+    /// This VM's id.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The configuration the VM was created with.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Index of the VM's primary EPT in the platform arena.
+    pub fn ept(&self) -> usize {
+        self.ept
+    }
+
+    /// Current scheduler run state.
+    pub fn run_state(&self) -> VmRunState {
+        self.run_state
+    }
+
+    /// Sets the scheduler run state.
+    pub fn set_run_state(&mut self, state: VmRunState) {
+        self.run_state = state;
+    }
+
+    /// Whether the EPTP list has been configured.
+    pub fn has_eptp_list(&self) -> bool {
+        self.eptp_list.is_some()
+    }
+
+    /// Installs an empty EPTP list.
+    pub(crate) fn init_eptp_list(&mut self) {
+        self.eptp_list = Some(vec![None; EPTP_LIST_ENTRIES]);
+    }
+
+    /// Populates one EPTP-list slot with an EPT arena index.
+    pub(crate) fn set_eptp_entry(&mut self, index: u16, ept: usize) {
+        let list = self
+            .eptp_list
+            .as_mut()
+            .expect("EPTP list must be initialized first");
+        list[index as usize] = Some(ept);
+    }
+
+    /// Resolves an EPTP-list index to an EPT arena index.
+    pub(crate) fn eptp_entry(&self, index: u16) -> Option<usize> {
+        self.eptp_list
+            .as_ref()
+            .and_then(|l| l.get(index as usize).copied().flatten())
+    }
+
+    /// Bump-allocates `pages` guest-physical pages, returning the base.
+    pub(crate) fn alloc_gpa_range(&mut self, pages: u64) -> Gpa {
+        let base = self.next_gpa;
+        self.next_gpa = self.next_gpa + pages * mmu::addr::PAGE_SIZE;
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_id_display_and_index() {
+        let id = VmId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "VM-3");
+    }
+
+    #[test]
+    fn eptp_list_lifecycle() {
+        let mut vm = Vm::new(VmId::new(0), VmConfig::default(), 0);
+        assert!(!vm.has_eptp_list());
+        assert_eq!(vm.eptp_entry(0), None);
+        vm.init_eptp_list();
+        assert!(vm.has_eptp_list());
+        vm.set_eptp_entry(5, 42);
+        assert_eq!(vm.eptp_entry(5), Some(42));
+        assert_eq!(vm.eptp_entry(6), None);
+    }
+
+    #[test]
+    fn gpa_bump_allocation_is_disjoint() {
+        let mut vm = Vm::new(VmId::new(0), VmConfig::default(), 0);
+        let a = vm.alloc_gpa_range(2);
+        let b = vm.alloc_gpa_range(1);
+        assert!(b.value() >= a.value() + 2 * mmu::addr::PAGE_SIZE);
+    }
+
+    #[test]
+    fn run_state_toggles() {
+        let mut vm = Vm::new(VmId::new(1), VmConfig::named("t"), 0);
+        assert_eq!(vm.run_state(), VmRunState::Runnable);
+        vm.set_run_state(VmRunState::Blocked);
+        assert_eq!(vm.run_state(), VmRunState::Blocked);
+    }
+
+    #[test]
+    fn named_config() {
+        let c = VmConfig::named("private");
+        assert_eq!(c.name, "private");
+        assert_eq!(c.ram_pages, VmConfig::default().ram_pages);
+    }
+}

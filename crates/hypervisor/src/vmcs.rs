@@ -1,0 +1,76 @@
+//! VM control structure: saved guest context across VMExit/VMEntry.
+
+use machine::cpu::Registers;
+use machine::mode::CpuMode;
+
+use crate::exit::ExitReason;
+
+/// The guest-state area of a VMCS: everything the hardware saves on a
+/// VMExit and restores on VMEntry for one virtual CPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vmcs {
+    /// Saved privilege mode (non-root + ring at exit time).
+    pub guest_mode: CpuMode,
+    /// Saved CR3.
+    pub guest_cr3: u64,
+    /// Saved EPTP-list index the guest was running under.
+    pub guest_eptp_index: u16,
+    /// Saved IDT base.
+    pub guest_idt: u64,
+    /// Saved interrupt flag.
+    pub guest_interrupts_enabled: bool,
+    /// Saved general registers.
+    pub guest_regs: Registers,
+    /// Reason for the most recent exit, if any.
+    pub last_exit: Option<ExitReason>,
+    /// Pending virtual interrupt vector to deliver on next entry.
+    pub pending_interrupt: Option<u8>,
+}
+
+impl Vmcs {
+    /// Creates a VMCS for a freshly booted guest: user mode, no pending
+    /// state.
+    pub fn new() -> Vmcs {
+        Vmcs {
+            guest_mode: CpuMode::GUEST_USER,
+            guest_cr3: 0,
+            guest_eptp_index: 0,
+            guest_idt: 0,
+            guest_interrupts_enabled: true,
+            guest_regs: Registers::default(),
+            last_exit: None,
+            pending_interrupt: None,
+        }
+    }
+}
+
+impl Default for Vmcs {
+    fn default() -> Vmcs {
+        Vmcs::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vmcs_is_guest_user_with_no_pending_state() {
+        let v = Vmcs::new();
+        assert_eq!(v.guest_mode, CpuMode::GUEST_USER);
+        assert!(v.last_exit.is_none());
+        assert!(v.pending_interrupt.is_none());
+        assert!(v.guest_interrupts_enabled);
+    }
+
+    #[test]
+    fn vmcs_roundtrips_saved_state() {
+        let mut v = Vmcs::new();
+        v.guest_cr3 = 0x1234;
+        v.guest_eptp_index = 7;
+        v.pending_interrupt = Some(0x20);
+        let copy = v.clone();
+        assert_eq!(copy, v);
+        assert_eq!(copy.guest_cr3, 0x1234);
+    }
+}

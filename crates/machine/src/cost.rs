@@ -1,0 +1,334 @@
+//! Calibrated cost model for world transitions.
+//!
+//! Every transition the simulated CPU performs is priced in **cycles** and
+//! **instructions** by a [`CostModel`]. The default preset,
+//! [`CostModel::haswell_3_4ghz`], is calibrated to the paper's evaluation
+//! platform (Intel Core i7-4770 @ 3.40 GHz) using published order-of-
+//! magnitude figures: a VMExit/VMEntry round trip costs on the order of a
+//! microsecond once handler work is included, VMFUNC costs ~150 cycles, a
+//! syscall entry ~100 cycles. The reproduction does not claim cycle accuracy
+//! — it claims that because call *paths* are executed and each step priced,
+//! the relative results (latency reductions, overhead factors, crossover
+//! points) match the paper's shape.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::trace::TransitionKind;
+
+/// A cycle count on the simulated CPU.
+///
+/// # Example
+///
+/// ```
+/// use xover_machine::cost::{Cycles, Frequency};
+/// let c = Cycles(3400);
+/// assert!((c.as_micros(Frequency::GHZ_3_4) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Converts to microseconds at the given clock frequency.
+    pub fn as_micros(self, freq: Frequency) -> f64 {
+        self.0 as f64 / freq.cycles_per_micro()
+    }
+
+    /// Converts to milliseconds at the given clock frequency.
+    pub fn as_millis(self, freq: Frequency) -> f64 {
+        self.as_micros(freq) / 1000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// A CPU clock frequency, used to convert cycle counts to wall time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// The paper's platform: 3.40 GHz (Intel Core i7-4770, Haswell).
+    pub const GHZ_3_4: Frequency = Frequency { hz: 3.4e9 };
+
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    pub fn from_hz(hz: f64) -> Frequency {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        Frequency { hz }
+    }
+
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not strictly positive and finite.
+    pub fn from_ghz(ghz: f64) -> Frequency {
+        Frequency::from_hz(ghz * 1e9)
+    }
+
+    /// The frequency in hertz.
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Cycles elapsing per microsecond.
+    pub fn cycles_per_micro(self) -> f64 {
+        self.hz / 1e6
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Frequency {
+        Frequency::GHZ_3_4
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GHz", self.hz / 1e9)
+    }
+}
+
+/// The price of one transition: cycles spent and instructions retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Price {
+    /// Cycles charged for the transition.
+    pub cycles: u64,
+    /// Instructions retired performing the transition.
+    pub instructions: u64,
+}
+
+impl Price {
+    /// Creates a new price.
+    pub fn new(cycles: u64, instructions: u64) -> Price {
+        Price {
+            cycles,
+            instructions,
+        }
+    }
+}
+
+/// Maps each [`TransitionKind`] to its [`Price`], plus the clock frequency
+/// used to convert totals to wall time.
+///
+/// Construct via [`CostModel::haswell_3_4ghz`] (the paper's platform) or
+/// [`CostModel::uniform`] (every transition costs the same — useful in tests
+/// where only *counts* matter), then adjust individual entries with
+/// [`CostModel::set`].
+///
+/// # Example
+///
+/// ```
+/// use xover_machine::cost::{CostModel, Price};
+/// use xover_machine::trace::TransitionKind;
+///
+/// let mut model = CostModel::haswell_3_4ghz();
+/// model.set(TransitionKind::Vmfunc, Price::new(134, 1));
+/// assert_eq!(model.price(TransitionKind::Vmfunc).cycles, 134);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    frequency: Frequency,
+    prices: [Price; TransitionKind::COUNT],
+}
+
+impl CostModel {
+    /// Calibration preset for the paper's Haswell i7-4770 @ 3.4 GHz.
+    ///
+    /// The individual constants below were chosen so that executing the
+    /// paper's call paths reproduces its headline numbers:
+    /// native NULL syscall ≈ 0.29 µs, VMFUNC-optimized cross-VM syscall
+    /// ≈ 0.42 µs, hypervisor-bounced redirection ≈ 2.5–3.5 µs.
+    pub fn haswell_3_4ghz() -> CostModel {
+        let mut m = CostModel {
+            frequency: Frequency::GHZ_3_4,
+            prices: [Price::default(); TransitionKind::COUNT],
+        };
+        use TransitionKind::*;
+        // Ring crossings within one VM / the host.
+        m.set(SyscallEnter, Price::new(100, 12));
+        m.set(SyscallExit, Price::new(100, 10));
+        // VMX transitions. The raw hardware VMExit is ~800 cycles on
+        // Haswell; the *handler* work is charged separately by the
+        // hypervisor crate.
+        m.set(VmExit, Price::new(1000, 60));
+        m.set(VmEntry, Price::new(700, 40));
+        // VMFUNC(0): EPTP switch without VMExit, ~134-170 cycles measured
+        // on Haswell; we use the middle of the range.
+        m.set(Vmfunc, Price::new(140, 1));
+        // Privileged register writes on the cross-VM syscall path (Fig. 4).
+        m.set(Cr3Write, Price::new(45, 1));
+        m.set(IdtSwap, Price::new(20, 1));
+        m.set(InterruptMask, Price::new(5, 1));
+        // Virtual interrupt injection (hypervisor -> guest).
+        m.set(InterruptInject, Price::new(600, 35));
+        // Guest process context switch including scheduler pass; this
+        // dominates pipe latency (lmbench pipe ≈ 3.3 µs native includes two
+        // switches).
+        m.set(ContextSwitch, Price::new(4500, 320));
+        m.set(HostContextSwitch, Price::new(3100, 280));
+        // Full CrossOver world_call: EPTP + CR3 + mode + PC switch in one
+        // instruction; slightly above VMFUNC because it does strictly more.
+        m.set(WorldCall, Price::new(200, 1));
+        m.set(WorldReturn, Price::new(200, 1));
+        // World-table-cache management (VMFUNC index 0x2) and the exception
+        // path on a cache miss (trap to hypervisor + table walk + fill).
+        m.set(WtcFill, Price::new(250, 8));
+        m.set(WtcMissFault, Price::new(2600, 180));
+        // Cross-core signalling, used by the rejected asynchronous designs.
+        m.set(IpiSend, Price::new(1100, 20));
+        m.set(IpiReceive, Price::new(1600, 45));
+        m
+    }
+
+    /// A model where every transition costs exactly `cycles` cycles and one
+    /// instruction. Useful for tests that assert on counts rather than
+    /// calibrated magnitudes.
+    pub fn uniform(cycles: u64) -> CostModel {
+        CostModel {
+            frequency: Frequency::GHZ_3_4,
+            prices: [Price::new(cycles, 1); TransitionKind::COUNT],
+        }
+    }
+
+    /// The clock frequency of the modeled CPU.
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Replaces the clock frequency.
+    pub fn set_frequency(&mut self, frequency: Frequency) -> &mut CostModel {
+        self.frequency = frequency;
+        self
+    }
+
+    /// The price of one transition of kind `kind`.
+    pub fn price(&self, kind: TransitionKind) -> Price {
+        self.prices[kind.index()]
+    }
+
+    /// Overrides the price of `kind`.
+    pub fn set(&mut self, kind: TransitionKind, price: Price) -> &mut CostModel {
+        self.prices[kind.index()] = price;
+        self
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::haswell_3_4ghz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_micros_at_3_4ghz() {
+        assert!((Cycles(3400).as_micros(Frequency::GHZ_3_4) - 1.0).abs() < 1e-12);
+        assert!((Cycles(1700).as_micros(Frequency::GHZ_3_4) - 0.5).abs() < 1e-12);
+        assert!((Cycles(3_400_000).as_millis(Frequency::GHZ_3_4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(10) - Cycles(4), Cycles(6));
+        assert_eq!(Cycles(3).saturating_sub(Cycles(5)), Cycles::ZERO);
+        let mut c = Cycles(1);
+        c += Cycles(2);
+        assert_eq!(c, Cycles(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::from_hz(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_frequency_rejected() {
+        let _ = Frequency::from_hz(f64::NAN);
+    }
+
+    #[test]
+    fn haswell_preset_relative_magnitudes() {
+        let m = CostModel::haswell_3_4ghz();
+        use TransitionKind::*;
+        // VMFUNC must be far cheaper than a VMExit round trip: that is the
+        // entire premise of the paper.
+        let vmfunc = m.price(Vmfunc).cycles;
+        let exit_entry = m.price(VmExit).cycles + m.price(VmEntry).cycles;
+        assert!(vmfunc * 5 < exit_entry);
+        // world_call does strictly more than VMFUNC and must not be cheaper.
+        assert!(m.price(WorldCall).cycles >= vmfunc);
+        // A WTC miss fault (trap to hypervisor) dwarfs a hit-path call.
+        assert!(m.price(WtcMissFault).cycles > 10 * m.price(WorldCall).cycles);
+        // Syscall entry is ~100 cycles, far below a VMExit.
+        assert!(m.price(SyscallEnter).cycles < m.price(VmExit).cycles / 5);
+    }
+
+    #[test]
+    fn uniform_model_prices_everything_equally() {
+        let m = CostModel::uniform(7);
+        for kind in TransitionKind::ALL {
+            assert_eq!(m.price(kind), Price::new(7, 1));
+        }
+    }
+
+    #[test]
+    fn set_overrides_price() {
+        let mut m = CostModel::haswell_3_4ghz();
+        m.set(TransitionKind::Vmfunc, Price::new(42, 2));
+        assert_eq!(m.price(TransitionKind::Vmfunc), Price::new(42, 2));
+        // Other entries untouched.
+        assert_eq!(
+            m.price(TransitionKind::SyscallEnter),
+            CostModel::haswell_3_4ghz().price(TransitionKind::SyscallEnter)
+        );
+    }
+
+    #[test]
+    fn frequency_display() {
+        assert_eq!(Frequency::GHZ_3_4.to_string(), "3.40 GHz");
+    }
+}

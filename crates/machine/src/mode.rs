@@ -1,0 +1,283 @@
+//! Privilege state of the simulated CPU.
+//!
+//! Virtualized x86 exposes two orthogonal privilege axes: VMX *operation*
+//! (root for the hypervisor side, non-root for guests) and the classic
+//! protection *ring* (0 through 3). The paper calls every distinct
+//! (operation, ring, address space) combination a **world**; this module
+//! models the mode part of that triple.
+
+use std::fmt;
+
+/// VMX operation: whether the CPU currently runs host-side (root) or
+/// guest-side (non-root) software.
+///
+/// # Example
+///
+/// ```
+/// use xover_machine::mode::Operation;
+/// assert!(Operation::Root.is_host());
+/// assert!(!Operation::NonRoot.is_host());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operation {
+    /// VMX root operation — the hypervisor and host OS/user run here.
+    Root,
+    /// VMX non-root operation — guest VMs run here.
+    NonRoot,
+}
+
+impl Operation {
+    /// Returns `true` for [`Operation::Root`].
+    pub fn is_host(self) -> bool {
+        matches!(self, Operation::Root)
+    }
+
+    /// Returns `true` for [`Operation::NonRoot`].
+    pub fn is_guest(self) -> bool {
+        matches!(self, Operation::NonRoot)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Root => write!(f, "host"),
+            Operation::NonRoot => write!(f, "guest"),
+        }
+    }
+}
+
+/// x86 protection ring. Only ring 0 (kernel) and ring 3 (user) are used by
+/// commodity stacks, but rings 1 and 2 exist for completeness (e.g. the
+/// Xen-Blanket paths in Table 1 of the paper use a paravirtual "ring 1").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ring {
+    /// Most privileged: kernels and the hypervisor.
+    Ring0,
+    /// Historically used by paravirtualized guest kernels.
+    Ring1,
+    /// Unused by commodity systems.
+    Ring2,
+    /// Least privileged: user programs.
+    Ring3,
+}
+
+impl Ring {
+    /// All rings, most privileged first.
+    pub const ALL: [Ring; 4] = [Ring::Ring0, Ring::Ring1, Ring::Ring2, Ring::Ring3];
+
+    /// Numeric privilege level (0 = most privileged).
+    pub fn level(self) -> u8 {
+        match self {
+            Ring::Ring0 => 0,
+            Ring::Ring1 => 1,
+            Ring::Ring2 => 2,
+            Ring::Ring3 => 3,
+        }
+    }
+
+    /// Constructs a ring from its numeric level.
+    ///
+    /// Returns `None` if `level > 3`.
+    pub fn from_level(level: u8) -> Option<Ring> {
+        match level {
+            0 => Some(Ring::Ring0),
+            1 => Some(Ring::Ring1),
+            2 => Some(Ring::Ring2),
+            3 => Some(Ring::Ring3),
+            _ => None,
+        }
+    }
+
+    /// Whether this ring is at least as privileged as `other`
+    /// (lower level = more privileged).
+    pub fn at_least_as_privileged_as(self, other: Ring) -> bool {
+        self.level() <= other.level()
+    }
+
+    /// `true` for ring 0.
+    pub fn is_kernel(self) -> bool {
+        self == Ring::Ring0
+    }
+
+    /// `true` for ring 3.
+    pub fn is_user(self) -> bool {
+        self == Ring::Ring3
+    }
+}
+
+impl fmt::Display for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring-{}", self.level())
+    }
+}
+
+/// The combined privilege mode of the CPU: VMX operation plus ring.
+///
+/// A `CpuMode` together with an address space identifies a *world* in the
+/// paper's terminology. Two `CpuMode`s differing in either component require
+/// a mode switch to move between.
+///
+/// # Example
+///
+/// ```
+/// use xover_machine::mode::{CpuMode, Operation, Ring};
+///
+/// let guest_user = CpuMode::new(Operation::NonRoot, Ring::Ring3);
+/// let guest_kernel = CpuMode::new(Operation::NonRoot, Ring::Ring0);
+/// assert!(guest_user.crosses_ring(guest_kernel));
+/// assert!(!guest_user.crosses_operation(guest_kernel));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuMode {
+    operation: Operation,
+    ring: Ring,
+}
+
+impl CpuMode {
+    /// Guest user mode (`U_VM` in the paper's notation).
+    pub const GUEST_USER: CpuMode = CpuMode {
+        operation: Operation::NonRoot,
+        ring: Ring::Ring3,
+    };
+    /// Guest kernel mode (`K_VM`).
+    pub const GUEST_KERNEL: CpuMode = CpuMode {
+        operation: Operation::NonRoot,
+        ring: Ring::Ring0,
+    };
+    /// Host user mode (`U_host`).
+    pub const HOST_USER: CpuMode = CpuMode {
+        operation: Operation::Root,
+        ring: Ring::Ring3,
+    };
+    /// Host kernel / hypervisor mode (`K_host`).
+    pub const HOST_KERNEL: CpuMode = CpuMode {
+        operation: Operation::Root,
+        ring: Ring::Ring0,
+    };
+
+    /// Creates a mode from its two components.
+    pub fn new(operation: Operation, ring: Ring) -> CpuMode {
+        CpuMode { operation, ring }
+    }
+
+    /// The VMX operation component.
+    pub fn operation(self) -> Operation {
+        self.operation
+    }
+
+    /// The ring component.
+    pub fn ring(self) -> Ring {
+        self.ring
+    }
+
+    /// Whether moving from `self` to `other` changes the ring level.
+    pub fn crosses_ring(self, other: CpuMode) -> bool {
+        self.ring != other.ring
+    }
+
+    /// Whether moving from `self` to `other` changes host/guest operation
+    /// (a "H/G switch" in Table 3 of the paper).
+    pub fn crosses_operation(self, other: CpuMode) -> bool {
+        self.operation != other.operation
+    }
+
+    /// Whether any mode component differs.
+    pub fn crosses_any(self, other: CpuMode) -> bool {
+        self != other
+    }
+
+    /// `true` if this is the hypervisor's mode (host ring 0).
+    pub fn is_hypervisor(self) -> bool {
+        self == CpuMode::HOST_KERNEL
+    }
+}
+
+impl Default for CpuMode {
+    /// CPUs come up running guest user code in this simulation, since all
+    /// workloads in the paper start in a guest application.
+    fn default() -> CpuMode {
+        CpuMode::GUEST_USER
+    }
+}
+
+impl fmt::Display for CpuMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.operation, self.ring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_levels_round_trip() {
+        for ring in Ring::ALL {
+            assert_eq!(Ring::from_level(ring.level()), Some(ring));
+        }
+        assert_eq!(Ring::from_level(4), None);
+        assert_eq!(Ring::from_level(255), None);
+    }
+
+    #[test]
+    fn ring_privilege_ordering() {
+        assert!(Ring::Ring0.at_least_as_privileged_as(Ring::Ring3));
+        assert!(Ring::Ring0.at_least_as_privileged_as(Ring::Ring0));
+        assert!(!Ring::Ring3.at_least_as_privileged_as(Ring::Ring0));
+        assert!(Ring::Ring1.at_least_as_privileged_as(Ring::Ring2));
+    }
+
+    #[test]
+    fn kernel_and_user_predicates() {
+        assert!(Ring::Ring0.is_kernel());
+        assert!(!Ring::Ring0.is_user());
+        assert!(Ring::Ring3.is_user());
+        assert!(!Ring::Ring1.is_kernel());
+    }
+
+    #[test]
+    fn operation_predicates() {
+        assert!(Operation::Root.is_host());
+        assert!(Operation::NonRoot.is_guest());
+        assert!(!Operation::Root.is_guest());
+    }
+
+    #[test]
+    fn mode_crossing_classification() {
+        let gu = CpuMode::GUEST_USER;
+        let gk = CpuMode::GUEST_KERNEL;
+        let hu = CpuMode::HOST_USER;
+        let hk = CpuMode::HOST_KERNEL;
+
+        assert!(gu.crosses_ring(gk));
+        assert!(!gu.crosses_operation(gk));
+
+        assert!(gu.crosses_operation(hu));
+        assert!(!gu.crosses_ring(hu));
+
+        assert!(gu.crosses_ring(hk));
+        assert!(gu.crosses_operation(hk));
+
+        assert!(!gu.crosses_any(gu));
+        assert!(gu.crosses_any(hk));
+    }
+
+    #[test]
+    fn hypervisor_mode_is_host_ring0() {
+        assert!(CpuMode::HOST_KERNEL.is_hypervisor());
+        assert!(!CpuMode::HOST_USER.is_hypervisor());
+        assert!(!CpuMode::GUEST_KERNEL.is_hypervisor());
+    }
+
+    #[test]
+    fn default_mode_is_guest_user() {
+        assert_eq!(CpuMode::default(), CpuMode::GUEST_USER);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CpuMode::GUEST_USER.to_string(), "guest/ring-3");
+        assert_eq!(CpuMode::HOST_KERNEL.to_string(), "host/ring-0");
+    }
+}

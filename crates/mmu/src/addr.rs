@@ -1,0 +1,147 @@
+//! Address newtypes for the three address spaces of a virtualized machine.
+//!
+//! A virtualized memory access is translated twice: guest virtual
+//! ([`Gva`]) → guest physical ([`Gpa`]) by the guest page table, then guest
+//! physical → host physical ([`Hpa`]) by the EPT. Distinct newtypes make it
+//! a compile error to feed an address to the wrong stage.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Log2 of the page size (4 KiB pages throughout, as on x86-64).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+macro_rules! address_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The zero address.
+            pub const ZERO: $name = $name(0);
+
+            /// The raw address value.
+            pub fn value(self) -> u64 {
+                self.0
+            }
+
+            /// The containing page's base address.
+            pub fn page_base(self) -> $name {
+                $name(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// The offset of this address within its page.
+            pub fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// The page frame number (address divided by the page size).
+            pub fn frame_number(self) -> u64 {
+                self.0 >> PAGE_SHIFT
+            }
+
+            /// Whether the address is page-aligned.
+            pub fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+
+            /// Constructs the base address of frame `n`.
+            pub fn from_frame(n: u64) -> $name {
+                $name(n << PAGE_SHIFT)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, ":{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> $name {
+                $name(v)
+            }
+        }
+    };
+}
+
+address_type!(
+    /// A guest virtual address — what guest software dereferences.
+    Gva,
+    "gva"
+);
+address_type!(
+    /// A guest physical address — output of the guest page table, input to
+    /// the EPT. The cross-ring code page of §4.3 is placed at the *same*
+    /// `Gpa` in every VM so execution continues seamlessly across a VMFUNC.
+    Gpa,
+    "gpa"
+);
+address_type!(
+    /// A host physical address — a real frame of simulated machine memory.
+    Hpa,
+    "hpa"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let a = Gva(0x1234_5678);
+        assert_eq!(a.page_base(), Gva(0x1234_5000));
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.frame_number(), 0x1_2345);
+        assert!(!a.is_page_aligned());
+        assert!(a.page_base().is_page_aligned());
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        for n in [0u64, 1, 0x7ff, 1 << 24] {
+            assert_eq!(Gpa::from_frame(n).frame_number(), n);
+            assert!(Gpa::from_frame(n).is_page_aligned());
+        }
+    }
+
+    #[test]
+    fn addition_offsets() {
+        assert_eq!(Hpa(0x1000) + 0x34, Hpa(0x1034));
+    }
+
+    #[test]
+    fn display_tags_distinguish_spaces() {
+        assert_eq!(Gva(0x10).to_string(), "gva:0x10");
+        assert_eq!(Gpa(0x10).to_string(), "gpa:0x10");
+        assert_eq!(Hpa(0x10).to_string(), "hpa:0x10");
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", Gva(0xabc)), "abc");
+    }
+
+    #[test]
+    fn zero_and_from() {
+        assert_eq!(Gva::ZERO.value(), 0);
+        assert_eq!(Gva::from(7u64), Gva(7));
+    }
+}

@@ -1,0 +1,113 @@
+//! Memory-management substrate: guest page tables, extended page tables
+//! (EPT), two-stage address translation, a software TLB, and simulated host
+//! physical memory.
+//!
+//! CrossOver's `world_call` and its VMFUNC approximation are, at bottom,
+//! *address-space switches*: a VMFUNC swaps the EPT pointer, a CR3 write
+//! swaps the guest page table. For the reproduction to be meaningful those
+//! switches must have real consequences — translations must change, shared
+//! mappings must genuinely alias the same host frames, and the cross-ring
+//! code page of §4.3 must actually be mapped at the same guest-physical
+//! address in every VM. This crate provides that machinery:
+//!
+//! * [`addr`] — address newtypes ([`addr::Gva`], [`addr::Gpa`],
+//!   [`addr::Hpa`]) so the two translation stages cannot be confused.
+//! * [`perms`] — page permissions.
+//! * [`phys`] — simulated host physical memory and a frame allocator.
+//! * [`radix`] — the 4-level radix table shared by both paging structures.
+//! * [`pagetable`] — guest page tables (GVA → GPA), identified by a CR3
+//!   root value.
+//! * [`ept`] — extended page tables (GPA → HPA), identified by an EPTP.
+//! * [`translate`] — the two-stage walk GVA → GPA → HPA.
+//! * [`tlb`] — a software TLB tagged by (CR3, EPTP) so that VMFUNC switches
+//!   do not require a flush, matching the hardware the paper relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use xover_mmu::addr::{Gpa, Gva, Hpa};
+//! use xover_mmu::ept::Ept;
+//! use xover_mmu::pagetable::PageTable;
+//! use xover_mmu::perms::Perms;
+//! use xover_mmu::translate::translate;
+//!
+//! let mut pt = PageTable::new(0x1000);
+//! let mut ept = Ept::new(0xA000);
+//! pt.map(Gva(0x4000_0000), Gpa(0x2000), Perms::rw())?;
+//! ept.map(Gpa(0x2000), Hpa(0x9_F000), Perms::rwx())?;
+//! let hpa = translate(&pt, &ept, Gva(0x4000_0123), Perms::r())?;
+//! assert_eq!(hpa, Hpa(0x9_F123));
+//! # Ok::<(), xover_mmu::MmuError>(())
+//! ```
+
+pub mod addr;
+pub mod ept;
+pub mod pagetable;
+pub mod perms;
+pub mod phys;
+pub mod radix;
+pub mod tlb;
+pub mod translate;
+
+pub use addr::{Gpa, Gva, Hpa, PAGE_SHIFT, PAGE_SIZE};
+pub use ept::Ept;
+pub use pagetable::PageTable;
+pub use perms::Perms;
+pub use phys::PhysMemory;
+pub use tlb::Tlb;
+
+use std::fmt;
+
+/// Errors raised by translation and mapping operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuError {
+    /// A guest virtual address had no page-table mapping.
+    PageFault {
+        /// The faulting guest virtual address.
+        gva: Gva,
+    },
+    /// A guest physical address had no EPT mapping (an "EPT violation").
+    EptViolation {
+        /// The faulting guest physical address.
+        gpa: Gpa,
+    },
+    /// The mapping exists but does not allow the requested access.
+    PermissionDenied {
+        /// Permissions the access required.
+        required: Perms,
+        /// Permissions the mapping grants.
+        granted: Perms,
+    },
+    /// An address that must be page-aligned was not.
+    Misaligned {
+        /// The offending address value.
+        addr: u64,
+    },
+    /// Attempted to map a page that is already mapped.
+    AlreadyMapped {
+        /// The page-aligned address value that was already present.
+        addr: u64,
+    },
+    /// A read or write touched unbacked host physical memory.
+    BadPhysAddr {
+        /// The offending host physical address.
+        hpa: Hpa,
+    },
+}
+
+impl fmt::Display for MmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmuError::PageFault { gva } => write!(f, "page fault at {gva}"),
+            MmuError::EptViolation { gpa } => write!(f, "EPT violation at {gpa}"),
+            MmuError::PermissionDenied { required, granted } => {
+                write!(f, "permission denied: required {required}, granted {granted}")
+            }
+            MmuError::Misaligned { addr } => write!(f, "address {addr:#x} is not page-aligned"),
+            MmuError::AlreadyMapped { addr } => write!(f, "page {addr:#x} is already mapped"),
+            MmuError::BadPhysAddr { hpa } => write!(f, "unbacked host physical address {hpa}"),
+        }
+    }
+}
+
+impl std::error::Error for MmuError {}

@@ -1,0 +1,152 @@
+//! Page access permissions.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+/// Read/write/execute permission bits for a page mapping.
+///
+/// Implemented as a tiny flag set (the external `bitflags` crate is not in
+/// this project's dependency budget).
+///
+/// # Example
+///
+/// ```
+/// use xover_mmu::perms::Perms;
+///
+/// let granted = Perms::rx();
+/// assert!(granted.allows(Perms::r()));
+/// assert!(granted.allows(Perms::x()));
+/// assert!(!granted.allows(Perms::w()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    const READ: u8 = 0b001;
+    const WRITE: u8 = 0b010;
+    const EXEC: u8 = 0b100;
+
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+
+    /// Read-only.
+    pub fn r() -> Perms {
+        Perms(Perms::READ)
+    }
+
+    /// Write-only (used as an access *request*; mappings normally grant
+    /// read alongside write).
+    pub fn w() -> Perms {
+        Perms(Perms::WRITE)
+    }
+
+    /// Execute-only access request.
+    pub fn x() -> Perms {
+        Perms(Perms::EXEC)
+    }
+
+    /// Read + write.
+    pub fn rw() -> Perms {
+        Perms(Perms::READ | Perms::WRITE)
+    }
+
+    /// Read + execute (e.g. the non-writable cross-ring code page of §4.3).
+    pub fn rx() -> Perms {
+        Perms(Perms::READ | Perms::EXEC)
+    }
+
+    /// Read + write + execute.
+    pub fn rwx() -> Perms {
+        Perms(Perms::READ | Perms::WRITE | Perms::EXEC)
+    }
+
+    /// Whether reading is permitted.
+    pub fn can_read(self) -> bool {
+        self.0 & Perms::READ != 0
+    }
+
+    /// Whether writing is permitted.
+    pub fn can_write(self) -> bool {
+        self.0 & Perms::WRITE != 0
+    }
+
+    /// Whether executing is permitted.
+    pub fn can_exec(self) -> bool {
+        self.0 & Perms::EXEC != 0
+    }
+
+    /// Whether this grant covers every bit of the `requested` access.
+    pub fn allows(self, requested: Perms) -> bool {
+        self.0 & requested.0 == requested.0
+    }
+
+    /// Whether no access is permitted.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(Perms::r().can_read());
+        assert!(!Perms::r().can_write());
+        assert!(Perms::rw().can_write());
+        assert!(Perms::rx().can_exec());
+        assert!(Perms::rwx().allows(Perms::rw()));
+        assert!(Perms::NONE.is_none());
+    }
+
+    #[test]
+    fn allows_is_subset_check() {
+        assert!(Perms::rw().allows(Perms::r()));
+        assert!(Perms::rw().allows(Perms::w()));
+        assert!(!Perms::rw().allows(Perms::x()));
+        assert!(!Perms::r().allows(Perms::rw()));
+        // Everything allows the empty request.
+        assert!(Perms::NONE.allows(Perms::NONE));
+        assert!(Perms::r().allows(Perms::NONE));
+    }
+
+    #[test]
+    fn bit_ops() {
+        assert_eq!(Perms::r() | Perms::w(), Perms::rw());
+        assert_eq!(Perms::rwx() & Perms::w(), Perms::w());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Perms::rw().to_string(), "rw-");
+        assert_eq!(Perms::rx().to_string(), "r-x");
+        assert_eq!(Perms::NONE.to_string(), "---");
+    }
+}

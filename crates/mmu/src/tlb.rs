@@ -1,0 +1,266 @@
+//! A software TLB tagged by (CR3, EPTP).
+//!
+//! Real VMFUNC avoids TLB flushes because hardware TLB entries are tagged
+//! with the EPTP (via VPID/EP4TA tagging). That is a significant part of
+//! why a VMFUNC world switch is so much cheaper than a hypervisor-mediated
+//! switch. This TLB models that: entries are keyed by the *pair*
+//! (CR3, EPTP), so changing either register simply makes a different set
+//! of entries visible instead of discarding state.
+
+use std::collections::HashMap;
+
+use crate::addr::{Gva, Hpa};
+use crate::perms::Perms;
+
+/// Key identifying one cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TlbKey {
+    cr3: u64,
+    eptp: u64,
+    vpn: u64,
+}
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Host-physical frame base the page maps to.
+    pub hpa_base: Hpa,
+    /// Effective permissions (intersection of both stages).
+    pub perms: Perms,
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of entries evicted for capacity.
+    pub evictions: u64,
+    /// Number of entries removed by invalidations/flushes.
+    pub invalidations: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in [0, 1]; 0 if no lookups occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A finite, FIFO-evicting software TLB tagged by (CR3, EPTP).
+///
+/// # Example
+///
+/// ```
+/// use xover_mmu::addr::{Gva, Hpa};
+/// use xover_mmu::perms::Perms;
+/// use xover_mmu::tlb::Tlb;
+///
+/// let mut tlb = Tlb::new(64);
+/// tlb.insert(0x1000, 0xA000, Gva(0x8000), Hpa(0x3000), Perms::rw());
+/// // Hit under the same (CR3, EPTP).
+/// assert!(tlb.lookup(0x1000, 0xA000, Gva(0x8123)).is_some());
+/// // A different EPTP sees nothing — but the original entry survives.
+/// assert!(tlb.lookup(0x1000, 0xB000, Gva(0x8123)).is_none());
+/// assert!(tlb.lookup(0x1000, 0xA000, Gva(0x8123)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: HashMap<TlbKey, TlbEntry>,
+    order: Vec<TlbKey>,
+    capacity: usize,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            capacity,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Current number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Looks up the translation of `gva` under the given (CR3, EPTP) tag.
+    /// Records a hit or miss.
+    pub fn lookup(&mut self, cr3: u64, eptp: u64, gva: Gva) -> Option<TlbEntry> {
+        let key = TlbKey {
+            cr3,
+            eptp,
+            vpn: gva.frame_number(),
+        };
+        match self.entries.get(&key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation, evicting the oldest entry if at capacity.
+    pub fn insert(&mut self, cr3: u64, eptp: u64, gva: Gva, hpa_base: Hpa, perms: Perms) {
+        let key = TlbKey {
+            cr3,
+            eptp,
+            vpn: gva.frame_number(),
+        };
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // FIFO eviction.
+            while let Some(oldest) = self.order.first().copied() {
+                self.order.remove(0);
+                if self.entries.remove(&oldest).is_some() {
+                    self.stats.evictions += 1;
+                    break;
+                }
+            }
+        }
+        if self.entries.insert(key, TlbEntry { hpa_base, perms }).is_none() {
+            self.order.push(key);
+        }
+    }
+
+    /// Invalidates every entry tagged with `cr3` (the effect of a CR3
+    /// write without PCID on legacy hardware, or an `invlpg` sweep).
+    pub fn invalidate_cr3(&mut self, cr3: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.cr3 != cr3);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Invalidates every entry tagged with `eptp` (hypervisor EPT edit).
+    pub fn invalidate_eptp(&mut self, eptp: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.eptp != eptp);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Flushes everything.
+    pub fn flush(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_for(tlb: &mut Tlb, cr3: u64, eptp: u64, gva: u64) -> Option<TlbEntry> {
+        tlb.lookup(cr3, eptp, Gva(gva))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut tlb = Tlb::new(4);
+        assert!(entry_for(&mut tlb, 1, 1, 0x1000).is_none());
+        tlb.insert(1, 1, Gva(0x1000), Hpa(0x5000), Perms::rw());
+        assert!(entry_for(&mut tlb, 1, 1, 0x1000).is_some());
+        let s = tlb.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eptp_tagging_preserves_entries_across_vmfunc() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(0x10, 0xA, Gva(0x1000), Hpa(0x5000), Perms::rw());
+        tlb.insert(0x10, 0xB, Gva(0x1000), Hpa(0x7000), Perms::rw());
+        // "VMFUNC" to EPTP B and back: both views stay cached.
+        assert_eq!(
+            entry_for(&mut tlb, 0x10, 0xB, 0x1000).unwrap().hpa_base,
+            Hpa(0x7000)
+        );
+        assert_eq!(
+            entry_for(&mut tlb, 0x10, 0xA, 0x1000).unwrap().hpa_base,
+            Hpa(0x5000)
+        );
+    }
+
+    #[test]
+    fn capacity_eviction_is_fifo() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1, 1, Gva(0x1000), Hpa(0x1000), Perms::r());
+        tlb.insert(1, 1, Gva(0x2000), Hpa(0x2000), Perms::r());
+        tlb.insert(1, 1, Gva(0x3000), Hpa(0x3000), Perms::r());
+        assert_eq!(tlb.len(), 2);
+        assert!(entry_for(&mut tlb, 1, 1, 0x1000).is_none(), "oldest evicted");
+        assert!(entry_for(&mut tlb, 1, 1, 0x2000).is_some());
+        assert!(entry_for(&mut tlb, 1, 1, 0x3000).is_some());
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_by_cr3_and_eptp() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(1, 0xA, Gva(0x1000), Hpa(0x1000), Perms::r());
+        tlb.insert(2, 0xA, Gva(0x1000), Hpa(0x2000), Perms::r());
+        tlb.insert(1, 0xB, Gva(0x1000), Hpa(0x3000), Perms::r());
+        tlb.invalidate_cr3(1);
+        assert!(entry_for(&mut tlb, 1, 0xA, 0x1000).is_none());
+        assert!(entry_for(&mut tlb, 1, 0xB, 0x1000).is_none());
+        assert!(entry_for(&mut tlb, 2, 0xA, 0x1000).is_some());
+        tlb.invalidate_eptp(0xA);
+        assert!(entry_for(&mut tlb, 2, 0xA, 0x1000).is_none());
+    }
+
+    #[test]
+    fn flush_clears_all() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(1, 1, Gva(0x1000), Hpa(0x1000), Perms::r());
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.stats().invalidations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Tlb::new(0);
+    }
+
+    #[test]
+    fn reinsert_same_key_updates_in_place() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1, 1, Gva(0x1000), Hpa(0x1000), Perms::r());
+        tlb.insert(1, 1, Gva(0x1000), Hpa(0x9000), Perms::rw());
+        assert_eq!(tlb.len(), 1);
+        let e = entry_for(&mut tlb, 1, 1, 0x1000).unwrap();
+        assert_eq!(e.hpa_base, Hpa(0x9000));
+        assert!(e.perms.can_write());
+    }
+}

@@ -1,0 +1,104 @@
+//! Two-stage address translation: GVA → GPA → HPA.
+
+use crate::addr::{Gva, Hpa};
+use crate::ept::Ept;
+use crate::pagetable::PageTable;
+use crate::perms::Perms;
+use crate::MmuError;
+
+/// Translates a guest virtual address through both stages, checking
+/// `access` at each stage (guest page-table permissions first, then EPT
+/// permissions — the order real hardware faults in).
+///
+/// # Errors
+///
+/// * [`MmuError::PageFault`] if the guest page table has no mapping.
+/// * [`MmuError::EptViolation`] if the EPT has no mapping.
+/// * [`MmuError::PermissionDenied`] if either stage denies the access.
+///
+/// # Example
+///
+/// ```
+/// use xover_mmu::addr::{Gpa, Gva, Hpa};
+/// use xover_mmu::ept::Ept;
+/// use xover_mmu::pagetable::PageTable;
+/// use xover_mmu::perms::Perms;
+/// use xover_mmu::translate::translate;
+///
+/// let mut pt = PageTable::new(0x1000);
+/// let mut ept = Ept::new(0xA000);
+/// pt.map(Gva(0x8000), Gpa(0x2000), Perms::rw())?;
+/// ept.map(Gpa(0x2000), Hpa(0x3000), Perms::rw())?;
+/// assert_eq!(translate(&pt, &ept, Gva(0x8010), Perms::w())?, Hpa(0x3010));
+/// # Ok::<(), xover_mmu::MmuError>(())
+/// ```
+pub fn translate(
+    pt: &PageTable,
+    ept: &Ept,
+    gva: Gva,
+    access: Perms,
+) -> Result<Hpa, MmuError> {
+    let gpa = pt.translate(gva, access)?;
+    ept.translate(gpa, access)
+}
+
+/// The number of memory accesses a full two-stage hardware walk performs
+/// on a TLB miss. A two-dimensional walk touches each guest level and, for
+/// each guest level *and* the final access, walks the EPT: with 4-level
+/// tables that is 4 × (4 + 1) + 4 = 24 accesses on real hardware.
+pub const TWO_STAGE_WALK_ACCESSES: u32 = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Gpa;
+
+    fn setup() -> (PageTable, Ept) {
+        let mut pt = PageTable::new(0x1000);
+        let mut ept = Ept::new(0xA000);
+        pt.map(Gva(0x8000), Gpa(0x2000), Perms::rw()).unwrap();
+        ept.map(Gpa(0x2000), Hpa(0x3000), Perms::rw()).unwrap();
+        (pt, ept)
+    }
+
+    #[test]
+    fn both_stages_compose() {
+        let (pt, ept) = setup();
+        assert_eq!(
+            translate(&pt, &ept, Gva(0x8abc), Perms::r()).unwrap(),
+            Hpa(0x3abc)
+        );
+    }
+
+    #[test]
+    fn stage1_fault_takes_precedence() {
+        let (pt, ept) = setup();
+        let err = translate(&pt, &ept, Gva(0xdead_0000), Perms::r()).unwrap_err();
+        assert!(matches!(err, MmuError::PageFault { .. }));
+    }
+
+    #[test]
+    fn stage2_violation_reported() {
+        let (mut pt, ept) = setup();
+        // Guest maps a GPA that the hypervisor never backed.
+        pt.map(Gva(0x9000), Gpa(0xF000), Perms::rw()).unwrap();
+        let err = translate(&pt, &ept, Gva(0x9000), Perms::r()).unwrap_err();
+        assert!(matches!(err, MmuError::EptViolation { gpa: Gpa(0xF000) }));
+    }
+
+    #[test]
+    fn ept_permissions_override_guest_permissions() {
+        // Guest thinks the page is writable, but the hypervisor granted
+        // read-only at the EPT level (the mechanism Overshadow-style
+        // systems rely on).
+        let mut pt = PageTable::new(0x1000);
+        let mut ept = Ept::new(0xA000);
+        pt.map(Gva(0x8000), Gpa(0x2000), Perms::rw()).unwrap();
+        ept.map(Gpa(0x2000), Hpa(0x3000), Perms::r()).unwrap();
+        assert!(translate(&pt, &ept, Gva(0x8000), Perms::r()).is_ok());
+        assert!(matches!(
+            translate(&pt, &ept, Gva(0x8000), Perms::w()),
+            Err(MmuError::PermissionDenied { .. })
+        ));
+    }
+}

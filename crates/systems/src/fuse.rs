@@ -1,0 +1,352 @@
+//! FUSE: a user-space filesystem (Table 1's decoupling example) — the
+//! *same-VM, user-to-user* cross-world call.
+//!
+//! Every FS syscall to a FUSE mount detours through the kernel to a
+//! user-space daemon and back: `U_app → K → U_fuse → K → U_app`, 2× the
+//! minimal crossings. This case matters for CrossOver because the VMFUNC
+//! approximation **cannot** optimize it: both worlds share one EPT, so
+//! there is nothing for VMFUNC to switch, and changing CR3 requires
+//! ring 0. The full `world_call` switches user-to-user address spaces
+//! directly (Table 3 row `U_host ↔ U_host`: SW 2 hops, CrossOver 1).
+
+use crossover::manager::WorldManager;
+use crossover::world::{Wid, WorldDescriptor};
+use guestos::fs::{FileStat, RamFs};
+use hypervisor::platform::Platform;
+use hypervisor::vm::{VmConfig, VmId};
+use machine::account::Delta;
+use machine::trace::TransitionKind;
+
+use crate::SystemError;
+
+/// Cycles of daemon-side request handling (request decode, user-space FS
+/// logic beyond the data-structure work itself).
+pub const DAEMON_WORK_CYCLES: u64 = 900;
+/// Instructions for the daemon handling.
+pub const DAEMON_WORK_INSTRUCTIONS: u64 = 280;
+/// Cycles the kernel spends queueing a FUSE request and waking the
+/// daemon (baseline path only).
+pub const FUSE_QUEUE_CYCLES: u64 = 650;
+/// Instructions for the queueing.
+pub const FUSE_QUEUE_INSTRUCTIONS: u64 = 200;
+
+/// A FUSE request against the user-space filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuseOp {
+    /// Look up metadata.
+    Getattr {
+        /// Path within the mount.
+        path: String,
+    },
+    /// Read file content.
+    Read {
+        /// Path within the mount.
+        path: String,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// Create and write a file.
+    Write {
+        /// Path within the mount.
+        path: String,
+        /// Data to store.
+        data: Vec<u8>,
+    },
+}
+
+/// Result of a FUSE request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuseRet {
+    /// Metadata.
+    Attr(FileStat),
+    /// File content.
+    Data(Vec<u8>),
+    /// Bytes written.
+    Written(usize),
+}
+
+/// A FUSE deployment: one VM hosting an application and a user-space
+/// filesystem daemon, connected either by the classic kernel detour or by
+/// a direct user-to-user `world_call`.
+#[derive(Debug, Clone)]
+pub struct Fuse {
+    /// The simulated machine.
+    pub platform: Platform,
+    /// The VM hosting both the app and the daemon.
+    pub vm: VmId,
+    /// The daemon's user-space filesystem state.
+    daemon_fs: RamFs,
+    manager: WorldManager,
+    app_world: Wid,
+    daemon_world: Wid,
+    app_cr3: u64,
+    requests_served: u64,
+}
+
+impl Fuse {
+    /// CR3 of the application's address space.
+    const APP_CR3: u64 = 0x11_000;
+    /// CR3 of the daemon's address space.
+    const DAEMON_CR3: u64 = 0x22_000;
+
+    /// Builds the deployment and registers both user worlds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform and registration failures.
+    pub fn new() -> Result<Fuse, SystemError> {
+        let mut platform = Platform::new_default();
+        let vm = platform.create_vm(VmConfig::named("fuse-vm"))?;
+        let mut manager = WorldManager::new();
+        let app_desc = WorldDescriptor::guest_user(&platform, vm, Fuse::APP_CR3, 0x40_0000)?;
+        let daemon_desc =
+            WorldDescriptor::guest_user(&platform, vm, Fuse::DAEMON_CR3, 0x50_0000)?;
+        let app_world = manager.register_world(&mut platform, app_desc)?;
+        let daemon_world = manager.register_world(&mut platform, daemon_desc)?;
+        platform.vmentry(vm)?;
+        platform.cpu_mut().force_cr3(Fuse::APP_CR3);
+        let mut daemon_fs = RamFs::new();
+        daemon_fs
+            .create("/mnt/fuse/README", 0o644)
+            .expect("fresh fs");
+        Ok(Fuse {
+            platform,
+            vm,
+            daemon_fs,
+            manager,
+            app_world,
+            daemon_world,
+            app_cr3: Fuse::APP_CR3,
+            requests_served: 0,
+        })
+    }
+
+    /// Requests served by the daemon so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Read access to the daemon's filesystem (test assertions).
+    pub fn daemon_fs(&self) -> &RamFs {
+        &self.daemon_fs
+    }
+
+    fn serve(&mut self, op: &FuseOp) -> Result<FuseRet, SystemError> {
+        self.platform.cpu_mut().charge_work(
+            DAEMON_WORK_CYCLES,
+            DAEMON_WORK_INSTRUCTIONS,
+            "fuse daemon handling",
+        );
+        self.requests_served += 1;
+        let ret = match op {
+            FuseOp::Getattr { path } => FuseRet::Attr(
+                self.daemon_fs
+                    .stat(path)
+                    .map_err(guestos::SyscallError::from)?,
+            ),
+            FuseOp::Read { path, len } => {
+                let ino = self
+                    .daemon_fs
+                    .lookup(path)
+                    .map_err(guestos::SyscallError::from)?;
+                FuseRet::Data(
+                    self.daemon_fs
+                        .read_at(ino, 0, *len)
+                        .map_err(guestos::SyscallError::from)?,
+                )
+            }
+            FuseOp::Write { path, data } => {
+                let ino = match self.daemon_fs.lookup(path) {
+                    Ok(ino) => ino,
+                    Err(_) => self
+                        .daemon_fs
+                        .create(path, 0o644)
+                        .map_err(guestos::SyscallError::from)?,
+                };
+                FuseRet::Written(
+                    self.daemon_fs
+                        .write_at(ino, 0, data)
+                        .map_err(guestos::SyscallError::from)?,
+                )
+            }
+        };
+        Ok(ret)
+    }
+
+    /// The classic path: `U_app → K → U_fuse → K → U_app`, with the
+    /// kernel queueing the request and context-switching to the daemon
+    /// each way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates daemon failures.
+    pub fn baseline_call(&mut self, op: &FuseOp) -> Result<FuseRet, SystemError> {
+        let cpu = self.platform.cpu_mut();
+        // U_app -> K: the VFS intercepts the syscall.
+        cpu.transition(
+            TransitionKind::SyscallEnter,
+            machine::mode::CpuMode::GUEST_KERNEL,
+        );
+        cpu.charge_work(
+            FUSE_QUEUE_CYCLES,
+            FUSE_QUEUE_INSTRUCTIONS,
+            "queue fuse request + wake daemon",
+        );
+        // K -> U_fuse: context switch to the daemon.
+        cpu.touch(TransitionKind::ContextSwitch);
+        cpu.force_cr3(Fuse::DAEMON_CR3);
+        cpu.transition(
+            TransitionKind::SyscallExit,
+            machine::mode::CpuMode::GUEST_USER,
+        );
+        let ret = self.serve(op);
+        // U_fuse -> K: daemon replies via the fuse device.
+        let cpu = self.platform.cpu_mut();
+        cpu.transition(
+            TransitionKind::SyscallEnter,
+            machine::mode::CpuMode::GUEST_KERNEL,
+        );
+        cpu.charge_work(
+            FUSE_QUEUE_CYCLES,
+            FUSE_QUEUE_INSTRUCTIONS,
+            "complete fuse request + wake app",
+        );
+        // K -> U_app.
+        cpu.touch(TransitionKind::ContextSwitch);
+        cpu.force_cr3(self.app_cr3);
+        cpu.transition(
+            TransitionKind::SyscallExit,
+            machine::mode::CpuMode::GUEST_USER,
+        );
+        ret
+    }
+
+    /// The CrossOver path: one `world_call` from the app's user world
+    /// straight into the daemon's user world and back. No kernel, no
+    /// scheduler, no ring crossing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-call and daemon failures.
+    pub fn crossover_call(&mut self, op: &FuseOp) -> Result<FuseRet, SystemError> {
+        let token = self
+            .manager
+            .call(&mut self.platform, self.app_world, self.daemon_world)?;
+        let ret = self.serve(op);
+        self.manager.ret(&mut self.platform, token)?;
+        ret
+    }
+
+    /// Measures one call's latency under `baseline`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates call failures.
+    pub fn measure(&mut self, op: &FuseOp, baseline: bool) -> Result<(FuseRet, Delta), SystemError> {
+        let snap = self.platform.cpu().meter().snapshot();
+        let ret = if baseline {
+            self.baseline_call(op)?
+        } else {
+            self.crossover_call(op)?
+        };
+        Ok((ret, self.platform.cpu().meter().since(snap)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cost::Frequency;
+
+    fn getattr() -> FuseOp {
+        FuseOp::Getattr {
+            path: "/mnt/fuse/README".into(),
+        }
+    }
+
+    #[test]
+    fn both_paths_agree_on_results() {
+        let mut f = Fuse::new().unwrap();
+        let (a, _) = f.measure(&getattr(), true).unwrap();
+        let (b, _) = f.measure(&getattr(), false).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(f.requests_served(), 2);
+    }
+
+    #[test]
+    fn crossover_halves_the_fuse_detour() {
+        let mut f = Fuse::new().unwrap();
+        let (_, base) = f.measure(&getattr(), true).unwrap();
+        let (_, opt) = f.measure(&getattr(), false).unwrap();
+        let reduction = 1.0 - opt.cycles.0 as f64 / base.cycles.0 as f64;
+        assert!(
+            reduction > 0.5,
+            "baseline {:.2} us vs crossover {:.2} us ({:.0}%)",
+            base.micros(Frequency::GHZ_3_4),
+            opt.micros(Frequency::GHZ_3_4),
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn baseline_crosses_four_rings_crossover_none() {
+        let mut f = Fuse::new().unwrap();
+        f.platform.cpu_mut().clear_trace();
+        f.baseline_call(&getattr()).unwrap();
+        assert_eq!(f.platform.cpu().trace().ring_crossings(), 4);
+
+        f.platform.cpu_mut().clear_trace();
+        f.crossover_call(&getattr()).unwrap();
+        // Two world switches, zero ring-level changes: user to user.
+        let t = f.platform.cpu().trace();
+        assert_eq!(t.count(TransitionKind::WorldCall), 1);
+        assert_eq!(t.count(TransitionKind::WorldReturn), 1);
+        assert_eq!(t.count(TransitionKind::SyscallEnter), 0);
+    }
+
+    #[test]
+    fn crossover_lands_in_the_daemon_address_space() {
+        let mut f = Fuse::new().unwrap();
+        let token = f
+            .manager
+            .call(&mut f.platform, f.app_world, f.daemon_world)
+            .unwrap();
+        assert_eq!(f.platform.cpu().cr3(), Fuse::DAEMON_CR3);
+        assert!(f.platform.cpu().mode().ring().is_user());
+        f.manager.ret(&mut f.platform, token).unwrap();
+        assert_eq!(f.platform.cpu().cr3(), Fuse::APP_CR3);
+    }
+
+    #[test]
+    fn writes_persist_in_the_daemon_fs() {
+        let mut f = Fuse::new().unwrap();
+        f.crossover_call(&FuseOp::Write {
+            path: "/mnt/fuse/data".into(),
+            data: b"user-space file".to_vec(),
+        })
+        .unwrap();
+        let (ret, _) = f
+            .measure(
+                &FuseOp::Read {
+                    path: "/mnt/fuse/data".into(),
+                    len: 64,
+                },
+                true,
+            )
+            .unwrap();
+        assert_eq!(ret, FuseRet::Data(b"user-space file".to_vec()));
+        assert!(f.daemon_fs().stat("/mnt/fuse/data").is_ok());
+    }
+
+    #[test]
+    fn missing_files_error_through_both_paths() {
+        let mut f = Fuse::new().unwrap();
+        let op = FuseOp::Getattr {
+            path: "/mnt/fuse/absent".into(),
+        };
+        assert!(f.baseline_call(&op).is_err());
+        assert!(f.crossover_call(&op).is_err());
+        // Errors do not wedge the world stacks.
+        assert!(f.crossover_call(&getattr()).is_ok());
+    }
+}

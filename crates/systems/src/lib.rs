@@ -1,0 +1,120 @@
+//! Case studies: the four systems the paper retrofits with CrossOver.
+//!
+//! Each system is implemented twice, mirroring §6:
+//!
+//! * a **baseline** that reproduces the original hypervisor-bounced call
+//!   path (the transition sequences of Figure 2 / Table 1), and
+//! * an **optimized** version using the VMFUNC cross-VM call of §4.3.
+//!
+//! The systems:
+//!
+//! * [`proxos`] — Proxos: redirecting security-sensitive syscalls from a
+//!   private trusted OS to an untrusted commodity OS.
+//! * [`hypershell`] — HyperShell: a management shell executing syscalls
+//!   inside a guest VM ("reverse syscall execution").
+//! * [`tahoma`] — Tahoma: browser instances isolated in VMs, controlled
+//!   by a manager over cross-VM RPC — a real TCP-over-virtual-NIC model
+//!   in the baseline.
+//! * [`shadowcontext`] — ShadowContext: VM introspection by redirecting
+//!   syscalls into a dummy process in the inspected VM.
+//! * [`fuse`] — FUSE user-space filesystems: the same-VM user-to-user
+//!   call that only the full CrossOver design (not the VMFUNC
+//!   approximation) can make intervention-free.
+//!
+//! Shared machinery:
+//!
+//! * [`mod@env`] — the two-VM environment: platform, kernels, shared pages.
+//! * [`crossvm`] — the §4.3 VMFUNC cross-VM syscall, plus the full
+//!   CrossOver (`world_call`) variant used by the Table 7 instruction-
+//!   count experiment.
+//! * [`net`] — the virtual point-to-point TCP link Tahoma's baseline RPC
+//!   rides on.
+//! * [`paths`] — the static cross-world path data behind Table 1 and
+//!   Figure 2 for all eleven systems the paper surveys.
+
+pub mod crossvm;
+pub mod env;
+pub mod fuse;
+pub mod hypershell;
+pub mod net;
+pub mod paths;
+pub mod proxos;
+pub mod shadowcontext;
+pub mod tahoma;
+
+pub use env::CrossVmEnv;
+pub use fuse::Fuse;
+pub use hypershell::HyperShell;
+pub use proxos::Proxos;
+pub use shadowcontext::ShadowContext;
+pub use tahoma::Tahoma;
+
+use std::fmt;
+
+/// Execution mode of a case-study system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The original design: every cross-world interaction bounces through
+    /// the hypervisor (and schedulers).
+    Baseline,
+    /// The §4.3 VMFUNC-based cross-world call.
+    Optimized,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Baseline => write!(f, "original"),
+            Mode::Optimized => write!(f, "optimized"),
+        }
+    }
+}
+
+/// Errors from case-study execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// Guest OS failure.
+    Syscall(guestos::SyscallError),
+    /// Hypervisor/platform failure.
+    Hv(hypervisor::HvError),
+    /// CrossOver failure.
+    World(crossover::WorldError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Syscall(e) => write!(f, "guest OS: {e}"),
+            SystemError::Hv(e) => write!(f, "hypervisor: {e}"),
+            SystemError::World(e) => write!(f, "crossover: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Syscall(e) => Some(e),
+            SystemError::Hv(e) => Some(e),
+            SystemError::World(e) => Some(e),
+        }
+    }
+}
+
+impl From<guestos::SyscallError> for SystemError {
+    fn from(e: guestos::SyscallError) -> SystemError {
+        SystemError::Syscall(e)
+    }
+}
+
+impl From<hypervisor::HvError> for SystemError {
+    fn from(e: hypervisor::HvError) -> SystemError {
+        SystemError::Hv(e)
+    }
+}
+
+impl From<crossover::WorldError> for SystemError {
+    fn from(e: crossover::WorldError) -> SystemError {
+        SystemError::World(e)
+    }
+}

@@ -1,0 +1,233 @@
+//! The virtual point-to-point TCP link Tahoma's baseline RPC rides on.
+//!
+//! Tahoma carries its browser-calls as "XML-formatted RPC over a TCP
+//! connection using point-to-point virtual network link" (§6). Each
+//! message traverses two full TCP/IP stacks and an emulated NIC whose
+//! doorbell is a VMExit — which is why Table 4 shows Tahoma's original
+//! latency at ~42 µs when everyone else is ~3 µs. This module models that
+//! link: real bytes move through a per-direction socket buffer, and every
+//! stack traversal, device emulation exit and wakeup is charged.
+
+use std::collections::VecDeque;
+
+use hypervisor::platform::Platform;
+use hypervisor::vm::VmId;
+use hypervisor::ExitReason;
+
+use crate::SystemError;
+
+/// Cycles for one TCP/IP transmit path (segmentation, checksums, queue).
+pub const TCP_TX_CYCLES: u64 = 27_000;
+/// Instructions for the transmit path.
+pub const TCP_TX_INSTRUCTIONS: u64 = 8_500;
+/// Cycles for one TCP/IP receive path (reassembly, copy to socket).
+pub const TCP_RX_CYCLES: u64 = 25_000;
+/// Instructions for the receive path.
+pub const TCP_RX_INSTRUCTIONS: u64 = 8_000;
+/// Cycles the hypervisor's virtual bridge spends forwarding one frame.
+pub const BRIDGE_CYCLES: u64 = 3_000;
+/// Instructions for the bridge forward.
+pub const BRIDGE_INSTRUCTIONS: u64 = 900;
+/// Cycles per byte of payload copied through the stacks (both sides).
+pub const PER_BYTE_CYCLES_NUM: u64 = 1;
+/// Divisor for the per-byte cost (1/4 cycle per byte).
+pub const PER_BYTE_CYCLES_DEN: u64 = 4;
+
+/// A bidirectional virtual TCP connection between two VMs.
+///
+/// # Example
+///
+/// ```
+/// use xover_systems::env::CrossVmEnv;
+/// use xover_systems::net::VirtualTcpLink;
+///
+/// let mut env = CrossVmEnv::new("manager", "instance")?;
+/// let mut link = VirtualTcpLink::new(env.vm1, env.vm2);
+/// link.send(&mut env.platform, env.vm1, b"<rpc>fetch</rpc>")?;
+/// // The instance VM gets scheduled and receives.
+/// env.platform.vmexit(hypervisor::ExitReason::Hlt)?;
+/// env.platform.vmentry(env.vm2)?;
+/// let msg = link.recv(&mut env.platform, env.vm2)?;
+/// assert_eq!(msg.as_deref(), Some(b"<rpc>fetch</rpc>".as_slice()));
+/// # Ok::<(), xover_systems::SystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualTcpLink {
+    a: VmId,
+    b: VmId,
+    /// Messages in flight from `a` to `b`.
+    a_to_b: VecDeque<Vec<u8>>,
+    /// Messages in flight from `b` to `a`.
+    b_to_a: VecDeque<Vec<u8>>,
+    messages_sent: u64,
+}
+
+impl VirtualTcpLink {
+    /// Creates a link between two VMs.
+    pub fn new(a: VmId, b: VmId) -> VirtualTcpLink {
+        VirtualTcpLink {
+            a,
+            b,
+            a_to_b: VecDeque::new(),
+            b_to_a: VecDeque::new(),
+            messages_sent: 0,
+        }
+    }
+
+    /// Total messages sent over the link.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Sends `payload` from `from` to the peer: charges the transmit
+    /// stack, the NIC-doorbell VMExit + device emulation, and the bridge
+    /// forward; enqueues the bytes. The CPU must be executing `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Hv`] if `from` is not the executing VM or not an
+    /// endpoint of this link.
+    pub fn send(
+        &mut self,
+        platform: &mut Platform,
+        from: VmId,
+        payload: &[u8],
+    ) -> Result<(), SystemError> {
+        if platform.current_vm() != Some(from) {
+            return Err(SystemError::Hv(hypervisor::HvError::NotInGuest));
+        }
+        let queue = if from == self.a {
+            &mut self.a_to_b
+        } else if from == self.b {
+            &mut self.b_to_a
+        } else {
+            return Err(SystemError::Hv(hypervisor::HvError::NoSuchVm { vm: from }));
+        };
+        // Sender-side socket write + TCP/IP transmit path.
+        platform.cpu_mut().charge_work(
+            TCP_TX_CYCLES + payload.len() as u64 * PER_BYTE_CYCLES_NUM / PER_BYTE_CYCLES_DEN,
+            TCP_TX_INSTRUCTIONS,
+            "tcp transmit path",
+        );
+        // NIC doorbell: device emulation VMExit, bridge forward, resume.
+        platform.vmexit(ExitReason::IoAccess)?;
+        platform
+            .cpu_mut()
+            .charge_work(BRIDGE_CYCLES, BRIDGE_INSTRUCTIONS, "virtual bridge forward");
+        let to = if from == self.a { self.b } else { self.a };
+        platform.inject_interrupt(to, 0x2E)?; // RX interrupt for the peer
+        platform.vmentry(from)?;
+        queue.push_back(payload.to_vec());
+        self.messages_sent += 1;
+        Ok(())
+    }
+
+    /// Receives the next pending message for `at`: the CPU must already be
+    /// executing `at` (delivery of the RX interrupt is what scheduled it).
+    /// Charges the receive stack and wakeup. Returns `None` if nothing is
+    /// pending.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::Hv`] if `at` is not the executing VM or not an
+    /// endpoint.
+    pub fn recv(
+        &mut self,
+        platform: &mut Platform,
+        at: VmId,
+    ) -> Result<Option<Vec<u8>>, SystemError> {
+        if platform.current_vm() != Some(at) {
+            return Err(SystemError::Hv(hypervisor::HvError::NotInGuest));
+        }
+        let queue = if at == self.b {
+            &mut self.a_to_b
+        } else if at == self.a {
+            &mut self.b_to_a
+        } else {
+            return Err(SystemError::Hv(hypervisor::HvError::NoSuchVm { vm: at }));
+        };
+        let msg = match queue.pop_front() {
+            Some(m) => m,
+            None => return Ok(None),
+        };
+        platform.charge_wakeup(at)?;
+        platform.cpu_mut().charge_work(
+            TCP_RX_CYCLES + msg.len() as u64 * PER_BYTE_CYCLES_NUM / PER_BYTE_CYCLES_DEN,
+            TCP_RX_INSTRUCTIONS,
+            "tcp receive path",
+        );
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CrossVmEnv;
+
+    #[test]
+    fn bytes_cross_the_link_in_order() {
+        let mut env = CrossVmEnv::new("a", "b").unwrap();
+        let mut link = VirtualTcpLink::new(env.vm1, env.vm2);
+        link.send(&mut env.platform, env.vm1, b"one").unwrap();
+        link.send(&mut env.platform, env.vm1, b"two").unwrap();
+        // Switch execution to VM-2 to receive.
+        env.platform.vmexit(ExitReason::Hlt).unwrap();
+        env.platform.vmentry(env.vm2).unwrap();
+        assert_eq!(
+            link.recv(&mut env.platform, env.vm2).unwrap().unwrap(),
+            b"one"
+        );
+        assert_eq!(
+            link.recv(&mut env.platform, env.vm2).unwrap().unwrap(),
+            b"two"
+        );
+        assert!(link.recv(&mut env.platform, env.vm2).unwrap().is_none());
+        assert_eq!(link.messages_sent(), 2);
+    }
+
+    #[test]
+    fn send_charges_a_device_emulation_exit() {
+        let mut env = CrossVmEnv::new("a", "b").unwrap();
+        let mut link = VirtualTcpLink::new(env.vm1, env.vm2);
+        let exits = env
+            .platform
+            .cpu()
+            .trace()
+            .count(machine::trace::TransitionKind::VmExit);
+        link.send(&mut env.platform, env.vm1, b"x").unwrap();
+        assert_eq!(
+            env.platform
+                .cpu()
+                .trace()
+                .count(machine::trace::TransitionKind::VmExit),
+            exits + 1
+        );
+    }
+
+    #[test]
+    fn one_way_trip_costs_tens_of_microseconds() {
+        let mut env = CrossVmEnv::new("a", "b").unwrap();
+        let mut link = VirtualTcpLink::new(env.vm1, env.vm2);
+        let snap = env.platform.cpu().meter().snapshot();
+        link.send(&mut env.platform, env.vm1, &[0u8; 256]).unwrap();
+        env.platform.vmexit(ExitReason::Hlt).unwrap();
+        env.platform.vmentry(env.vm2).unwrap();
+        link.recv(&mut env.platform, env.vm2).unwrap().unwrap();
+        let us = env
+            .platform
+            .cpu()
+            .meter()
+            .since(snap)
+            .micros(machine::cost::Frequency::GHZ_3_4);
+        assert!(us > 10.0, "TCP is the slow path: got {us:.1} us");
+    }
+
+    #[test]
+    fn wrong_vm_rejected() {
+        let mut env = CrossVmEnv::new("a", "b").unwrap();
+        let mut link = VirtualTcpLink::new(env.vm1, env.vm2);
+        // CPU is executing VM-1, so VM-2 cannot send.
+        assert!(link.send(&mut env.platform, env.vm2, b"x").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! The cross-world path survey behind Table 1 and Figure 2.
+//!
+//! Each of the eleven systems the paper surveys is encoded as its
+//! *theoretically minimal* cross-world path (the call's semantics) and
+//! its *actual* path under existing mechanisms. The "Times" column of
+//! Table 1 is the ratio of ring crossings, computed here rather than
+//! transcribed.
+
+use std::fmt;
+
+/// Category of a surveyed system (Table 1's left margin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Security-motivated systems.
+    Security,
+    /// Decoupling-motivated systems.
+    Decoupling,
+    /// VM-introspection systems.
+    Vmi,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Security => write!(f, "Security"),
+            Category::Decoupling => write!(f, "Decoupling"),
+            Category::Vmi => write!(f, "VMI"),
+        }
+    }
+}
+
+/// One surveyed system's cross-world call structure.
+#[derive(Debug, Clone)]
+pub struct SystemPath {
+    /// System name.
+    pub name: &'static str,
+    /// Survey category.
+    pub category: Category,
+    /// The call semantic (e.g. "syscall", "IPC call", "I/O op").
+    pub semantic: &'static str,
+    /// The theoretically minimal world path.
+    pub minimal: Vec<&'static str>,
+    /// The actual world path under existing mechanisms.
+    pub actual: Vec<&'static str>,
+}
+
+impl SystemPath {
+    /// Ring crossings of the minimal path.
+    pub fn minimal_crossings(&self) -> usize {
+        self.minimal.len().saturating_sub(1)
+    }
+
+    /// Ring crossings of the actual path.
+    pub fn actual_crossings(&self) -> usize {
+        self.actual.len().saturating_sub(1)
+    }
+
+    /// The overhead multiplier (Table 1's "Times" column).
+    pub fn ratio(&self) -> f64 {
+        self.actual_crossings() as f64 / self.minimal_crossings() as f64
+    }
+
+    /// The multiplier formatted as in the paper ("3X", "4.5X").
+    pub fn ratio_label(&self) -> String {
+        let r = self.ratio();
+        if (r - r.round()).abs() < 1e-9 {
+            format!("{}X", r.round() as u64)
+        } else {
+            format!("{r}X")
+        }
+    }
+}
+
+/// The eleven systems of Table 1, in the paper's order.
+pub fn survey() -> Vec<SystemPath> {
+    vec![
+        SystemPath {
+            name: "Proxos",
+            category: Category::Security,
+            semantic: "syscall",
+            minimal: vec!["K_VM1", "K_VM2", "K_VM1"],
+            actual: vec![
+                "U_VM1", "K_hyp", "U_VM2", "K_VM2", "U_VM2", "K_hyp", "U_VM1",
+            ],
+        },
+        SystemPath {
+            name: "Tahoma",
+            category: Category::Security,
+            semantic: "IPC call",
+            minimal: vec!["U_VM", "U_host", "U_VM"],
+            actual: vec![
+                "U_VM", "K_VM", "K_host", "U_host", "K_host", "K_VM", "U_VM",
+            ],
+        },
+        SystemPath {
+            name: "Overshadow",
+            category: Category::Security,
+            semantic: "syscall",
+            minimal: vec!["U_VM", "K_VM", "U_VM"],
+            actual: vec![
+                "U_VM",
+                "hypervisor",
+                "U_shim-cloaked",
+                "hypervisor",
+                "K_VM",
+                "U_shim-uncloaked",
+                "hypervisor",
+                "U_shim-cloaked",
+                "hypervisor",
+                "U_VM",
+            ],
+        },
+        SystemPath {
+            name: "MiniBox",
+            category: Category::Security,
+            semantic: "syscall",
+            minimal: vec!["U_VM1", "K_VM2", "U_VM1"],
+            actual: vec![
+                "U_VM1", "hypervisor", "U_VM2", "K_VM2", "U_VM2", "hypervisor", "U_VM1",
+            ],
+        },
+        SystemPath {
+            name: "CloudVisor",
+            category: Category::Security,
+            semantic: "I/O op",
+            minimal: vec!["K_VM", "U_qemu-dom0", "K_VM"],
+            actual: vec![
+                "K_VM",
+                "CloudVisor",
+                "K_hyp",
+                "CloudVisor",
+                "K_dom0",
+                "U_qemu-dom0",
+                "K_dom0",
+                "CloudVisor",
+                "K_hyp",
+                "CloudVisor",
+                "K_VM",
+            ],
+        },
+        SystemPath {
+            name: "FUSE",
+            category: Category::Decoupling,
+            semantic: "syscall",
+            minimal: vec!["U_app", "U_fuse", "U_app"],
+            actual: vec!["U_app", "K", "U_fuse", "K", "U_app"],
+        },
+        SystemPath {
+            name: "Emulated devices in Xen",
+            category: Category::Decoupling,
+            semantic: "I/O op",
+            minimal: vec!["K_VM", "U_qemu-dom0", "K_VM"],
+            actual: vec![
+                "K_VM",
+                "hypervisor",
+                "K_dom0",
+                "U_qemu-dom0",
+                "K_dom0",
+                "hypervisor",
+                "K_VM",
+            ],
+        },
+        SystemPath {
+            name: "ClickOS",
+            category: Category::Decoupling,
+            semantic: "I/O op",
+            minimal: vec!["K_VM", "U_qemu-dom0", "K_VM"],
+            actual: vec![
+                "K_netfront-VM",
+                "hypervisor",
+                "K_netback-dom0",
+                "hypervisor",
+                "K_netfront-VM",
+            ],
+        },
+        SystemPath {
+            name: "Xen-Blanket",
+            category: Category::Decoupling,
+            semantic: "I/O op",
+            minimal: vec!["K_VM", "U_qemu-dom0", "K_VM"],
+            actual: vec![
+                "K_ring1-VM",
+                "K_ring0-VM",
+                "K_guest-dom0",
+                "K_ring0-VM",
+                "hypervisor",
+                "K_host-dom0",
+                "U_qemu-host-dom0",
+                "K_host-dom0",
+                "hypervisor",
+                "K_ring0-VM",
+                "K_guest-dom0",
+                "K_ring0-VM",
+                "K_ring1-VM",
+            ],
+        },
+        SystemPath {
+            name: "HyperShell",
+            category: Category::Decoupling,
+            semantic: "syscall",
+            minimal: vec!["U_host", "K_VM", "U_host"],
+            actual: vec![
+                "U_host", "K_host", "K_VM", "U_VM", "K_VM", "K_host", "U_host",
+            ],
+        },
+        SystemPath {
+            name: "ShadowContext",
+            category: Category::Vmi,
+            semantic: "syscall",
+            minimal: vec!["U_VM1", "K_VM2", "U_VM1"],
+            actual: vec![
+                "U_VM1", "K_VM1", "K_host", "U_VM2", "K_VM2", "U_VM2", "K_host", "K_VM1",
+                "U_VM1",
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(name: &str) -> SystemPath {
+        survey()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} in survey"))
+    }
+
+    #[test]
+    fn survey_has_eleven_systems() {
+        assert_eq!(survey().len(), 11);
+    }
+
+    #[test]
+    fn ratios_match_table1() {
+        // The "Times" column of Table 1.
+        for (name, expected) in [
+            ("Proxos", "3X"),
+            ("Tahoma", "3X"),
+            ("Overshadow", "4.5X"),
+            ("MiniBox", "3X"),
+            ("CloudVisor", "5X"),
+            ("FUSE", "2X"),
+            ("Emulated devices in Xen", "3X"),
+            ("ClickOS", "2X"),
+            ("Xen-Blanket", "6X"),
+            ("HyperShell", "3X"),
+            ("ShadowContext", "4X"),
+        ] {
+            assert_eq!(find(name).ratio_label(), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_minimal_path_is_two_crossings() {
+        // §2 / Figure 2: "The theoretically minimal cross-world calls are
+        // two, for each case."
+        for s in survey() {
+            assert_eq!(s.minimal_crossings(), 2, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn actual_always_exceeds_minimal() {
+        for s in survey() {
+            assert!(
+                s.actual_crossings() > s.minimal_crossings(),
+                "{} should need extra crossings",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn shadowcontext_has_eight_crossings() {
+        // §2: "causing at least 8 ring crossings and context switches".
+        assert_eq!(find("ShadowContext").actual_crossings(), 8);
+    }
+
+    #[test]
+    fn proxos_has_six_crossings() {
+        // §2: "redirecting a syscall requires at least 6 ring crossings".
+        assert_eq!(find("Proxos").actual_crossings(), 6);
+    }
+
+    #[test]
+    fn categories_cover_the_survey() {
+        let systems = survey();
+        assert!(systems.iter().any(|s| s.category == Category::Security));
+        assert!(systems.iter().any(|s| s.category == Category::Decoupling));
+        assert!(systems.iter().any(|s| s.category == Category::Vmi));
+    }
+}

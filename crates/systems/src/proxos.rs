@@ -1,0 +1,165 @@
+//! Proxos: selective syscall routing between a trusted private OS and an
+//! untrusted commodity OS (§6, case study 1).
+//!
+//! The application runs with its trusted libOS in VM-1; syscalls judged
+//! non-sensitive are redirected to the untrusted commodity kernel in
+//! VM-2. The baseline follows the original design: each redirected call
+//! traps to the hypervisor, which injects it into VM-2's stub process and
+//! waits for a completion hypercall — six world switches (Figure 2a). The
+//! optimized version uses the VMFUNC cross-VM syscall of §4.3.
+
+use guestos::syscall::{Syscall, SyscallRet};
+
+use crate::crossvm::{hypervisor_cross_vm_syscall, vmfunc_cross_vm_syscall};
+use crate::env::CrossVmEnv;
+use crate::{Mode, SystemError};
+
+/// A Proxos deployment: trusted VM-1 + untrusted VM-2.
+///
+/// # Example
+///
+/// ```
+/// use guestos::syscall::Syscall;
+/// use xover_systems::proxos::Proxos;
+///
+/// let mut proxos = Proxos::optimized()?;
+/// let (_ret, delta) = proxos.measure_syscall(&Syscall::Null)?;
+/// // The paper's Table 4: optimized Proxos NULL syscall ~ 0.42 us.
+/// let us = delta.micros(machine::cost::Frequency::GHZ_3_4);
+/// assert!(us < 0.6);
+/// # Ok::<(), xover_systems::SystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Proxos {
+    /// The two-VM environment (public so workloads can inspect state).
+    pub env: CrossVmEnv,
+    mode: Mode,
+}
+
+impl Proxos {
+    /// Builds the original (hypervisor-bounced) Proxos.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment setup failures.
+    pub fn baseline() -> Result<Proxos, SystemError> {
+        Ok(Proxos {
+            env: CrossVmEnv::new("trusted-os", "untrusted-os")?,
+            mode: Mode::Baseline,
+        })
+    }
+
+    /// Builds the VMFUNC-optimized Proxos.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment setup failures.
+    pub fn optimized() -> Result<Proxos, SystemError> {
+        Ok(Proxos {
+            env: CrossVmEnv::new("trusted-os", "untrusted-os")?,
+            mode: Mode::Optimized,
+        })
+    }
+
+    /// Which implementation this instance runs.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Executes one syscall redirected to the untrusted OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates redirection failures.
+    pub fn redirected_syscall(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        match self.mode {
+            Mode::Baseline => hypervisor_cross_vm_syscall(&mut self.env, syscall),
+            Mode::Optimized => vmfunc_cross_vm_syscall(&mut self.env, syscall),
+        }
+    }
+
+    /// Executes one *local* (trusted, non-redirected) syscall in VM-1 —
+    /// the "guest native Linux" column of Table 4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest-OS failures.
+    pub fn local_syscall(&mut self, syscall: Syscall) -> Result<SyscallRet, SystemError> {
+        self.env
+            .k1
+            .syscall(&mut self.env.platform, syscall)
+            .map_err(Into::into)
+    }
+
+    /// Measures a redirected syscall's latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates redirection failures.
+    pub fn measure_syscall(
+        &mut self,
+        syscall: &Syscall,
+    ) -> Result<(SyscallRet, machine::account::Delta), SystemError> {
+        self.env.settle_in_vm1()?;
+        let snap = self.env.platform.cpu().meter().snapshot();
+        let ret = self.redirected_syscall(syscall)?;
+        let delta = self.env.platform.cpu().meter().since(snap);
+        Ok((ret, delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cost::Frequency;
+
+    #[test]
+    fn baseline_null_syscall_near_paper_latency() {
+        let mut p = Proxos::baseline().unwrap();
+        let (_, d) = p.measure_syscall(&Syscall::Null).unwrap();
+        let us = d.micros(Frequency::GHZ_3_4);
+        // Paper Table 4: original Proxos NULL syscall = 3.35 us.
+        assert!((2.6..4.2).contains(&us), "got {us:.2} us");
+    }
+
+    #[test]
+    fn optimized_null_syscall_near_paper_latency() {
+        let mut p = Proxos::optimized().unwrap();
+        let (_, d) = p.measure_syscall(&Syscall::Null).unwrap();
+        let us = d.micros(Frequency::GHZ_3_4);
+        // Paper Table 4: optimized Proxos NULL syscall = 0.42 us.
+        assert!((0.35..0.55).contains(&us), "got {us:.2} us");
+    }
+
+    #[test]
+    fn latency_reduction_matches_paper_ballpark() {
+        let mut base = Proxos::baseline().unwrap();
+        let mut opt = Proxos::optimized().unwrap();
+        let (_, db) = base.measure_syscall(&Syscall::Null).unwrap();
+        let (_, do_) = opt.measure_syscall(&Syscall::Null).unwrap();
+        let reduction = 1.0 - do_.cycles.0 as f64 / db.cycles.0 as f64;
+        // Paper: 87.5% reduction for the NULL syscall.
+        assert!(reduction > 0.80, "got {:.1}%", reduction * 100.0);
+    }
+
+    #[test]
+    fn redirected_open_lands_in_untrusted_os() {
+        let mut p = Proxos::optimized().unwrap();
+        p.redirected_syscall(&Syscall::Open {
+            path: "/untrusted-data".into(),
+            create: true,
+        })
+        .unwrap();
+        assert!(p.env.k2.fs().stat("/untrusted-data").is_ok());
+        assert!(p.env.k1.fs().stat("/untrusted-data").is_err());
+    }
+
+    #[test]
+    fn local_syscall_stays_native() {
+        let mut p = Proxos::optimized().unwrap();
+        let snap = p.env.platform.cpu().meter().snapshot();
+        p.local_syscall(Syscall::Null).unwrap();
+        let d = p.env.platform.cpu().meter().since(snap);
+        assert_eq!(d.cycles.0, 986);
+    }
+}

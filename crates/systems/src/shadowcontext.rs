@@ -1,0 +1,265 @@
+//! ShadowContext: VM introspection via redirected syscalls (§6, case
+//! study 4).
+//!
+//! An introspection process in a trusted VM issues syscalls that execute
+//! in an untrusted VM's dummy process, observing its state without an
+//! in-guest agent. The baseline follows the original design: the
+//! introspection interface in the trusted kernel raises a VMExit, KVM
+//! wakes the dummy process and injects the call with a software
+//! interrupt, and **all parameters and buffers are copied in and out
+//! across VMs** by the hypervisor. The optimized version reuses the
+//! VMFUNC cross-VM syscall and passes parameters once through inter-VM
+//! shared memory.
+
+use guestos::syscall::{Syscall, SyscallRet};
+use hypervisor::ExitReason;
+
+use crate::crossvm::vmfunc_cross_vm_syscall;
+use crate::env::CrossVmEnv;
+use crate::{Mode, SystemError};
+
+/// Cycles of introspection-interface work in the trusted kernel (marking
+/// the syscall for redirection, capturing the calling context).
+pub const INTROSPECT_IFACE_CYCLES: u64 = 200;
+/// Instructions for the introspection interface.
+pub const INTROSPECT_IFACE_INSTRUCTIONS: u64 = 60;
+/// Cycles of dummy-process bookkeeping per optimized call (the dummy's
+/// descriptor state must look untouched to the inspected VM).
+pub const DUMMY_BOOKKEEPING_CYCLES: u64 = 920;
+/// Instructions for the bookkeeping.
+pub const DUMMY_BOOKKEEPING_INSTRUCTIONS: u64 = 110;
+
+/// A ShadowContext deployment: trusted VM-1 inspecting untrusted VM-2.
+#[derive(Debug, Clone)]
+pub struct ShadowContext {
+    /// The two-VM environment.
+    pub env: CrossVmEnv,
+    mode: Mode,
+    dummy_created: bool,
+}
+
+impl ShadowContext {
+    /// Builds the original (hypervisor-copied) ShadowContext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment setup failures.
+    pub fn baseline() -> Result<ShadowContext, SystemError> {
+        Ok(ShadowContext {
+            env: CrossVmEnv::new("trusted-vm", "untrusted-vm")?,
+            mode: Mode::Baseline,
+            dummy_created: false,
+        })
+    }
+
+    /// Builds the VMFUNC-optimized ShadowContext.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment setup failures.
+    pub fn optimized() -> Result<ShadowContext, SystemError> {
+        Ok(ShadowContext {
+            env: CrossVmEnv::new("trusted-vm", "untrusted-vm")?,
+            mode: Mode::Optimized,
+            dummy_created: false,
+        })
+    }
+
+    /// Which implementation this instance runs.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Executes one introspection syscall in the untrusted VM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates redirection failures.
+    pub fn introspect_syscall(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        match self.mode {
+            Mode::Baseline => self.baseline_introspect(syscall),
+            Mode::Optimized => {
+                let ret = vmfunc_cross_vm_syscall(&mut self.env, syscall)?;
+                self.env.platform.cpu_mut().charge_work(
+                    DUMMY_BOOKKEEPING_CYCLES,
+                    DUMMY_BOOKKEEPING_INSTRUCTIONS,
+                    "dummy process bookkeeping",
+                );
+                Ok(ret)
+            }
+        }
+    }
+
+    fn baseline_introspect(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        let env = &mut self.env;
+        let copy_bytes = syscall.transfer_bytes() as u64;
+        // Trusted VM: the app's syscall hits the introspection interface.
+        env.k1.trap_enter(&mut env.platform);
+        env.k1.charge_dispatch(&mut env.platform);
+        env.platform.cpu_mut().charge_work(
+            INTROSPECT_IFACE_CYCLES,
+            INTROSPECT_IFACE_INSTRUCTIONS,
+            "introspection interface",
+        );
+        // VMExit to KVM.
+        env.platform.vmexit(ExitReason::Vmcall(0xA0))?;
+        // First call only: KVM stealthily creates the dummy process.
+        if !self.dummy_created {
+            env.platform
+                .cpu_mut()
+                .charge_work(20_000, 5_500, "create dummy process");
+            self.dummy_created = true;
+        }
+        // KVM copies parameters *in* across VMs (first of two copies).
+        env.platform.cpu_mut().charge_work(
+            250 + copy_bytes / 2,
+            70 + copy_bytes / 16,
+            "hypervisor copy-in",
+        );
+        // Inject a software interrupt to run the dummy, schedule it.
+        env.platform.inject_interrupt(env.vm2, 0x80)?;
+        env.platform.vmentry(env.vm2)?;
+        env.platform.charge_wakeup(env.vm2)?;
+        // Dummy executes the syscall in the untrusted VM.
+        env.k2.trap_enter(&mut env.platform);
+        env.k2.charge_dispatch(&mut env.platform);
+        let result = env.k2.execute_body(&mut env.platform, syscall);
+        env.k2.trap_exit(&mut env.platform);
+        // Completion VMExit; KVM copies results *out* (second copy).
+        env.platform.vmexit(ExitReason::Vmcall(0xA1))?;
+        env.platform.cpu_mut().charge_work(
+            250 + copy_bytes / 2,
+            70 + copy_bytes / 16,
+            "hypervisor copy-out",
+        );
+        // Resume the introspection process.
+        env.platform.vmentry(env.vm1)?;
+        env.k1.trap_exit(&mut env.platform);
+        result.map_err(Into::into)
+    }
+
+    /// Measures one introspection syscall (after the dummy exists).
+    ///
+    /// # Errors
+    ///
+    /// Propagates redirection failures.
+    pub fn measure_syscall(
+        &mut self,
+        syscall: &Syscall,
+    ) -> Result<(SyscallRet, machine::account::Delta), SystemError> {
+        if !self.dummy_created && self.mode == Mode::Baseline {
+            // Amortize dummy creation outside the measurement, as the
+            // paper's steady-state numbers do.
+            self.introspect_syscall(&Syscall::Null)?;
+        }
+        self.env.settle_in_vm1()?;
+        let snap = self.env.platform.cpu().meter().snapshot();
+        let ret = self.introspect_syscall(syscall)?;
+        let delta = self.env.platform.cpu().meter().since(snap);
+        Ok((ret, delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cost::Frequency;
+
+    #[test]
+    fn baseline_null_near_paper() {
+        let mut s = ShadowContext::baseline().unwrap();
+        let (_, d) = s.measure_syscall(&Syscall::Null).unwrap();
+        let us = d.micros(Frequency::GHZ_3_4);
+        // Paper Table 4: original ShadowContext NULL = 3.40 us.
+        assert!((2.6..4.3).contains(&us), "got {us:.2} us");
+    }
+
+    #[test]
+    fn optimized_null_near_paper() {
+        let mut s = ShadowContext::optimized().unwrap();
+        let (_, d) = s.measure_syscall(&Syscall::Null).unwrap();
+        let us = d.micros(Frequency::GHZ_3_4);
+        // Paper Table 4: optimized ShadowContext NULL = 0.71 us.
+        assert!((0.55..0.90).contains(&us), "got {us:.2} us");
+    }
+
+    #[test]
+    fn reduction_near_paper_79_percent() {
+        let mut base = ShadowContext::baseline().unwrap();
+        let mut opt = ShadowContext::optimized().unwrap();
+        let (_, db) = base.measure_syscall(&Syscall::Null).unwrap();
+        let (_, do_) = opt.measure_syscall(&Syscall::Null).unwrap();
+        let reduction = 1.0 - do_.cycles.0 as f64 / db.cycles.0 as f64;
+        // Paper: 79.1% for NULL syscall.
+        assert!(
+            (0.65..0.90).contains(&reduction),
+            "got {:.1}%",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn dummy_creation_charged_once() {
+        let mut s = ShadowContext::baseline().unwrap();
+        let (_, first) = {
+            let snap = s.env.platform.cpu().meter().snapshot();
+            s.introspect_syscall(&Syscall::Null).unwrap();
+            ((), s.env.platform.cpu().meter().since(snap))
+        };
+        s.env.settle_in_vm1().unwrap();
+        let snap = s.env.platform.cpu().meter().snapshot();
+        s.introspect_syscall(&Syscall::Null).unwrap();
+        let second = s.env.platform.cpu().meter().since(snap);
+        assert!(
+            first.cycles.0 > second.cycles.0 + 15_000,
+            "first call pays dummy creation: {} vs {}",
+            first.cycles.0,
+            second.cycles.0
+        );
+    }
+
+    #[test]
+    fn introspection_reads_untrusted_vm_state() {
+        let mut s = ShadowContext::optimized().unwrap();
+        s.env
+            .k2
+            .fs_mut()
+            .create("/proc/suspicious", 0o444)
+            .unwrap();
+        let ret = s
+            .introspect_syscall(&Syscall::Stat {
+                path: "/proc/suspicious".into(),
+            })
+            .unwrap();
+        assert!(matches!(ret, SyscallRet::Stat(_)));
+    }
+
+    #[test]
+    fn baseline_copies_twice_optimized_once() {
+        // The stat struct (144 bytes) is copied twice in the baseline
+        // (in + out via the hypervisor) and once via shared memory in the
+        // optimized path — visible as a latency delta that grows with
+        // payload size beyond the fixed savings.
+        let mut base = ShadowContext::baseline().unwrap();
+        let (_, small_b) = base.measure_syscall(&Syscall::Null).unwrap();
+        let (_, stat_b) = base
+            .measure_syscall(&Syscall::Stat {
+                path: "/etc/passwd".into(),
+            })
+            .unwrap();
+        let baseline_growth = stat_b.cycles.0 - small_b.cycles.0;
+
+        let mut opt = ShadowContext::optimized().unwrap();
+        let (_, small_o) = opt.measure_syscall(&Syscall::Null).unwrap();
+        let (_, stat_o) = opt
+            .measure_syscall(&Syscall::Stat {
+                path: "/etc/passwd".into(),
+            })
+            .unwrap();
+        let opt_growth = stat_o.cycles.0 - small_o.cycles.0;
+        assert!(
+            baseline_growth > opt_growth,
+            "baseline grows faster with payload: {baseline_growth} vs {opt_growth}"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Tahoma: browser instances isolated in VMs, controlled by a manager via
+//! cross-VM RPC ("browser-calls", §6 case study 3).
+//!
+//! The baseline carries each browser-call as an XML message over the
+//! virtual point-to-point TCP link of [`crate::net`] — two full stack
+//! traversals per direction, which is why Table 4 shows ~42 µs. The
+//! optimized version passes the request through the shared page and
+//! switches worlds with VMFUNC.
+
+use guestos::syscall::{Syscall, SyscallRet};
+use hypervisor::ExitReason;
+
+use crate::crossvm::vmfunc_cross_vm_syscall;
+use crate::env::CrossVmEnv;
+use crate::net::VirtualTcpLink;
+use crate::{Mode, SystemError};
+
+/// Cycles to render a browser-call into its XML envelope.
+pub const XML_ENCODE_CYCLES: u64 = 2_000;
+/// Instructions for XML encoding.
+pub const XML_ENCODE_INSTRUCTIONS: u64 = 650;
+/// Cycles to parse an XML envelope.
+pub const XML_DECODE_CYCLES: u64 = 2_500;
+/// Instructions for XML decoding.
+pub const XML_DECODE_INSTRUCTIONS: u64 = 800;
+/// Cycles of manager-side RPC glue in the optimized design (decode the
+/// compact shared-memory request, dispatch, encode the reply).
+pub const RPC_GLUE_CYCLES: u64 = 820;
+/// Instructions for the optimized RPC glue.
+pub const RPC_GLUE_INSTRUCTIONS: u64 = 90;
+
+/// A Tahoma deployment: the manager runs in VM-1 ("dom0") and a browser
+/// instance in VM-2.
+#[derive(Debug, Clone)]
+pub struct Tahoma {
+    /// The two-VM environment.
+    pub env: CrossVmEnv,
+    link: VirtualTcpLink,
+    mode: Mode,
+}
+
+impl Tahoma {
+    /// Builds the original (TCP RPC) Tahoma.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment setup failures.
+    pub fn baseline() -> Result<Tahoma, SystemError> {
+        let env = CrossVmEnv::new("manager-dom0", "browser-instance")?;
+        let link = VirtualTcpLink::new(env.vm1, env.vm2);
+        Ok(Tahoma {
+            env,
+            link,
+            mode: Mode::Baseline,
+        })
+    }
+
+    /// Builds the VMFUNC-optimized Tahoma.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment setup failures.
+    pub fn optimized() -> Result<Tahoma, SystemError> {
+        let env = CrossVmEnv::new("manager-dom0", "browser-instance")?;
+        let link = VirtualTcpLink::new(env.vm1, env.vm2);
+        Ok(Tahoma {
+            env,
+            link,
+            mode: Mode::Optimized,
+        })
+    }
+
+    /// Which implementation this instance runs.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// One browser-call: the manager asks the browser instance to perform
+    /// an operation (modelled, as in the paper's microbenchmarks, as a
+    /// syscall executed on the instance's kernel) and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RPC failures.
+    pub fn browser_call(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        match self.mode {
+            Mode::Baseline => self.rpc_browser_call(syscall),
+            Mode::Optimized => {
+                let ret = vmfunc_cross_vm_syscall(&mut self.env, syscall)?;
+                self.env.platform.cpu_mut().charge_work(
+                    RPC_GLUE_CYCLES,
+                    RPC_GLUE_INSTRUCTIONS,
+                    "browser-call glue",
+                );
+                Ok(ret)
+            }
+        }
+    }
+
+    fn rpc_browser_call(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        let env = &mut self.env;
+        // Manager: encode the browser-call as XML and send it.
+        env.platform.cpu_mut().charge_work(
+            XML_ENCODE_CYCLES,
+            XML_ENCODE_INSTRUCTIONS,
+            "xml encode request",
+        );
+        let request = format!("<browser-call op=\"{syscall}\"/>");
+        self.link
+            .send(&mut env.platform, env.vm1, request.as_bytes())?;
+
+        // Deschedule the manager VM; the instance VM receives.
+        env.platform.vmexit(ExitReason::Hlt)?;
+        env.platform.vmentry(env.vm2)?;
+        let msg = self
+            .link
+            .recv(&mut env.platform, env.vm2)?
+            .expect("request just sent");
+        env.platform.cpu_mut().charge_work(
+            XML_DECODE_CYCLES,
+            XML_DECODE_INSTRUCTIONS,
+            "xml decode request",
+        );
+        debug_assert!(msg.starts_with(b"<browser-call"));
+
+        // The instance services the call in its own kernel.
+        env.k2.trap_enter(&mut env.platform);
+        env.k2.charge_dispatch(&mut env.platform);
+        let result = env.k2.execute_body(&mut env.platform, syscall);
+        env.k2.trap_exit(&mut env.platform);
+
+        // Reply over the same link.
+        env.platform.cpu_mut().charge_work(
+            XML_ENCODE_CYCLES,
+            XML_ENCODE_INSTRUCTIONS,
+            "xml encode reply",
+        );
+        let reply = format!("<reply ok=\"{}\"/>", result.is_ok());
+        self.link
+            .send(&mut env.platform, env.vm2, reply.as_bytes())?;
+
+        // Back to the manager VM, which parses the reply.
+        env.platform.vmexit(ExitReason::Hlt)?;
+        env.platform.vmentry(env.vm1)?;
+        let reply = self
+            .link
+            .recv(&mut env.platform, env.vm1)?
+            .expect("reply just sent");
+        debug_assert!(reply.starts_with(b"<reply"));
+        env.platform.cpu_mut().charge_work(
+            XML_DECODE_CYCLES,
+            XML_DECODE_INSTRUCTIONS,
+            "xml decode reply",
+        );
+        result.map_err(Into::into)
+    }
+
+    /// Measures one browser-call's latency from a settled state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RPC failures.
+    pub fn measure_call(
+        &mut self,
+        syscall: &Syscall,
+    ) -> Result<(SyscallRet, machine::account::Delta), SystemError> {
+        self.env.settle_in_vm1()?;
+        let snap = self.env.platform.cpu().meter().snapshot();
+        let ret = self.browser_call(syscall)?;
+        let delta = self.env.platform.cpu().meter().since(snap);
+        Ok((ret, delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cost::Frequency;
+
+    #[test]
+    fn baseline_null_is_tens_of_microseconds() {
+        let mut t = Tahoma::baseline().unwrap();
+        let (_, d) = t.measure_call(&Syscall::Null).unwrap();
+        let us = d.micros(Frequency::GHZ_3_4);
+        // Paper Table 4: original Tahoma NULL = 42.0 us.
+        assert!((32.0..52.0).contains(&us), "got {us:.1} us");
+    }
+
+    #[test]
+    fn optimized_null_near_paper() {
+        let mut t = Tahoma::optimized().unwrap();
+        let (_, d) = t.measure_call(&Syscall::Null).unwrap();
+        let us = d.micros(Frequency::GHZ_3_4);
+        // Paper Table 4: optimized Tahoma NULL = 0.68 us.
+        assert!((0.5..0.9).contains(&us), "got {us:.2} us");
+    }
+
+    #[test]
+    fn reduction_exceeds_97_percent() {
+        let mut base = Tahoma::baseline().unwrap();
+        let mut opt = Tahoma::optimized().unwrap();
+        let (_, db) = base.measure_call(&Syscall::Null).unwrap();
+        let (_, do_) = opt.measure_call(&Syscall::Null).unwrap();
+        let reduction = 1.0 - do_.cycles.0 as f64 / db.cycles.0 as f64;
+        // §7.1.1: "the overhead for inter-VM communication is reduced by
+        // over 97%".
+        assert!(reduction > 0.97, "got {:.2}%", reduction * 100.0);
+    }
+
+    #[test]
+    fn baseline_moves_real_xml_over_the_link() {
+        let mut t = Tahoma::baseline().unwrap();
+        t.browser_call(&Syscall::Null).unwrap();
+        assert_eq!(t.link.messages_sent(), 2, "request + reply");
+    }
+
+    #[test]
+    fn browser_call_executes_in_instance_kernel() {
+        let mut t = Tahoma::optimized().unwrap();
+        t.browser_call(&Syscall::Open {
+            path: "/render-target".into(),
+            create: true,
+        })
+        .unwrap();
+        assert!(t.env.k2.fs().stat("/render-target").is_ok());
+    }
+}

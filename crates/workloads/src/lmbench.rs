@@ -1,0 +1,274 @@
+//! The Table 7 instruction-count experiment.
+//!
+//! §7.2 runs LMbench3 under QEMU and counts instructions per operation
+//! for native Linux, cross-world *with* CrossOver (the full `world_call`
+//! design: +33 instructions), and cross-world *without* CrossOver
+//! (hypervisor-mediated redirection: +~1100 instructions). This module
+//! reproduces that measurement on the simulated platform — instruction
+//! counts come out of the meter, not a lookup table.
+
+use guestos::process::Fd;
+use guestos::syscall::{Syscall, SyscallRet};
+use systems::crossvm::{
+    crossover_cross_vm_syscall, hypervisor_cross_vm_syscall, CrossOverChannel,
+};
+use systems::env::CrossVmEnv;
+use systems::SystemError;
+
+use crate::{USER_STUB_CYCLES, USER_STUB_INSTRUCTIONS};
+
+/// One Table 7 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmbenchOp {
+    /// `getppid`.
+    Getppid,
+    /// `stat`.
+    Stat,
+    /// `read` (1 byte).
+    Read,
+    /// `write` (1 byte).
+    Write,
+    /// `fstat`.
+    Fstat,
+    /// `open` + `close` pair.
+    OpenClose,
+}
+
+impl LmbenchOp {
+    /// All rows in the paper's order.
+    pub const ALL: [LmbenchOp; 6] = [
+        LmbenchOp::Getppid,
+        LmbenchOp::Stat,
+        LmbenchOp::Read,
+        LmbenchOp::Write,
+        LmbenchOp::Fstat,
+        LmbenchOp::OpenClose,
+    ];
+
+    /// Row label as printed in Table 7.
+    pub fn name(self) -> &'static str {
+        match self {
+            LmbenchOp::Getppid => "getppid",
+            LmbenchOp::Stat => "stat",
+            LmbenchOp::Read => "read",
+            LmbenchOp::Write => "write",
+            LmbenchOp::Fstat => "fstat",
+            LmbenchOp::OpenClose => "open/close",
+        }
+    }
+
+    /// The paper's native-Linux instruction count for this row.
+    pub fn paper_native(self) -> u64 {
+        match self {
+            LmbenchOp::Getppid => 1847,
+            LmbenchOp::Stat => 1224,
+            LmbenchOp::Read => 482,
+            LmbenchOp::Write => 439,
+            LmbenchOp::Fstat => 494,
+            LmbenchOp::OpenClose => 1924,
+        }
+    }
+
+    /// The paper's "Cross-World w/ CrossOver" count.
+    pub fn paper_with_crossover(self) -> u64 {
+        self.paper_native() + 33
+    }
+
+    /// The paper's "Cross-World w/o CrossOver" count.
+    pub fn paper_without_crossover(self) -> u64 {
+        match self {
+            LmbenchOp::Getppid => 2996,
+            LmbenchOp::Stat => 2341,
+            LmbenchOp::Read => 1593,
+            LmbenchOp::Write => 1534,
+            LmbenchOp::Fstat => 1704,
+            LmbenchOp::OpenClose => 3055,
+        }
+    }
+}
+
+/// Which mechanism executes the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmbenchMode {
+    /// Native execution in the guest.
+    Native,
+    /// Redirected with the full CrossOver `world_call`.
+    WithCrossOver,
+    /// Redirected through the hypervisor.
+    WithoutCrossOver,
+}
+
+/// Harness holding the environment, pre-opened descriptors and the
+/// CrossOver channel.
+#[derive(Debug)]
+pub struct LmbenchHarness {
+    env: CrossVmEnv,
+    channel: CrossOverChannel,
+    /// File open in VM-1 (native runs).
+    local_fd: Fd,
+    /// File open in VM-2's stub (redirected runs).
+    remote_fd: Fd,
+}
+
+impl LmbenchHarness {
+    /// Builds the harness: environment, CrossOver setup, one open file on
+    /// each side (setup is unmeasured, as in lmbench).
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup failures.
+    pub fn new() -> Result<LmbenchHarness, SystemError> {
+        let mut env = CrossVmEnv::new("measured", "target")?;
+        let channel = CrossOverChannel::setup(&mut env)?;
+        let local_fd = env.k1.open(&mut env.platform, "/tmp/file", false)?;
+        let ret = hypervisor_cross_vm_syscall(
+            &mut env,
+            &Syscall::Open {
+                path: "/tmp/file".into(),
+                create: false,
+            },
+        )?;
+        let remote_fd = match ret {
+            SyscallRet::Fd(fd) => fd,
+            other => unreachable!("open returned {other:?}"),
+        };
+        env.settle_in_vm1()?;
+        Ok(LmbenchHarness { env, channel, local_fd, remote_fd })
+    }
+
+    fn syscalls_for(&self, op: LmbenchOp, fd: Fd) -> Vec<Syscall> {
+        match op {
+            LmbenchOp::Getppid => vec![Syscall::Getppid],
+            LmbenchOp::Stat => vec![Syscall::Stat {
+                path: "/tmp/file".into(),
+            }],
+            LmbenchOp::Read => vec![Syscall::Read { fd, len: 1 }],
+            LmbenchOp::Write => vec![Syscall::Write {
+                fd,
+                data: vec![0u8],
+            }],
+            LmbenchOp::Fstat => vec![Syscall::Fstat { fd }],
+            LmbenchOp::OpenClose => vec![Syscall::Open {
+                path: "/tmp/file".into(),
+                create: false,
+            }],
+        }
+    }
+
+    /// Runs one iteration of `op` under `mode` and returns the retired
+    /// instruction count (the Table 7 cell).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn instructions(
+        &mut self,
+        op: LmbenchOp,
+        mode: LmbenchMode,
+    ) -> Result<u64, SystemError> {
+        self.env.settle_in_vm1()?;
+        // Warm the world-table caches outside the measurement (the paper
+        // notes "there is no world table cache miss during the process").
+        if mode == LmbenchMode::WithCrossOver {
+            crossover_cross_vm_syscall(&mut self.env, &mut self.channel, &Syscall::Null)?;
+        }
+        let fd = match mode {
+            LmbenchMode::Native => self.local_fd,
+            _ => self.remote_fd,
+        };
+        let calls = self.syscalls_for(op, fd);
+        let before = self.env.platform.cpu().meter().instructions();
+        self.env.platform.cpu_mut().charge_work(
+            USER_STUB_CYCLES,
+            USER_STUB_INSTRUCTIONS,
+            "lmbench user stub",
+        );
+        for call in &calls {
+            let ret = match mode {
+                LmbenchMode::Native => self.env.k1.syscall(&mut self.env.platform, call.clone())?,
+                LmbenchMode::WithCrossOver => {
+                    crossover_cross_vm_syscall(&mut self.env, &mut self.channel, call)?
+                }
+                LmbenchMode::WithoutCrossOver => {
+                    hypervisor_cross_vm_syscall(&mut self.env, call)?
+                }
+            };
+            // open/close: close the fd we just opened, inside the same
+            // measured iteration.
+            if op == LmbenchOp::OpenClose {
+                let fd = match ret {
+                    SyscallRet::Fd(fd) => fd,
+                    other => unreachable!("open returned {other:?}"),
+                };
+                let close = Syscall::Close { fd };
+                match mode {
+                    LmbenchMode::Native => {
+                        self.env.k1.syscall(&mut self.env.platform, close)?;
+                    }
+                    LmbenchMode::WithCrossOver => {
+                        crossover_cross_vm_syscall(&mut self.env, &mut self.channel, &close)?;
+                    }
+                    LmbenchMode::WithoutCrossOver => {
+                        hypervisor_cross_vm_syscall(&mut self.env, &close)?;
+                    }
+                }
+            }
+        }
+        Ok(self.env.platform.cpu().meter().instructions() - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_counts_match_paper() {
+        let mut h = LmbenchHarness::new().unwrap();
+        for op in LmbenchOp::ALL {
+            let n = h.instructions(op, LmbenchMode::Native).unwrap();
+            assert_eq!(n, op.paper_native(), "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn crossover_adds_exactly_33_per_redirected_syscall() {
+        let mut h = LmbenchHarness::new().unwrap();
+        for op in LmbenchOp::ALL {
+            let native = h.instructions(op, LmbenchMode::Native).unwrap();
+            let with = h.instructions(op, LmbenchMode::WithCrossOver).unwrap();
+            // open/close redirects two syscalls, so 2 x 33.
+            let calls = if op == LmbenchOp::OpenClose { 2 } else { 1 };
+            assert_eq!(with - native, 33 * calls, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn hypervisor_redirection_costs_around_1100_instructions() {
+        let mut h = LmbenchHarness::new().unwrap();
+        for op in LmbenchOp::ALL {
+            let native = h.instructions(op, LmbenchMode::Native).unwrap();
+            let without = h.instructions(op, LmbenchMode::WithoutCrossOver).unwrap();
+            let calls = if op == LmbenchOp::OpenClose { 2 } else { 1 };
+            let delta = (without - native) / calls;
+            // Paper deltas range 1095-1210 per redirected syscall.
+            assert!(
+                (1000..1350).contains(&delta),
+                "{}: delta {delta}",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn crossover_count_is_far_below_hypervisor_count() {
+        let mut h = LmbenchHarness::new().unwrap();
+        let with = h
+            .instructions(LmbenchOp::Read, LmbenchMode::WithCrossOver)
+            .unwrap();
+        let without = h
+            .instructions(LmbenchOp::Read, LmbenchMode::WithoutCrossOver)
+            .unwrap();
+        assert!(without > with + 900);
+    }
+}

@@ -1,0 +1,385 @@
+//! The five microbenchmarks of Table 4.
+//!
+//! Each [`MicroOp`] is a short sequence of syscalls (plus, for `pipe`, the
+//! two context switches of lmbench's ping-pong). The same op can run
+//! *natively* in a guest or through any [`RedirectTarget`] — the four case
+//! studies implement that trait — so the Table 4 grid is one function over
+//! (system × mode × op).
+
+use guestos::process::Fd;
+use guestos::syscall::{Syscall, SyscallRet};
+use machine::account::Delta;
+use systems::env::CrossVmEnv;
+use systems::hypershell::HyperShell;
+use systems::proxos::Proxos;
+use systems::shadowcontext::ShadowContext;
+use systems::tahoma::Tahoma;
+use systems::SystemError;
+
+use crate::{USER_STUB_CYCLES, USER_STUB_INSTRUCTIONS};
+
+/// One Table 4 microbenchmark row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// lmbench "NULL system call".
+    NullSyscall,
+    /// lmbench "NULL I/O" (one-byte `/dev/zero` read).
+    NullIo,
+    /// `open` followed by `close`.
+    OpenClose,
+    /// `stat`.
+    Stat,
+    /// One pipe ping-pong (write 1 byte, switch, read, switch back).
+    Pipe,
+}
+
+impl MicroOp {
+    /// All rows in the paper's order.
+    pub const ALL: [MicroOp; 5] = [
+        MicroOp::NullSyscall,
+        MicroOp::NullIo,
+        MicroOp::OpenClose,
+        MicroOp::Stat,
+        MicroOp::Pipe,
+    ];
+
+    /// Row label as printed in Table 4.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroOp::NullSyscall => "NULL system call",
+            MicroOp::NullIo => "NULL I/O",
+            MicroOp::OpenClose => "open & close",
+            MicroOp::Stat => "stat",
+            MicroOp::Pipe => "pipe",
+        }
+    }
+
+    /// The paper's guest-native latency for this row, in microseconds
+    /// (Table 4 column 2) — used in reports for paper-vs-measured.
+    pub fn paper_native_us(self) -> f64 {
+        match self {
+            MicroOp::NullSyscall => 0.29,
+            MicroOp::NullIo => 0.34,
+            MicroOp::OpenClose => 1.38,
+            MicroOp::Stat => 0.55,
+            MicroOp::Pipe => 3.34,
+        }
+    }
+}
+
+/// Anything that can execute a redirected syscall in another world — the
+/// four case studies implement this so the microbenchmarks can drive them
+/// uniformly.
+pub trait RedirectTarget {
+    /// System name for reports.
+    fn label(&self) -> &'static str;
+
+    /// The shared two-VM environment.
+    fn env_mut(&mut self) -> &mut CrossVmEnv;
+
+    /// Executes one redirected syscall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the system's redirection failures.
+    fn redirect(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError>;
+}
+
+impl RedirectTarget for Proxos {
+    fn label(&self) -> &'static str {
+        "Proxos"
+    }
+    fn env_mut(&mut self) -> &mut CrossVmEnv {
+        &mut self.env
+    }
+    fn redirect(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        self.redirected_syscall(syscall)
+    }
+}
+
+impl RedirectTarget for HyperShell {
+    fn label(&self) -> &'static str {
+        "HyperShell"
+    }
+    fn env_mut(&mut self) -> &mut CrossVmEnv {
+        &mut self.env
+    }
+    fn redirect(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        self.reverse_syscall(syscall)
+    }
+}
+
+impl RedirectTarget for Tahoma {
+    fn label(&self) -> &'static str {
+        "Tahoma"
+    }
+    fn env_mut(&mut self) -> &mut CrossVmEnv {
+        &mut self.env
+    }
+    fn redirect(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        self.browser_call(syscall)
+    }
+}
+
+impl RedirectTarget for ShadowContext {
+    fn label(&self) -> &'static str {
+        "ShadowContext"
+    }
+    fn env_mut(&mut self) -> &mut CrossVmEnv {
+        &mut self.env
+    }
+    fn redirect(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
+        self.introspect_syscall(syscall)
+    }
+}
+
+fn charge_stub(env: &mut CrossVmEnv) {
+    env.platform.cpu_mut().charge_work(
+        USER_STUB_CYCLES,
+        USER_STUB_INSTRUCTIONS,
+        "lmbench user stub",
+    );
+}
+
+fn fd_of(ret: &SyscallRet) -> Fd {
+    match ret {
+        SyscallRet::Fd(fd) => *fd,
+        other => panic!("expected fd, got {other:?}"),
+    }
+}
+
+fn pipe_pair(ret: &SyscallRet) -> (Fd, Fd) {
+    match ret {
+        SyscallRet::PipePair(r, w) => (*r, *w),
+        other => panic!("expected pipe pair, got {other:?}"),
+    }
+}
+
+/// Runs one microbenchmark iteration **natively** in VM-1 of `env`,
+/// returning the measured delta (the "Guest Native Linux" column).
+///
+/// # Errors
+///
+/// Propagates guest-OS failures.
+pub fn run_native(env: &mut CrossVmEnv, op: MicroOp) -> Result<Delta, SystemError> {
+    env.settle_in_vm1()?;
+    match op {
+        MicroOp::Pipe => {
+            // Unmeasured setup: a pipe and a forked peer that inherits
+            // the descriptors, exactly as lmbench does.
+            let ret = env.k1.syscall(&mut env.platform, Syscall::Pipe)?;
+            let (r, w) = pipe_pair(&ret);
+            let child = match env.k1.syscall(&mut env.platform, Syscall::Fork)? {
+                SyscallRet::Pid(pid) => pid,
+                other => unreachable!("fork returned {other:?}"),
+            };
+            let snap = env.platform.cpu().meter().snapshot();
+            charge_stub(env);
+            env.k1.syscall(
+                &mut env.platform,
+                Syscall::Write {
+                    fd: w,
+                    data: vec![0],
+                },
+            )?;
+            // The parent blocks; the child wakes and reads through its
+            // inherited descriptor.
+            env.k1.block_and_switch(&mut env.platform, child)?;
+            env.k1.syscall(&mut env.platform, Syscall::Read { fd: r, len: 1 })?;
+            env.platform
+                .cpu_mut()
+                .touch(machine::trace::TransitionKind::ContextSwitch);
+            charge_stub(env);
+            let delta = env.platform.cpu().meter().since(snap);
+            env.k1.run(env.app);
+            Ok(delta)
+        }
+        _ => {
+            let snap = env.platform.cpu().meter().snapshot();
+            charge_stub(env);
+            match op {
+                MicroOp::NullSyscall => {
+                    env.k1.syscall(&mut env.platform, Syscall::Null)?;
+                }
+                MicroOp::NullIo => {
+                    env.k1.syscall(&mut env.platform, Syscall::NullIo)?;
+                }
+                MicroOp::Stat => {
+                    env.k1.syscall(
+                        &mut env.platform,
+                        Syscall::Stat {
+                            path: "/tmp/file".into(),
+                        },
+                    )?;
+                }
+                MicroOp::OpenClose => {
+                    let ret = env.k1.syscall(
+                        &mut env.platform,
+                        Syscall::Open {
+                            path: "/tmp/file".into(),
+                            create: false,
+                        },
+                    )?;
+                    let fd = fd_of(&ret);
+                    env.k1.syscall(&mut env.platform, Syscall::Close { fd })?;
+                }
+                MicroOp::Pipe => unreachable!(),
+            }
+            Ok(env.platform.cpu().meter().since(snap))
+        }
+    }
+}
+
+/// Runs one microbenchmark iteration through a redirection target,
+/// returning the measured delta (the "Original"/"Optimized" columns,
+/// depending on how the target was built).
+///
+/// # Errors
+///
+/// Propagates redirection failures.
+pub fn run_redirected<T: RedirectTarget>(
+    target: &mut T,
+    op: MicroOp,
+) -> Result<Delta, SystemError> {
+    target.env_mut().settle_in_vm1()?;
+    match op {
+        MicroOp::Pipe => {
+            // Setup: the pipe lives in the *remote* kernel.
+            let ret = target.redirect(&Syscall::Pipe)?;
+            let (r, w) = pipe_pair(&ret);
+            let env = target.env_mut();
+            let peer = env.k1.spawn(&mut env.platform, "pipe-peer")?;
+            env.settle_in_vm1()?;
+            let snap = target.env_mut().platform.cpu().meter().snapshot();
+            charge_stub(target.env_mut());
+            target.redirect(&Syscall::Write {
+                fd: w,
+                data: vec![0],
+            })?;
+            let env = target.env_mut();
+            env.k1.block_and_switch(&mut env.platform, peer)?;
+            env.k1.run(env.app);
+            target.redirect(&Syscall::Read { fd: r, len: 1 })?;
+            let env = target.env_mut();
+            env.platform.cpu_mut().touch(machine::trace::TransitionKind::ContextSwitch);
+            charge_stub(env);
+            Ok(env.platform.cpu().meter().since(snap))
+        }
+        _ => {
+            let snap = target.env_mut().platform.cpu().meter().snapshot();
+            charge_stub(target.env_mut());
+            match op {
+                MicroOp::NullSyscall => {
+                    target.redirect(&Syscall::Null)?;
+                }
+                MicroOp::NullIo => {
+                    target.redirect(&Syscall::NullIo)?;
+                }
+                MicroOp::Stat => {
+                    target.redirect(&Syscall::Stat {
+                        path: "/tmp/file".into(),
+                    })?;
+                }
+                MicroOp::OpenClose => {
+                    let ret = target.redirect(&Syscall::Open {
+                        path: "/tmp/file".into(),
+                        create: false,
+                    })?;
+                    let fd = fd_of(&ret);
+                    target.redirect(&Syscall::Close { fd })?;
+                }
+                MicroOp::Pipe => unreachable!(),
+            }
+            Ok(target.env_mut().platform.cpu().meter().since(snap))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cost::Frequency;
+    use machine::trace::TransitionKind;
+
+    fn native_us(op: MicroOp) -> f64 {
+        let mut env = CrossVmEnv::new("a", "b").unwrap();
+        run_native(&mut env, op)
+            .unwrap()
+            .micros(Frequency::GHZ_3_4)
+    }
+
+    #[test]
+    fn native_latencies_match_table4_column2() {
+        for op in MicroOp::ALL {
+            let us = native_us(op);
+            let paper = op.paper_native_us();
+            let err = (us - paper).abs() / paper;
+            assert!(
+                err < 0.12,
+                "{}: measured {us:.3} us vs paper {paper} us",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn proxos_grid_reproduces_reduction_column() {
+        // One row end-to-end: NULL syscall on Proxos.
+        let mut base = Proxos::baseline().unwrap();
+        let mut opt = Proxos::optimized().unwrap();
+        let b = run_redirected(&mut base, MicroOp::NullSyscall).unwrap();
+        let o = run_redirected(&mut opt, MicroOp::NullSyscall).unwrap();
+        let reduction = 1.0 - o.cycles.0 as f64 / b.cycles.0 as f64;
+        // Paper: 87.5%.
+        assert!(reduction > 0.8, "got {:.1}%", reduction * 100.0);
+    }
+
+    #[test]
+    fn redirected_pipe_includes_context_switches() {
+        let mut opt = Proxos::optimized().unwrap();
+        let before = opt
+            .env
+            .platform
+            .cpu()
+            .trace()
+            .count(TransitionKind::ContextSwitch);
+        run_redirected(&mut opt, MicroOp::Pipe).unwrap();
+        assert!(
+            opt.env
+                .platform
+                .cpu()
+                .trace()
+                .count(TransitionKind::ContextSwitch)
+                >= before + 2
+        );
+    }
+
+    #[test]
+    fn open_close_round_trips_on_every_target() {
+        let mut p = Proxos::optimized().unwrap();
+        let mut h = HyperShell::optimized().unwrap();
+        let mut t = Tahoma::optimized().unwrap();
+        let mut s = ShadowContext::optimized().unwrap();
+        assert!(run_redirected(&mut p, MicroOp::OpenClose).is_ok());
+        assert!(run_redirected(&mut h, MicroOp::OpenClose).is_ok());
+        assert!(run_redirected(&mut t, MicroOp::OpenClose).is_ok());
+        assert!(run_redirected(&mut s, MicroOp::OpenClose).is_ok());
+    }
+
+    #[test]
+    fn optimized_is_faster_than_baseline_for_all_ops_and_systems() {
+        for op in MicroOp::ALL {
+            let mut pb = Proxos::baseline().unwrap();
+            let mut po = Proxos::optimized().unwrap();
+            let b = run_redirected(&mut pb, op).unwrap();
+            let o = run_redirected(&mut po, op).unwrap();
+            assert!(
+                o.cycles < b.cycles,
+                "{}: optimized {} >= baseline {}",
+                op.name(),
+                o.cycles.0,
+                b.cycles.0
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The §7.1.2 OpenSSH split-execution scenario.
+//!
+//! Security-critical syscalls (private-key access, crypto) run in a
+//! private VM; network operations stay in a public VM. Every transferred
+//! chunk crosses worlds. Prints the Table 6 throughput grid and the
+//! improvement CrossOver buys over hypervisor-mediated calls.
+//!
+//! Run with: `cargo run --example secure_split_ssh`
+
+use workloads::openssh::{
+    scp_throughput, throughput_improvement, SshMode, FILE_SIZES_MB,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("scp of a cached file from the split OpenSSH server (MB/s):\n");
+    println!(
+        "{:>9} {:>10} {:>15} {:>17} {:>13}",
+        "size", "native", "w/ CrossOver", "w/o CrossOver", "improvement"
+    );
+    for mb in FILE_SIZES_MB {
+        let native = scp_throughput(SshMode::Native, mb)?;
+        let with = scp_throughput(SshMode::WithCrossOver, mb)?;
+        let without = scp_throughput(SshMode::WithoutCrossOver, mb)?;
+        println!(
+            "{:>6} MB {:>10.1} {:>15.1} {:>17.1} {:>12.0}%",
+            mb,
+            native,
+            with,
+            without,
+            100.0 * throughput_improvement(with, without)
+        );
+    }
+    println!(
+        "\nThe private key never leaves the private VM; CrossOver recovers\n\
+         most of the isolation tax because each chunk hand-off no longer\n\
+         traps to the hypervisor or waits for the peer VM's scheduler."
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! A user-space filesystem (FUSE) served over direct user-to-user world
+//! calls — the same-VM case that plain VMFUNC cannot accelerate.
+//!
+//! The application and the FS daemon are two user-level address spaces in
+//! one VM. The classic path detours through the kernel twice per request;
+//! with CrossOver the app's world calls the daemon's world directly.
+//!
+//! Run with: `cargo run --example userspace_fs`
+
+use machine::cost::Frequency;
+use systems::fuse::{Fuse, FuseOp, FuseRet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut fuse = Fuse::new()?;
+
+    // Populate the user-space filesystem through the fast path.
+    fuse.crossover_call(&FuseOp::Write {
+        path: "/mnt/fuse/notes.txt".into(),
+        data: b"stored entirely in user space".to_vec(),
+    })?;
+
+    let op = FuseOp::Read {
+        path: "/mnt/fuse/notes.txt".into(),
+        len: 64,
+    };
+    let (ret, baseline) = fuse.measure(&op, true)?;
+    if let FuseRet::Data(bytes) = &ret {
+        println!("read back: {:?}", String::from_utf8_lossy(bytes));
+    }
+    let (_, optimized) = fuse.measure(&op, false)?;
+
+    println!(
+        "\nkernel detour (U_app -> K -> U_fuse -> K -> U_app): {:.2} us",
+        baseline.micros(Frequency::GHZ_3_4)
+    );
+    println!(
+        "world_call   (U_app -> U_fuse -> U_app):            {:.2} us",
+        optimized.micros(Frequency::GHZ_3_4)
+    );
+    println!(
+        "\n{} requests served by the daemon; note that VMFUNC alone cannot\n\
+         optimize this case — both worlds share one EPT and user mode\n\
+         cannot rewrite CR3. Only the full world_call connects two user\n\
+         address spaces in one hop (Table 3, row 7).",
+        fuse.requests_served()
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! VM introspection à la ShadowContext, plus CrossOver's authorization.
+//!
+//! A trusted VM inspects an untrusted VM by redirecting syscalls into it.
+//! The example also demonstrates the software side of CrossOver's split
+//! between authentication and authorization: the callee installs an
+//! allow-list and refuses a world that is not on it.
+//!
+//! Run with: `cargo run --example vm_introspection`
+
+use crossover::manager::{AuthPolicy, WorldManager};
+use crossover::world::WorldDescriptor;
+use crossover::WorldError;
+use guestos::syscall::{Syscall, SyscallRet};
+use hypervisor::platform::Platform;
+use hypervisor::vm::VmConfig;
+use machine::cost::Frequency;
+use systems::shadowcontext::ShadowContext;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Part 1: introspect the untrusted VM with both implementations.
+    let mut optimized = ShadowContext::optimized()?;
+    optimized
+        .env
+        .k2
+        .fs_mut()
+        .create("/proc/1234/cmdline", 0o444)?;
+    let ino = optimized.env.k2.fs().lookup("/proc/1234/cmdline")?;
+    optimized
+        .env
+        .k2
+        .fs_mut()
+        .write_at(ino, 0, b"/usr/bin/suspicious-daemon")?;
+
+    let (ret, delta) = optimized.measure_syscall(&Syscall::Stat {
+        path: "/proc/1234/cmdline".into(),
+    })?;
+    if let SyscallRet::Stat(stat) = ret {
+        println!(
+            "introspected /proc/1234/cmdline: {} bytes, mode {:o} ({:.2} us with CrossOver)",
+            stat.size,
+            stat.mode,
+            delta.micros(Frequency::GHZ_3_4)
+        );
+    }
+
+    let mut baseline = ShadowContext::baseline()?;
+    baseline.env.k2.fs_mut().create("/proc/1234/cmdline", 0o444)?;
+    let (_, slow) = baseline.measure_syscall(&Syscall::Stat {
+        path: "/proc/1234/cmdline".into(),
+    })?;
+    println!(
+        "the original design needs {:.2} us for the same call",
+        slow.micros(Frequency::GHZ_3_4)
+    );
+
+    // Part 2: the callee authorizes callers by WID.
+    let mut platform = Platform::new_default();
+    let trusted_vm = platform.create_vm(VmConfig::named("trusted"))?;
+    let untrusted_vm = platform.create_vm(VmConfig::named("untrusted"))?;
+    let mut manager = WorldManager::new();
+    let inspector_desc =
+        WorldDescriptor::guest_user(&platform, trusted_vm, 0x1000, 0)?;
+    let rogue_desc = WorldDescriptor::guest_user(&platform, trusted_vm, 0x9000, 0)?;
+    let target_desc =
+        WorldDescriptor::guest_kernel(&platform, untrusted_vm, 0x2000, 0)?;
+    let inspector = manager.register_world(&mut platform, inspector_desc)?;
+    let rogue = manager.register_world(&mut platform, rogue_desc)?;
+    let target = manager.register_world(&mut platform, target_desc)?;
+    // Only the inspector may call into the target world.
+    manager.set_policy(target, AuthPolicy::allow([inspector]));
+
+    platform.vmentry(trusted_vm)?;
+    platform.cpu_mut().force_cr3(0x1000);
+    let token = manager.call(&mut platform, inspector, target)?;
+    println!("\ninspector {inspector} admitted by {target}");
+    manager.ret(&mut platform, token)?;
+
+    platform.cpu_mut().force_cr3(0x9000);
+    match manager.call(&mut platform, rogue, target) {
+        Err(WorldError::AuthorizationDenied { caller, callee }) => {
+            println!("rogue {caller} refused by {callee} (hardware-authenticated WID)");
+        }
+        other => panic!("expected denial, got {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Calibration tests: the paper's headline numbers, asserted at the
+//! integration level so a cost-model regression cannot silently skew the
+//! reproduced tables.
+
+use guestos::syscall::Syscall;
+use machine::cost::Frequency;
+use systems::env::CrossVmEnv;
+use systems::fuse::{Fuse, FuseOp};
+use systems::hypershell::HyperShell;
+use systems::proxos::Proxos;
+use systems::shadowcontext::ShadowContext;
+use systems::tahoma::Tahoma;
+use workloads::lmbench::{LmbenchHarness, LmbenchMode, LmbenchOp};
+use workloads::openssh::{scp_throughput, SshMode};
+use workloads::utilities::{run_utility, utilities, UtilityMode};
+
+/// Relative tolerance for latency calibration points.
+const TOL: f64 = 0.15;
+
+fn within(measured: f64, paper: f64, tol: f64, what: &str) {
+    let err = (measured - paper).abs() / paper;
+    assert!(
+        err < tol,
+        "{what}: measured {measured:.3} vs paper {paper:.3} ({:.0}% off)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn table4_null_syscall_column() {
+    // The four systems' NULL-syscall rows, original and optimized.
+    let mut p = Proxos::baseline().unwrap();
+    let (_, d) = p.measure_syscall(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 3.35, TOL, "Proxos orig");
+    let mut p = Proxos::optimized().unwrap();
+    let (_, d) = p.measure_syscall(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 0.42, TOL, "Proxos opt");
+
+    let mut h = HyperShell::baseline().unwrap();
+    let (_, d) = h.measure_syscall(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 2.60, TOL, "HyperShell orig");
+    let mut h = HyperShell::optimized().unwrap();
+    let (_, d) = h.measure_syscall(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 0.72, TOL, "HyperShell opt");
+
+    let mut t = Tahoma::baseline().unwrap();
+    let (_, d) = t.measure_call(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 42.0, TOL, "Tahoma orig");
+    let mut t = Tahoma::optimized().unwrap();
+    let (_, d) = t.measure_call(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 0.68, TOL, "Tahoma opt");
+
+    let mut s = ShadowContext::baseline().unwrap();
+    let (_, d) = s.measure_syscall(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 3.40, TOL, "ShadowContext orig");
+    let mut s = ShadowContext::optimized().unwrap();
+    let (_, d) = s.measure_syscall(&Syscall::Null).unwrap();
+    within(d.micros(Frequency::GHZ_3_4), 0.71, TOL, "ShadowContext opt");
+}
+
+#[test]
+fn table7_native_column_is_exact() {
+    let mut h = LmbenchHarness::new().unwrap();
+    for op in LmbenchOp::ALL {
+        assert_eq!(
+            h.instructions(op, LmbenchMode::Native).unwrap(),
+            op.paper_native(),
+            "{}",
+            op.name()
+        );
+    }
+}
+
+#[test]
+fn table7_crossover_column_is_exact() {
+    let mut h = LmbenchHarness::new().unwrap();
+    for op in LmbenchOp::ALL {
+        let with = h.instructions(op, LmbenchMode::WithCrossOver).unwrap();
+        let calls = if op == LmbenchOp::OpenClose { 2 } else { 1 };
+        assert_eq!(with, op.paper_native() + 33 * calls, "{}", op.name());
+    }
+}
+
+#[test]
+fn table5_native_column() {
+    for u in utilities() {
+        let ms = run_utility(&u, UtilityMode::Native).unwrap();
+        within(ms, u.paper_native_ms, 0.10, u.name);
+    }
+}
+
+#[test]
+fn table5_reductions_in_paper_band() {
+    // The paper's band is 55-74%; require every tool inside a slightly
+    // widened band.
+    for u in utilities() {
+        let without = run_utility(&u, UtilityMode::WithoutCrossOver).unwrap();
+        let with = run_utility(&u, UtilityMode::WithCrossOver).unwrap();
+        let red = (without - with) / without;
+        assert!(
+            (0.50..0.85).contains(&red),
+            "{}: reduction {:.1}%",
+            u.name,
+            red * 100.0
+        );
+    }
+}
+
+#[test]
+fn table6_steady_state_row() {
+    within(
+        scp_throughput(SshMode::Native, 256).unwrap(),
+        64.0,
+        0.10,
+        "scp native 256MB",
+    );
+    within(
+        scp_throughput(SshMode::WithCrossOver, 256).unwrap(),
+        42.7,
+        0.10,
+        "scp w/ CrossOver 256MB",
+    );
+    within(
+        scp_throughput(SshMode::WithoutCrossOver, 256).unwrap(),
+        23.3,
+        0.10,
+        "scp w/o CrossOver 256MB",
+    );
+}
+
+#[test]
+fn native_syscall_baseline_is_0_29_us() {
+    let mut env = CrossVmEnv::new("a", "b").unwrap();
+    let snap = env.platform.cpu().meter().snapshot();
+    env.k1.syscall(&mut env.platform, Syscall::Null).unwrap();
+    let d = env.platform.cpu().meter().since(snap);
+    within(d.micros(Frequency::GHZ_3_4), 0.29, 0.01, "native NULL");
+}
+
+#[test]
+fn fuse_user_to_user_call_beats_the_kernel_detour() {
+    let mut f = Fuse::new().unwrap();
+    let op = FuseOp::Getattr {
+        path: "/mnt/fuse/README".into(),
+    };
+    let (_, base) = f.measure(&op, true).unwrap();
+    let (_, opt) = f.measure(&op, false).unwrap();
+    assert!(opt.cycles.0 * 2 < base.cycles.0);
+}
