@@ -12,7 +12,6 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crossover::alt::{
     async_message_call, crossover_call_equivalent, sync_ipi_call, AltCallProfile,
 };
@@ -27,6 +26,7 @@ use hypervisor::sched::SchedModel;
 use hypervisor::vm::VmConfig;
 use systems::proxos::Proxos;
 use workloads::micro::{run_redirected, MicroOp};
+use xover_bench::harness::Criterion;
 
 struct AuthFixture {
     platform: Platform,
@@ -61,10 +61,16 @@ fn auth_fixture(policy: AuthPolicy) -> AuthFixture {
 fn software_auth_roundtrip_cycles() -> u64 {
     let mut f = auth_fixture(AuthPolicy::AllowList(Default::default()));
     // Warm.
-    let t = f.mgr.call(&mut f.platform, f.caller, f.callee).expect("call");
+    let t = f
+        .mgr
+        .call(&mut f.platform, f.caller, f.callee)
+        .expect("call");
     f.mgr.ret(&mut f.platform, t).expect("ret");
     let before = f.platform.cpu().meter().cycles();
-    let t = f.mgr.call(&mut f.platform, f.caller, f.callee).expect("call");
+    let t = f
+        .mgr
+        .call(&mut f.platform, f.caller, f.callee)
+        .expect("call");
     f.mgr.ret(&mut f.platform, t).expect("ret");
     f.platform.cpu().meter().cycles() - before
 }
@@ -85,22 +91,46 @@ fn binding_table_roundtrip_cycles() -> u64 {
     platform.cpu_mut().force_cr3(0x1000);
     // Warm the caches.
     bound_world_call(
-        &mut unit, &bindings, &mut platform, &table, caller, callee, Direction::Call,
+        &mut unit,
+        &bindings,
+        &mut platform,
+        &table,
+        caller,
+        callee,
+        Direction::Call,
     )
     .expect("call");
     bound_world_call(
-        &mut unit, &bindings, &mut platform, &table, callee, caller, Direction::Return,
+        &mut unit,
+        &bindings,
+        &mut platform,
+        &table,
+        callee,
+        caller,
+        Direction::Return,
     )
     .expect("return");
     let before = platform.cpu().meter().cycles();
     // Hardware-checked call: no callee-side software auth needed.
     platform.cpu_mut().charge_work(30, 10, "save state");
     bound_world_call(
-        &mut unit, &bindings, &mut platform, &table, caller, callee, Direction::Call,
+        &mut unit,
+        &bindings,
+        &mut platform,
+        &table,
+        caller,
+        callee,
+        Direction::Call,
     )
     .expect("call");
     bound_world_call(
-        &mut unit, &bindings, &mut platform, &table, callee, caller, Direction::Return,
+        &mut unit,
+        &bindings,
+        &mut platform,
+        &table,
+        callee,
+        caller,
+        Direction::Return,
     )
     .expect("return");
     platform.cpu_mut().charge_work(30, 10, "restore state");
@@ -211,5 +241,7 @@ fn benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablations, benches);
-criterion_main!(ablations);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use systems::paths::survey;
+use xover_bench::harness::Criterion;
 
 fn benches(c: &mut Criterion) {
     println!("{}", xover_bench::reports::table1());
@@ -13,15 +13,12 @@ fn benches(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(400));
     group.bench_function("survey-ratios", |b| {
-        b.iter(|| {
-            survey()
-                .iter()
-                .map(|s| s.ratio())
-                .sum::<f64>()
-        })
+        b.iter(|| survey().iter().map(|s| s.ratio()).sum::<f64>())
     });
     group.finish();
 }
 
-criterion_group!(table1, benches);
-criterion_main!(table1);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

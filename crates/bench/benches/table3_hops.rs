@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use crossover::plan::{HopPlanner, Mechanism};
+use xover_bench::harness::Criterion;
 
 fn benches(c: &mut Criterion) {
     println!("{}", xover_bench::reports::table3());
@@ -46,5 +46,7 @@ fn benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(table3, benches);
-criterion_main!(table3);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

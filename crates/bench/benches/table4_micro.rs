@@ -8,13 +8,13 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use workloads::micro::{run_native, run_redirected, MicroOp, RedirectTarget};
 use systems::env::CrossVmEnv;
 use systems::hypershell::HyperShell;
 use systems::proxos::Proxos;
 use systems::shadowcontext::ShadowContext;
 use systems::tahoma::Tahoma;
+use workloads::micro::{run_native, run_redirected, MicroOp, RedirectTarget};
+use xover_bench::harness::Criterion;
 
 fn configure(c: &mut Criterion) -> &mut Criterion {
     c
@@ -61,7 +61,9 @@ fn benches(c: &mut Criterion) {
     let c = configure(c);
     bench_native(c);
     bench_system(c, "proxos-original", || Proxos::baseline().expect("proxos"));
-    bench_system(c, "proxos-optimized", || Proxos::optimized().expect("proxos"));
+    bench_system(c, "proxos-optimized", || {
+        Proxos::optimized().expect("proxos")
+    });
     bench_system(c, "hypershell-original", || {
         HyperShell::baseline().expect("hypershell")
     });
@@ -69,7 +71,9 @@ fn benches(c: &mut Criterion) {
         HyperShell::optimized().expect("hypershell")
     });
     bench_system(c, "tahoma-original", || Tahoma::baseline().expect("tahoma"));
-    bench_system(c, "tahoma-optimized", || Tahoma::optimized().expect("tahoma"));
+    bench_system(c, "tahoma-optimized", || {
+        Tahoma::optimized().expect("tahoma")
+    });
     bench_system(c, "shadowcontext-original", || {
         ShadowContext::baseline().expect("shadowcontext")
     });
@@ -78,5 +82,7 @@ fn benches(c: &mut Criterion) {
     });
 }
 
-criterion_group!(table4, benches);
-criterion_main!(table4);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::utilities::{run_utility, utilities, UtilityMode};
+use xover_bench::harness::Criterion;
 
 fn benches(c: &mut Criterion) {
     println!("{}", xover_bench::reports::table5());
@@ -27,5 +27,7 @@ fn benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(table5, benches);
-criterion_main!(table5);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::openssh::{scp_throughput, SshMode, FILE_SIZES_MB};
+use xover_bench::harness::Criterion;
 
 fn benches(c: &mut Criterion) {
     println!("{}", xover_bench::reports::table6());
@@ -26,5 +26,7 @@ fn benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(table6, benches);
-criterion_main!(table6);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

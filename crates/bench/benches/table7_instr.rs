@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use workloads::lmbench::{LmbenchHarness, LmbenchMode, LmbenchOp};
+use xover_bench::harness::Criterion;
 
 fn benches(c: &mut Criterion) {
     println!("{}", xover_bench::reports::table7());
@@ -28,5 +28,7 @@ fn benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(table7, benches);
-criterion_main!(table7);
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+}

@@ -54,9 +54,8 @@ fn sweep_capacity() {
         for i in 0..6u64 {
             let cd = crossover::world::WorldDescriptor::guest_user(&p, vm1, 0x1000 * (i + 1), 0)
                 .expect("desc");
-            let ed =
-                crossover::world::WorldDescriptor::guest_kernel(&p, vm2, 0x1000 * (i + 1), 0)
-                    .expect("desc");
+            let ed = crossover::world::WorldDescriptor::guest_kernel(&p, vm2, 0x1000 * (i + 1), 0)
+                .expect("desc");
             pairs.push((
                 table.create(cd).expect("create"),
                 table.create(ed).expect("create"),
@@ -76,12 +75,7 @@ fn sweep_capacity() {
                 )
                 .expect("reset");
             }
-            let _ = unit.world_call(
-                &mut p,
-                &table,
-                callee,
-                crossover::call::Direction::Call,
-            );
+            let _ = unit.world_call(&mut p, &table, callee, crossover::call::Direction::Call);
         }
         let wt = unit.wt_stats();
         let iwt = unit.iwt_stats();

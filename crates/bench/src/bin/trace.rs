@@ -100,9 +100,7 @@ fn run(which: &str) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!(
-            "usage: trace <native|crossover|proxos-original|proxos-optimized|...>"
-        );
+        eprintln!("usage: trace <native|crossover|proxos-original|proxos-optimized|...>");
         std::process::exit(2);
     });
     if let Err(e) = run(&which) {

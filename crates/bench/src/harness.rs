@@ -1,0 +1,153 @@
+//! A minimal, dependency-free stand-in for the subset of the Criterion
+//! API the benches use.
+//!
+//! The workspace must build in air-gapped environments (no crates.io),
+//! so the benches cannot link the real `criterion` crate. This harness
+//! keeps the same call shape — `benchmark_group`, `sample_size`,
+//! `warm_up_time`, `measurement_time`, `bench_function`, `finish` — and
+//! measures wall time with `std::time::Instant`, reporting the median
+//! ns/iter over the configured number of samples.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling begins.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget split across the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up,
+            },
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        // Warm-up pass: also calibrates iterations per sample.
+        f(&mut b);
+        let per_sample = self.measurement.max(Duration::from_millis(1)) / self.sample_size as u32;
+        b.mode = Mode::Measure {
+            per_sample,
+            samples_wanted: self.sample_size,
+        };
+        f(&mut b);
+        let mut ns: Vec<f64> = b.samples.clone();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if ns.is_empty() {
+            f64::NAN
+        } else {
+            ns[ns.len() / 2]
+        };
+        println!(
+            "bench {}/{id}: {median:.1} ns/iter ({} samples)",
+            self.name,
+            ns.len()
+        );
+        self
+    }
+
+    /// Ends the group (output is already printed incrementally).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp {
+        until: Duration,
+    },
+    Measure {
+        per_sample: Duration,
+        samples_wanted: usize,
+    },
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`];
+/// call [`Bencher::iter`] exactly once with the code to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, preventing the result from being optimised away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                while start.elapsed() < until {
+                    std::hint::black_box(f());
+                    iters += 1;
+                }
+                // Aim for ~10 timer reads per sample, at least 1 iter.
+                self.iters_per_sample = (iters / 10).max(1);
+            }
+            Mode::Measure {
+                per_sample,
+                samples_wanted,
+            } => {
+                self.samples.clear();
+                for _ in 0..samples_wanted {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    self.samples
+                        .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+                    if elapsed > per_sample * 4 {
+                        break; // a single slow sample already blew the budget
+                    }
+                }
+            }
+        }
+    }
+}

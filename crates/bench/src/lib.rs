@@ -1,5 +1,7 @@
 //! Benchmark harness: regenerates every table and figure of the paper's
-//! evaluation as text reports, and hosts the Criterion benches.
+//! evaluation as text reports, and hosts the wall-clock benches (run via
+//! the dependency-free [`harness`] module so the workspace builds
+//! offline).
 //!
 //! The `tables` binary prints any report:
 //!
@@ -9,9 +11,9 @@
 //! cargo run -p xover-bench --bin tables -- --figure 2
 //! ```
 
+pub mod harness;
 pub mod reports;
 
 pub use reports::{
-    figure1, figure2, figure3, figure4, figure5, table1, table3, table4, table5, table6,
-    table7,
+    figure1, figure2, figure3, figure4, figure5, table1, table3, table4, table5, table6, table7,
 };

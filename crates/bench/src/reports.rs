@@ -71,7 +71,10 @@ pub fn table3() -> String {
         (None, Some(4), Some(2), 1),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3: world-call classification (hops computed by BFS planner)");
+    let _ = writeln!(
+        out,
+        "Table 3: world-call classification (hops computed by BFS planner)"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>3} {:>4} {:>5}  {:>9} {:>9} {:>11} {:>13}",
@@ -105,7 +108,10 @@ pub fn table3() -> String {
             cell(xo, Some(pxo)),
         );
     }
-    let _ = writeln!(out, "cells are measured(paper); '-' = no path under that mechanism");
+    let _ = writeln!(
+        out,
+        "cells are measured(paper); '-' = no path under that mechanism"
+    );
     out
 }
 
@@ -232,8 +238,15 @@ pub fn table5() -> String {
         let _ = writeln!(
             out,
             "{:<8} {:>7.2} ({:>5.2}) {:>9.2} ({:>6.2}) {:>9.2} ({:>6.2}) {:>11.1}% ({:.1}%)",
-            u.name, native, u.paper_native_ms, without, u.paper_without_ms, with,
-            u.paper_with_ms, red, pred
+            u.name,
+            native,
+            u.paper_native_ms,
+            without,
+            u.paper_without_ms,
+            with,
+            u.paper_with_ms,
+            red,
+            pred
         );
     }
     out
@@ -283,7 +296,9 @@ pub fn table7() -> String {
         "Benchmark", "Native", "w/ CrossOver", "w/o CrossOver"
     );
     for op in LmbenchOp::ALL {
-        let native = harness.instructions(op, LmbenchMode::Native).expect("native");
+        let native = harness
+            .instructions(op, LmbenchMode::Native)
+            .expect("native");
         let with = harness
             .instructions(op, LmbenchMode::WithCrossOver)
             .expect("with");
@@ -327,7 +342,10 @@ pub fn figure1() -> String {
                 if direct {
                     "direct (solid line)".to_string()
                 } else {
-                    format!("indirect, {} hops via existing mechanisms", sw.map_or("∞".into(), |h| h.to_string()))
+                    format!(
+                        "indirect, {} hops via existing mechanisms",
+                        sw.map_or("∞".into(), |h| h.to_string())
+                    )
                 }
             );
         }
@@ -345,7 +363,13 @@ where
     for e in env_trace() {
         if e.changed_mode() {
             step += 1;
-            let _ = writeln!(out, "  ({step}) {:<16} {} -> {}", e.kind.to_string(), e.from, e.to);
+            let _ = writeln!(
+                out,
+                "  ({step}) {:<16} {} -> {}",
+                e.kind.to_string(),
+                e.from,
+                e.to
+            );
         } else {
             let _ = writeln!(out, "      {:<16} ({})", e.kind.to_string(), e.from);
         }
@@ -357,7 +381,10 @@ where
 /// systems (numbered mode changes match the paper's step diagrams).
 pub fn figure2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 2: cross-world calls in existing systems (executed traces)");
+    let _ = writeln!(
+        out,
+        "Figure 2: cross-world calls in existing systems (executed traces)"
+    );
 
     let mut p = Proxos::baseline().expect("proxos");
     let _ = p.redirected_syscall(&Syscall::Null);
@@ -414,15 +441,22 @@ pub fn figure2() -> String {
 /// world in another VM and returning.
 pub fn figure3() -> String {
     let mut p = hypervisor::platform::Platform::new_default();
-    let vm1 = p.create_vm(hypervisor::vm::VmConfig::named("VM-1")).expect("vm1");
-    let vm2 = p.create_vm(hypervisor::vm::VmConfig::named("VM-2")).expect("vm2");
+    let vm1 = p
+        .create_vm(hypervisor::vm::VmConfig::named("VM-1"))
+        .expect("vm1");
+    let vm2 = p
+        .create_vm(hypervisor::vm::VmConfig::named("VM-2"))
+        .expect("vm2");
     let mut mgr = WorldManager::new();
-    let caller_desc =
-        WorldDescriptor::guest_user(&p, vm1, 0x1000, 0x40_0000).expect("caller desc");
+    let caller_desc = WorldDescriptor::guest_user(&p, vm1, 0x1000, 0x40_0000).expect("caller desc");
     let callee_desc =
         WorldDescriptor::guest_kernel(&p, vm2, 0x2000, 0xFFFF_8000).expect("callee desc");
-    let caller = mgr.register_world(&mut p, caller_desc).expect("register caller");
-    let callee = mgr.register_world(&mut p, callee_desc).expect("register callee");
+    let caller = mgr
+        .register_world(&mut p, caller_desc)
+        .expect("register caller");
+    let callee = mgr
+        .register_world(&mut p, callee_desc)
+        .expect("register callee");
     p.vmentry(vm1).expect("vmentry");
     p.cpu_mut().force_cr3(0x1000);
     p.cpu_mut().clear_trace();
@@ -453,7 +487,10 @@ pub fn figure4() -> String {
     env.clear_trace();
     let _ = vmfunc_cross_vm_syscall(&mut env, &Syscall::Null).expect("cross-vm syscall");
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4: cross-VM system call process (executed trace)");
+    let _ = writeln!(
+        out,
+        "Figure 4: cross-VM system call process (executed trace)"
+    );
     let steps = [
         "(1) system call",
         "(2) set CR3=CR, disable INT, set IDT=IDT2",
@@ -479,15 +516,19 @@ pub fn figure5() -> String {
     );
     for capacity in [2usize, 4, 8, 16, 32] {
         let mut p = hypervisor::platform::Platform::new_default();
-        let vm1 = p.create_vm(hypervisor::vm::VmConfig::named("a")).expect("vm");
-        let vm2 = p.create_vm(hypervisor::vm::VmConfig::named("b")).expect("vm");
+        let vm1 = p
+            .create_vm(hypervisor::vm::VmConfig::named("a"))
+            .expect("vm");
+        let vm2 = p
+            .create_vm(hypervisor::vm::VmConfig::named("b"))
+            .expect("vm");
         let mut table = crossover::table::WorldTable::with_quota(64);
         let mut unit = crossover::call::WorldCallUnit::with_capacity(capacity);
         // 12 worlds: 6 caller/callee pairs round-robining.
         let mut wids = Vec::new();
         for i in 0..6u64 {
-            let caller_desc = WorldDescriptor::guest_user(&p, vm1, 0x1000 * (i + 1), 0)
-                .expect("desc");
+            let caller_desc =
+                WorldDescriptor::guest_user(&p, vm1, 0x1000 * (i + 1), 0).expect("desc");
             let callee_desc =
                 WorldDescriptor::guest_kernel(&p, vm2, 0x1000 * (i + 1), 0).expect("desc");
             wids.push((
@@ -511,12 +552,7 @@ pub fn figure5() -> String {
                 )
                 .expect("reset");
             }
-            let _ = unit.world_call(
-                &mut p,
-                &table,
-                callee,
-                crossover::call::Direction::Call,
-            );
+            let _ = unit.world_call(&mut p, &table, callee, crossover::call::Direction::Call);
         }
         let wt = unit.wt_stats();
         let iwt = unit.iwt_stats();
@@ -558,10 +594,7 @@ mod tests {
         assert!(t.contains("U_VM1 <-> K_VM2"));
         // CrossOver column: always 1, printed as 1(1) at each row's end
         // (other columns may also contain 1(1) cells).
-        let rows: Vec<&str> = t
-            .lines()
-            .filter(|l| l.contains("<->"))
-            .collect();
+        let rows: Vec<&str> = t.lines().filter(|l| l.contains("<->")).collect();
         assert_eq!(rows.len(), 10, "{t}");
         for row in rows {
             assert!(row.trim_end().ends_with("1(1)"), "{row}");
@@ -596,7 +629,10 @@ mod tests {
     #[test]
     fn figure3_is_intervention_free() {
         let f = figure3();
-        assert!(f.contains("hypervisor interventions during call+return: 0"), "{f}");
+        assert!(
+            f.contains("hypervisor interventions during call+return: 0"),
+            "{f}"
+        );
         assert!(f.contains("world_call"));
     }
 

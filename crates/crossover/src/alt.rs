@@ -103,7 +103,9 @@ pub fn sync_ipi_call(
     if platform.cpu().mode().operation().is_guest() {
         platform.hypercall_roundtrip(0x20)?;
     } else {
-        platform.cpu_mut().charge_work(900, 160, "scheduler binding");
+        platform
+            .cpu_mut()
+            .charge_work(900, 160, "scheduler binding");
     }
     platform.cpu_mut().touch(TransitionKind::IpiSend);
     platform.cpu_mut().touch(TransitionKind::IpiReceive);

@@ -12,7 +12,7 @@ use hypervisor::platform::Platform;
 use machine::trace::TransitionKind;
 
 use crate::prefetch::CurrentWidRegister;
-use crate::table::WorldTable;
+use crate::table::WorldLookup;
 use crate::world::{Wid, WorldContext, WorldEntry};
 use crate::wtc::{CacheStats, IwtCache, WtCache, DEFAULT_WTC_CAPACITY};
 use crate::WorldError;
@@ -89,7 +89,7 @@ impl WorldCallUnit {
     }
 
     /// Hardware hook fired on context switches when prefetch is enabled.
-    pub fn notify_context_switch(&mut self, platform: &mut Platform, table: &WorldTable) {
+    pub fn notify_context_switch<T: WorldLookup>(&mut self, platform: &mut Platform, table: &T) {
         if let Some(reg) = self.prefetch.as_mut() {
             reg.on_context_switch(platform, table);
         }
@@ -113,10 +113,10 @@ impl WorldCallUnit {
     /// [`WorldError::NotAWorld`] if the context is not registered — the
     /// "namespace issues a world call without creating a world first"
     /// exception of §3.3.
-    fn identify_caller(
+    fn identify_caller<T: WorldLookup>(
         &mut self,
         platform: &mut Platform,
-        table: &WorldTable,
+        table: &T,
     ) -> Result<Wid, WorldError> {
         // The prefetch register answers without even an IWT access when
         // its speculative walk already latched this context.
@@ -131,7 +131,7 @@ impl WorldCallUnit {
         }
         // Miss: exception to the hypervisor, which walks the world table.
         platform.cpu_mut().touch(TransitionKind::WtcMissFault);
-        match table.lookup_context(&ctx) {
+        match table.wid_of(&ctx) {
             Some(wid) => {
                 platform.cpu_mut().touch(TransitionKind::WtcFill);
                 self.iwt.fill(ctx, wid);
@@ -147,20 +147,19 @@ impl WorldCallUnit {
     /// # Errors
     ///
     /// [`WorldError::InvalidWid`] if no present entry names `callee`.
-    fn resolve_callee(
+    fn resolve_callee<T: WorldLookup>(
         &mut self,
         platform: &mut Platform,
-        table: &WorldTable,
+        table: &T,
         callee: Wid,
     ) -> Result<WorldEntry, WorldError> {
         if let Some(entry) = self.wt.lookup(callee) {
             return Ok(entry);
         }
         platform.cpu_mut().touch(TransitionKind::WtcMissFault);
-        match table.lookup(callee) {
+        match table.entry_of(callee) {
             Some(entry) => {
                 platform.cpu_mut().touch(TransitionKind::WtcFill);
-                let entry = *entry;
                 self.wt.fill(entry);
                 Ok(entry)
             }
@@ -178,10 +177,10 @@ impl WorldCallUnit {
     /// * [`WorldError::InvalidWid`] — callee WID not present.
     /// * [`WorldError::Hv`] — the destination EPTP is not a registered
     ///   EPT (corrupt world table).
-    pub fn world_call(
+    pub fn world_call<T: WorldLookup>(
         &mut self,
         platform: &mut Platform,
-        table: &WorldTable,
+        table: &T,
         callee: Wid,
         direction: Direction,
     ) -> Result<SwitchOutcome, WorldError> {
@@ -214,13 +213,13 @@ impl WorldCallUnit {
     /// # Errors
     ///
     /// [`WorldError::InvalidWid`] if `wid` is not present.
-    pub fn manage_wtc_fill(
+    pub fn manage_wtc_fill<T: WorldLookup>(
         &mut self,
         platform: &mut Platform,
-        table: &WorldTable,
+        table: &T,
         wid: Wid,
     ) -> Result<(), WorldError> {
-        let entry = *table.lookup(wid).ok_or(WorldError::InvalidWid { wid })?;
+        let entry = table.entry_of(wid).ok_or(WorldError::InvalidWid { wid })?;
         platform.cpu_mut().touch(TransitionKind::WtcFill);
         self.wt.fill(entry);
         self.iwt.fill(entry.context, wid);
@@ -245,6 +244,7 @@ impl Default for WorldCallUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::WorldTable;
     use crate::world::WorldDescriptor;
     use hypervisor::vm::{VmConfig, VmId};
     use machine::mode::CpuMode;
@@ -268,9 +268,7 @@ mod tests {
             .create(WorldDescriptor::guest_user(&platform, vm1, 0x1000, 0x40_0000).unwrap())
             .unwrap();
         let callee = table
-            .create(
-                WorldDescriptor::guest_kernel(&platform, vm2, 0x2000, 0xFFFF_8000).unwrap(),
-            )
+            .create(WorldDescriptor::guest_kernel(&platform, vm2, 0x2000, 0xFFFF_8000).unwrap())
             .unwrap();
         platform.vmentry(vm1).unwrap();
         platform.cpu_mut().force_cr3(0x1000);
@@ -432,8 +430,7 @@ mod tests {
         f.unit.enable_prefetch();
         // Context switch hook latches the caller's identity.
         f.unit.notify_context_switch(&mut f.platform, &f.table);
-        let iwt_lookups_before =
-            f.unit.iwt_stats().hits + f.unit.iwt_stats().misses;
+        let iwt_lookups_before = f.unit.iwt_stats().hits + f.unit.iwt_stats().misses;
         f.unit
             .world_call(&mut f.platform, &f.table, f.callee, Direction::Call)
             .unwrap();

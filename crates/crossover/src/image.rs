@@ -166,8 +166,8 @@ impl WorldTableImage {
         if rec[P_OFF as usize] == 0 {
             return Ok(None);
         }
-        let ring = Ring::from_level(rec[RING_OFF as usize])
-            .ok_or(ImageError::CorruptRecord { index })?;
+        let ring =
+            Ring::from_level(rec[RING_OFF as usize]).ok_or(ImageError::CorruptRecord { index })?;
         let operation = if rec[HG_OFF as usize] == 1 {
             Operation::NonRoot
         } else {
@@ -317,7 +317,10 @@ mod tests {
         t.create(WorldDescriptor::host_user(0x2000, 0)).unwrap();
         assert!(matches!(
             img.sync(&t, &mut p),
-            Err(ImageError::CapacityExceeded { worlds: 2, capacity: 1 })
+            Err(ImageError::CapacityExceeded {
+                worlds: 2,
+                capacity: 1
+            })
         ));
     }
 }

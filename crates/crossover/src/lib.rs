@@ -76,7 +76,7 @@ pub mod wtc;
 pub use call::WorldCallUnit;
 pub use manager::{AuthPolicy, CallToken, WorldManager};
 pub use plan::{HopPlanner, Mechanism, WorldCoord};
-pub use table::WorldTable;
+pub use table::{WorldLookup, WorldTable};
 pub use world::{Wid, WorldContext, WorldDescriptor};
 
 use std::fmt;
@@ -153,7 +153,10 @@ impl fmt::Display for WorldError {
                 write!(f, "callee {callee} refused caller {caller}")
             }
             WorldError::ControlFlowViolation { expected, got } => {
-                write!(f, "control-flow violation: expected return from {expected}, got {got}")
+                write!(
+                    f,
+                    "control-flow violation: expected return from {expected}, got {got}"
+                )
             }
             WorldError::NoOutstandingCall { wid } => {
                 write!(f, "no outstanding call on {wid}'s stack")

@@ -83,6 +83,18 @@ pub struct CallToken {
     pub budget_cycles: Option<u64>,
 }
 
+impl CallToken {
+    /// Whether the armed budget has been exceeded by `platform`'s meter —
+    /// the §3.4 callee-DoS timeout check, exposed on the token so other
+    /// call drivers (e.g. the concurrent runtime's workers) can reuse it.
+    pub fn expired(&self, platform: &Platform) -> bool {
+        match self.budget_cycles {
+            Some(budget) => platform.cpu().meter().cycles() - self.started_at_cycles > budget,
+            None => false,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct CallFrame {
     peer: Wid,
@@ -302,13 +314,10 @@ impl WorldManager {
         let outcome =
             self.unit
                 .world_call(platform, &self.table, token.caller, Direction::Return)?;
-        let stack = self
-            .stacks
-            .entry(token.caller.raw())
-            .or_default();
-        let frame = stack.pop().ok_or(WorldError::NoOutstandingCall {
-            wid: token.caller,
-        })?;
+        let stack = self.stacks.entry(token.caller.raw()).or_default();
+        let frame = stack
+            .pop()
+            .ok_or(WorldError::NoOutstandingCall { wid: token.caller })?;
         if frame.peer != outcome.from {
             return Err(WorldError::ControlFlowViolation {
                 expected: frame.peer,
@@ -325,12 +334,7 @@ impl WorldManager {
 
     /// Whether `token`'s timeout budget has been exceeded by now.
     pub fn timed_out(&self, platform: &Platform, token: &CallToken) -> bool {
-        match token.budget_cycles {
-            Some(budget) => {
-                platform.cpu().meter().cycles() - token.started_at_cycles > budget
-            }
-            None => false,
-        }
+        token.expired(platform)
     }
 
     /// Hypervisor-forced cancellation of a non-returning callee (§3.4):

@@ -523,11 +523,7 @@ mod tests {
         let expected = [
             (WorldCoord::guest_user(1), WorldCoord::host_user(), 3),
             (WorldCoord::guest_kernel(1), WorldCoord::host_user(), 2),
-            (
-                WorldCoord::guest_kernel(1),
-                WorldCoord::guest_kernel(2),
-                2,
-            ),
+            (WorldCoord::guest_kernel(1), WorldCoord::guest_kernel(2), 2),
             (WorldCoord::guest_user(1), WorldCoord::guest_user(2), 4),
             (WorldCoord::guest_user(1), WorldCoord::guest_kernel(2), 4),
         ];

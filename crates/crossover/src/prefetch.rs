@@ -17,7 +17,7 @@
 use hypervisor::platform::Platform;
 use machine::trace::TransitionKind;
 
-use crate::table::WorldTable;
+use crate::table::{WorldLookup, WorldTable};
 use crate::world::{Wid, WorldContext};
 
 /// Statistics for the prefetch register.
@@ -73,14 +73,14 @@ impl CurrentWidRegister {
 
     /// Hardware hook: the CPU changed context (CR3 write / VMEntry /
     /// world switch). Speculatively resolves the new context.
-    pub fn on_context_switch(&mut self, platform: &mut Platform, table: &WorldTable) {
+    pub fn on_context_switch<T: WorldLookup>(&mut self, platform: &mut Platform, table: &T) {
         platform.cpu_mut().charge_work(
             SPECULATIVE_WALK_CYCLES,
             SPECULATIVE_WALK_INSTRUCTIONS,
             "speculative world-table walk",
         );
         let ctx = WorldContext::capture(platform);
-        match table.lookup_context(&ctx) {
+        match table.wid_of(&ctx) {
             Some(wid) => {
                 self.stats.useful_walks += 1;
                 self.current = Some((ctx, wid));
@@ -229,8 +229,7 @@ mod tests {
         let (mut p, table) = setup(&registered);
         // Few switches relative to world count: on-demand pays a fault
         // per world; prefetch walks cheaply and always usefully.
-        let (prefetch, on_demand) =
-            prefetch_tradeoff(&mut p, &table, &registered, &[], 40);
+        let (prefetch, on_demand) = prefetch_tradeoff(&mut p, &table, &registered, &[], 40);
         assert!(
             prefetch < on_demand,
             "prefetch {prefetch} should beat on-demand {on_demand} when all processes are worlds"

@@ -179,7 +179,12 @@ mod tests {
     fn throttle_window_enforced_and_resettable() {
         let (a, _) = test_wids();
         let mut r = ServiceRegistry::new();
-        r.grant(a, ServiceTier::Throttled { calls_per_window: 2 });
+        r.grant(
+            a,
+            ServiceTier::Throttled {
+                calls_per_window: 2,
+            },
+        );
         assert!(matches!(r.dispatch(a), Dispatch::Serve(_)));
         assert!(matches!(r.dispatch(a), Dispatch::Serve(_)));
         assert_eq!(r.dispatch(a), Dispatch::Throttle);

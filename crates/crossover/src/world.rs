@@ -16,9 +16,13 @@ use machine::mode::{CpuMode, Operation, Ring};
 pub struct Wid(u64);
 
 impl Wid {
-    /// Creates a WID from its raw value (crate-internal: only the world
-    /// table mints WIDs).
-    pub(crate) fn from_raw(raw: u64) -> Wid {
+    /// Creates a WID from its raw value.
+    ///
+    /// Only hypervisor-side allocators (the [`crate::table::WorldTable`]
+    /// and the sharded runtime table built on top of it) should mint
+    /// WIDs; unforgeability comes from the table honouring only WIDs it
+    /// allocated, not from hiding the constructor.
+    pub fn from_raw(raw: u64) -> Wid {
         Wid(raw)
     }
 

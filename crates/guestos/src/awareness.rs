@@ -173,7 +173,13 @@ mod tests {
         let mut g = ReentryGuard::new();
         g.enter(1).unwrap();
         let err = g.enter(2).unwrap_err();
-        assert_eq!(err, ReentryViolation { holder: 1, intruder: 2 });
+        assert_eq!(
+            err,
+            ReentryViolation {
+                holder: 1,
+                intruder: 2
+            }
+        );
         assert_eq!(g.refusals(), 1);
     }
 

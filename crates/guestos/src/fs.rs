@@ -107,10 +107,18 @@ impl RamFs {
         for (path, mode, content) in [
             ("/dev/zero", 0o666, &[0u8; 64][..]),
             ("/dev/null", 0o666, &[][..]),
-            ("/etc/passwd", 0o644, b"root:x:0:0:root:/root:/bin/sh\n".as_slice()),
+            (
+                "/etc/passwd",
+                0o644,
+                b"root:x:0:0:root:/root:/bin/sh\n".as_slice(),
+            ),
             ("/etc/group", 0o644, b"root:x:0:\n".as_slice()),
             ("/proc/uptime", 0o444, b"86400.00 43200.00\n".as_slice()),
-            ("/proc/loadavg", 0o444, b"0.01 0.02 0.00 1/64 1234\n".as_slice()),
+            (
+                "/proc/loadavg",
+                0o444,
+                b"0.01 0.02 0.00 1/64 1234\n".as_slice(),
+            ),
             ("/proc/stat", 0o444, b"cpu 1 2 3 4\n".as_slice()),
             ("/var/run/utmp", 0o644, b"user tty1\n".as_slice()),
             ("/tmp/file", 0o644, b"benchmark scratch file\n".as_slice()),
@@ -157,9 +165,12 @@ impl RamFs {
     ///
     /// [`FsError::NotFound`] if absent.
     pub fn lookup(&self, path: &str) -> Result<Ino, FsError> {
-        self.paths.get(path).copied().ok_or_else(|| FsError::NotFound {
-            path: path.to_string(),
-        })
+        self.paths
+            .get(path)
+            .copied()
+            .ok_or_else(|| FsError::NotFound {
+                path: path.to_string(),
+            })
     }
 
     /// Removes a path (the inode is freed when its link count drops).
@@ -246,7 +257,10 @@ mod tests {
         let mut fs = RamFs::new();
         let ino = fs.create("/a", 0o644).unwrap();
         assert_eq!(fs.lookup("/a").unwrap(), ino);
-        assert!(matches!(fs.create("/a", 0o644), Err(FsError::Exists { .. })));
+        assert!(matches!(
+            fs.create("/a", 0o644),
+            Err(FsError::Exists { .. })
+        ));
         fs.unlink("/a").unwrap();
         assert!(matches!(fs.lookup("/a"), Err(FsError::NotFound { .. })));
         assert!(matches!(fs.fstat(ino), Err(FsError::StaleInode { .. })));

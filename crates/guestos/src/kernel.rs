@@ -15,9 +15,7 @@ use crate::awareness::{StateCorruption, TimerOutcome};
 use crate::fs::RamFs;
 use crate::pipe::Pipe;
 use crate::process::{Fd, FdObject, Pid, ProcState, Process};
-use crate::syscall::{
-    Syscall, SyscallError, SyscallRet, DISPATCH_CYCLES, DISPATCH_INSTRUCTIONS,
-};
+use crate::syscall::{Syscall, SyscallError, SyscallRet, DISPATCH_CYCLES, DISPATCH_INSTRUCTIONS};
 
 /// The well-known CR3 value used by cross-VM *helper contexts* in every VM.
 ///
@@ -87,10 +85,7 @@ impl Kernel {
     ///
     /// [`StateCorruption`] when unaware and the CR3 does not belong to
     /// the process the kernel believes is running.
-    pub fn timer_tick(
-        &mut self,
-        platform: &mut Platform,
-    ) -> Result<TimerOutcome, StateCorruption> {
+    pub fn timer_tick(&mut self, platform: &mut Platform) -> Result<TimerOutcome, StateCorruption> {
         let actual_cr3 = platform.cpu().cr3();
         let expected_cr3 = self
             .current
@@ -198,7 +193,8 @@ impl Kernel {
         }
         let pid = Pid(self.procs.len() as u32 + 1);
         let ppid = self.current.unwrap_or(pid);
-        self.procs.push(Process::new(pid, ppid, "helper", HELPER_CR3));
+        self.procs
+            .push(Process::new(pid, ppid, "helper", HELPER_CR3));
         self.helper = Some(pid);
         platform
             .cpu_mut()
@@ -344,9 +340,8 @@ impl Kernel {
                     FdObject::File { ino, offset } => {
                         let bytes = self.fs.read_at(ino, offset, *len)?;
                         let n = bytes.len() as u64;
-                        if let Some(FdObject::File { offset, .. }) = self
-                            .process_mut(pid)
-                            .and_then(|p| p.fd_mut(*fd))
+                        if let Some(FdObject::File { offset, .. }) =
+                            self.process_mut(pid).and_then(|p| p.fd_mut(*fd))
                         {
                             *offset += n;
                         }
@@ -367,9 +362,8 @@ impl Kernel {
                 match obj {
                     FdObject::File { ino, offset } => {
                         let n = self.fs.write_at(ino, offset, data)?;
-                        if let Some(FdObject::File { offset, .. }) = self
-                            .process_mut(pid)
-                            .and_then(|p| p.fd_mut(*fd))
+                        if let Some(FdObject::File { offset, .. }) =
+                            self.process_mut(pid).and_then(|p| p.fd_mut(*fd))
                         {
                             *offset += n as u64;
                         }
@@ -442,9 +436,7 @@ impl Kernel {
             Syscall::Getpid => Ok(SyscallRet::Pid(pid)),
             Syscall::Fork => {
                 let child = Pid(self.procs.len() as u32 + 1);
-                let parent = self
-                    .process(pid)
-                    .ok_or(SyscallError::NoCurrentProcess)?;
+                let parent = self.process(pid).ok_or(SyscallError::NoCurrentProcess)?;
                 let name = format!("{}-child", parent.name());
                 let parent_fds: Vec<(u32, FdObject)> = parent.fds_snapshot();
                 let cr3 = self.unique_cr3(child);
@@ -786,7 +778,14 @@ mod tests {
         assert_eq!(k.process(child).unwrap().open_fd_count(), 2);
         // Child writes, parent reads: the ends are genuinely shared.
         k.run(child);
-        k.syscall(&mut p, Syscall::Write { fd: w, data: vec![7] }).unwrap();
+        k.syscall(
+            &mut p,
+            Syscall::Write {
+                fd: w,
+                data: vec![7],
+            },
+        )
+        .unwrap();
         k.run(parent);
         assert_eq!(
             k.syscall(&mut p, Syscall::Read { fd: r, len: 1 }).unwrap(),
@@ -797,7 +796,13 @@ mod tests {
         k.syscall(&mut p, Syscall::Close { fd: w }).unwrap();
         k.run(child);
         assert!(k
-            .syscall(&mut p, Syscall::Write { fd: w, data: vec![8] })
+            .syscall(
+                &mut p,
+                Syscall::Write {
+                    fd: w,
+                    data: vec![8]
+                }
+            )
             .is_ok());
     }
 
@@ -818,7 +823,9 @@ mod tests {
         assert_eq!(first, second);
         // Our dup'd descriptors carry independent offsets (a documented
         // simplification vs POSIX shared offsets).
-        let via_dup = k.syscall(&mut p, Syscall::Read { fd: dup, len: 9 }).unwrap();
+        let via_dup = k
+            .syscall(&mut p, Syscall::Read { fd: dup, len: 9 })
+            .unwrap();
         assert_eq!(via_dup, first);
     }
 

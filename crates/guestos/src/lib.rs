@@ -48,8 +48,8 @@ pub mod awareness;
 pub mod fs;
 pub mod kernel;
 pub mod pipe;
-pub mod sched;
 pub mod process;
+pub mod sched;
 pub mod syscall;
 
 pub use fs::{FileStat, RamFs};

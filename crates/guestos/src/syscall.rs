@@ -119,11 +119,7 @@ impl Syscall {
     /// ShadowContext copies it twice.
     pub fn transfer_bytes(&self) -> usize {
         match self {
-            Syscall::Null
-            | Syscall::Getppid
-            | Syscall::Getpid
-            | Syscall::Pipe
-            | Syscall::Fork => 0,
+            Syscall::Null | Syscall::Getppid | Syscall::Getpid | Syscall::Pipe | Syscall::Fork => 0,
             Syscall::Dup { .. } | Syscall::Lseek { .. } => 8,
             Syscall::NullIo => 1,
             Syscall::Open { path, .. } => path.len() + 8,

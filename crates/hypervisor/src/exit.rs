@@ -123,6 +123,8 @@ mod tests {
     #[test]
     fn display_includes_payloads() {
         assert_eq!(ExitReason::Vmcall(7).to_string(), "vmcall(7)");
-        assert!(ExitReason::EptViolation(Gpa(0x1000)).to_string().contains("0x1000"));
+        assert!(ExitReason::EptViolation(Gpa(0x1000))
+            .to_string()
+            .contains("0x1000"));
     }
 }

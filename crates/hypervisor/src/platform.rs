@@ -358,7 +358,8 @@ impl Platform {
             self.cpu.touch(TransitionKind::InterruptInject);
             self.vmcs[vm.index() as usize].pending_interrupt = None;
         }
-        self.cpu.transition(TransitionKind::VmEntry, vmcs.guest_mode);
+        self.cpu
+            .transition(TransitionKind::VmEntry, vmcs.guest_mode);
         self.cpu.force_cr3(vmcs.guest_cr3);
         self.cpu
             .load_eptp(vmcs.guest_eptp_index, self.epts[ept_index].eptp());
@@ -458,11 +459,8 @@ impl Platform {
     /// [`HvError::NoSuchVm`] for an unknown VM.
     pub fn setup_vmfunc_eptp_list(&mut self, vm: VmId) -> Result<(), HvError> {
         self.vm(vm)?;
-        let entries: Vec<(u16, usize)> = self
-            .vms
-            .iter()
-            .map(|v| (v.id().index(), v.ept()))
-            .collect();
+        let entries: Vec<(u16, usize)> =
+            self.vms.iter().map(|v| (v.id().index(), v.ept())).collect();
         let vm_state = &mut self.vms[vm.index() as usize];
         if !vm_state.has_eptp_list() {
             vm_state.init_eptp_list();

@@ -29,6 +29,13 @@ pub struct Ipi {
     pub vector: u8,
 }
 
+/// Upper bound on undelivered IPIs per core. A runaway sender (e.g. a
+/// tight notification loop whose receiver is wedged) would otherwise grow
+/// the queue without bound; real APICs coalesce at one pending vector,
+/// so any fixed bound is generous. Sends beyond it fail with
+/// [`SmpError::IpiQueueFull`] — backpressure, not memory growth.
+pub const MAX_PENDING_IPIS: usize = 1024;
+
 /// A multi-core machine: per-core CPUs (each with its own meter and
 /// trace) plus IPI queues.
 ///
@@ -62,6 +69,13 @@ pub enum SmpError {
         /// The offending id.
         core: CoreId,
     },
+    /// The target core's IPI queue is at [`MAX_PENDING_IPIS`].
+    IpiQueueFull {
+        /// The congested target.
+        core: CoreId,
+    },
+    /// A machine needs at least one core.
+    ZeroCores,
 }
 
 impl std::fmt::Display for SmpError {
@@ -69,6 +83,14 @@ impl std::fmt::Display for SmpError {
         match self {
             SmpError::NoSuchCore { core } => write!(f, "no such core: {}", core.0),
             SmpError::SelfIpi { core } => write!(f, "core {} sent an IPI to itself", core.0),
+            SmpError::IpiQueueFull { core } => {
+                write!(
+                    f,
+                    "core {}'s IPI queue is full ({MAX_PENDING_IPIS} pending)",
+                    core.0
+                )
+            }
+            SmpError::ZeroCores => write!(f, "an SMP machine needs at least one core"),
         }
     }
 }
@@ -83,7 +105,20 @@ impl SmpMachine {
     ///
     /// Panics if `cores` is zero.
     pub fn new(cores: u32) -> SmpMachine {
-        assert!(cores > 0, "need at least one core");
+        SmpMachine::try_new(cores).expect("need at least one core")
+    }
+
+    /// Fallible constructor for callers sizing the machine from runtime
+    /// configuration (e.g. a worker-pool service), where a zero count is
+    /// an input error rather than a programming bug.
+    ///
+    /// # Errors
+    ///
+    /// [`SmpError::ZeroCores`] if `cores` is zero.
+    pub fn try_new(cores: u32) -> Result<SmpMachine, SmpError> {
+        if cores == 0 {
+            return Err(SmpError::ZeroCores);
+        }
         let cores: Vec<Cpu> = (0..cores)
             .map(|i| {
                 let mut cpu = Cpu::new(i, CostModel::haswell_3_4ghz());
@@ -92,10 +127,10 @@ impl SmpMachine {
             })
             .collect();
         let queues = cores.iter().map(|_| VecDeque::new()).collect();
-        SmpMachine {
+        Ok(SmpMachine {
             cores,
             ipi_queues: queues,
-        }
+        })
     }
 
     /// Number of cores.
@@ -133,12 +168,18 @@ impl SmpMachine {
     ///
     /// * [`SmpError::NoSuchCore`] for unknown cores.
     /// * [`SmpError::SelfIpi`] for self-IPIs (modelled as disallowed).
+    /// * [`SmpError::IpiQueueFull`] when the target already has
+    ///   [`MAX_PENDING_IPIS`] undelivered interrupts; no send cost is
+    ///   charged for a refused send.
     pub fn send_ipi(&mut self, from: CoreId, to: CoreId, vector: u8) -> Result<(), SmpError> {
         if from == to {
             return Err(SmpError::SelfIpi { core: from });
         }
         if to.0 as usize >= self.cores.len() {
             return Err(SmpError::NoSuchCore { core: to });
+        }
+        if self.ipi_queues[to.0 as usize].len() >= MAX_PENDING_IPIS {
+            return Err(SmpError::IpiQueueFull { core: to });
         }
         self.core_mut(from)?.touch(TransitionKind::IpiSend);
         self.ipi_queues[to.0 as usize].push_back(Ipi { from, vector });
@@ -213,7 +254,13 @@ mod tests {
         smp.send_ipi(CoreId(0), CoreId(1), 0xEE).unwrap();
         assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), 1);
         let ipi = smp.take_ipi(CoreId(1)).unwrap().unwrap();
-        assert_eq!(ipi, Ipi { from: CoreId(0), vector: 0xEE });
+        assert_eq!(
+            ipi,
+            Ipi {
+                from: CoreId(0),
+                vector: 0xEE
+            }
+        );
         // Send cost on core 0, receive cost on core 1.
         assert!(smp.core(CoreId(0)).unwrap().meter().cycles() > 0);
         assert!(smp.core(CoreId(1)).unwrap().meter().cycles() > 0);
@@ -247,5 +294,52 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_panics() {
         SmpMachine::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_cores_as_an_error() {
+        assert_eq!(SmpMachine::try_new(0).err(), Some(SmpError::ZeroCores));
+        assert_eq!(SmpMachine::try_new(3).unwrap().core_count(), 3);
+    }
+
+    #[test]
+    fn ipi_queue_is_bounded() {
+        let mut smp = SmpMachine::new(2);
+        for _ in 0..MAX_PENDING_IPIS {
+            smp.send_ipi(CoreId(0), CoreId(1), 0x20).unwrap();
+        }
+        let send_cycles = smp.core(CoreId(0)).unwrap().meter().cycles();
+        assert_eq!(
+            smp.send_ipi(CoreId(0), CoreId(1), 0x20),
+            Err(SmpError::IpiQueueFull { core: CoreId(1) })
+        );
+        // A refused send charges nothing on the sender.
+        assert_eq!(smp.core(CoreId(0)).unwrap().meter().cycles(), send_cycles);
+        // Draining one slot unblocks the sender.
+        smp.take_ipi(CoreId(1)).unwrap().unwrap();
+        assert!(smp.send_ipi(CoreId(0), CoreId(1), 0x20).is_ok());
+        assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), MAX_PENDING_IPIS);
+    }
+
+    #[test]
+    fn self_ipi_rejected_before_queue_bound_check() {
+        // Self-IPI is an error in its own right, not a queue problem.
+        let mut smp = SmpMachine::new(2);
+        assert_eq!(
+            smp.send_ipi(CoreId(1), CoreId(1), 7),
+            Err(SmpError::SelfIpi { core: CoreId(1) })
+        );
+        assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), 0);
+        assert_eq!(smp.core(CoreId(1)).unwrap().meter().cycles(), 0);
+    }
+
+    #[test]
+    fn error_display_covers_new_variants() {
+        assert!(SmpError::ZeroCores
+            .to_string()
+            .contains("at least one core"));
+        assert!(SmpError::IpiQueueFull { core: CoreId(3) }
+            .to_string()
+            .contains("full"));
     }
 }

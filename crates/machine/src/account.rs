@@ -131,6 +131,17 @@ impl Meter {
     pub fn reset(&mut self) {
         *self = Meter::default();
     }
+
+    /// Absorbs another meter's totals into this one.
+    ///
+    /// Concurrent runtimes give each OS-thread worker a private meter
+    /// (metering stays lock-free on the hot path) and merge them into a
+    /// system-wide meter when the workers are joined.
+    pub fn absorb(&mut self, other: &Meter) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.work_items += other.work_items;
+    }
 }
 
 impl fmt::Display for Meter {
@@ -189,6 +200,21 @@ mod tests {
         assert_eq!(m.cycles(), 0);
         assert_eq!(m.instructions(), 0);
         assert_eq!(m.work_items(), 0);
+    }
+
+    #[test]
+    fn absorb_merges_worker_meters() {
+        let mut total = Meter::new();
+        let mut w1 = Meter::new();
+        let mut w2 = Meter::new();
+        w1.charge_work(100, 10, "worker 1");
+        w2.charge_work(200, 20, "worker 2");
+        w2.charge_transition(5, 1);
+        total.absorb(&w1);
+        total.absorb(&w2);
+        assert_eq!(total.cycles(), 305);
+        assert_eq!(total.instructions(), 31);
+        assert_eq!(total.work_items(), 2);
     }
 
     #[test]

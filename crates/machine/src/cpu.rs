@@ -194,7 +194,8 @@ impl Cpu {
     /// hardware logic) enforce who may transition where.
     pub fn transition(&mut self, kind: TransitionKind, to: CpuMode) -> CpuMode {
         let price = self.cost.price(kind);
-        self.meter.charge_transition(price.cycles, price.instructions);
+        self.meter
+            .charge_transition(price.cycles, price.instructions);
         self.trace
             .record(kind, self.mode, to, price.cycles, price.instructions);
         self.mode = to;
@@ -379,7 +380,10 @@ mod tests {
             operation: "mov cr3",
             ring: Ring::Ring3,
         };
-        assert_eq!(err.to_string(), "mov cr3 attempted from ring-3, requires ring-0");
+        assert_eq!(
+            err.to_string(),
+            "mov cr3 attempted from ring-3, requires ring-0"
+        );
     }
 
     #[test]

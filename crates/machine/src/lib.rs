@@ -37,6 +37,7 @@ pub mod account;
 pub mod cost;
 pub mod cpu;
 pub mod mode;
+pub mod rng;
 pub mod trace;
 
 pub use account::Meter;

@@ -164,13 +164,18 @@ impl fmt::Display for Event {
             write!(
                 f,
                 "#{:<4} {:<16} {} -> {}",
-                self.seq, self.kind.to_string(), self.from, self.to
+                self.seq,
+                self.kind.to_string(),
+                self.from,
+                self.to
             )
         } else {
             write!(
                 f,
                 "#{:<4} {:<16} ({})",
-                self.seq, self.kind.to_string(), self.from
+                self.seq,
+                self.kind.to_string(),
+                self.from
             )
         }
     }

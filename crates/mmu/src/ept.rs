@@ -202,8 +202,14 @@ mod tests {
         let mut ept_b = Ept::new(2);
         ept_a.map(Gpa(0x2000), Hpa(0x5000), Perms::rw()).unwrap();
         ept_b.map(Gpa(0x2000), Hpa(0x7000), Perms::rw()).unwrap();
-        assert_eq!(ept_a.translate(Gpa(0x2000), Perms::r()).unwrap(), Hpa(0x5000));
-        assert_eq!(ept_b.translate(Gpa(0x2000), Perms::r()).unwrap(), Hpa(0x7000));
+        assert_eq!(
+            ept_a.translate(Gpa(0x2000), Perms::r()).unwrap(),
+            Hpa(0x5000)
+        );
+        assert_eq!(
+            ept_b.translate(Gpa(0x2000), Perms::r()).unwrap(),
+            Hpa(0x7000)
+        );
     }
 
     #[test]
@@ -238,7 +244,8 @@ mod tests {
     fn huge_ept_backing_translates_across_the_region() {
         use crate::pagetable::HUGE_PAGE_SIZE;
         let mut ept = Ept::new(1);
-        ept.map_huge(Gpa(0), Hpa(HUGE_PAGE_SIZE), Perms::rwx()).unwrap();
+        ept.map_huge(Gpa(0), Hpa(HUGE_PAGE_SIZE), Perms::rwx())
+            .unwrap();
         assert_eq!(
             ept.translate(Gpa(0x1F_0000), Perms::r()).unwrap(),
             Hpa(HUGE_PAGE_SIZE + 0x1F_0000)

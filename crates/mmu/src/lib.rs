@@ -101,7 +101,10 @@ impl fmt::Display for MmuError {
             MmuError::PageFault { gva } => write!(f, "page fault at {gva}"),
             MmuError::EptViolation { gpa } => write!(f, "EPT violation at {gpa}"),
             MmuError::PermissionDenied { required, granted } => {
-                write!(f, "permission denied: required {required}, granted {granted}")
+                write!(
+                    f,
+                    "permission denied: required {required}, granted {granted}"
+                )
             }
             MmuError::Misaligned { addr } => write!(f, "address {addr:#x} is not page-aligned"),
             MmuError::AlreadyMapped { addr } => write!(f, "page {addr:#x} is already mapped"),

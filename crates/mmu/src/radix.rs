@@ -237,12 +237,7 @@ impl<T> Radix<T> {
     /// # Errors
     ///
     /// [`HugeError`] on out-of-range, misaligned, or overlapping frames.
-    pub fn insert_huge(
-        &mut self,
-        frame: u64,
-        huge_levels: u32,
-        value: T,
-    ) -> Result<(), HugeError> {
+    pub fn insert_huge(&mut self, frame: u64, huge_levels: u32, value: T) -> Result<(), HugeError> {
         if Self::check_frame(frame).is_err() {
             return Err(HugeError::OutOfRange { frame });
         }

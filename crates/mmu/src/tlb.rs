@@ -147,7 +147,11 @@ impl Tlb {
                 }
             }
         }
-        if self.entries.insert(key, TlbEntry { hpa_base, perms }).is_none() {
+        if self
+            .entries
+            .insert(key, TlbEntry { hpa_base, perms })
+            .is_none()
+        {
             self.order.push(key);
         }
     }
@@ -218,7 +222,10 @@ mod tests {
         tlb.insert(1, 1, Gva(0x2000), Hpa(0x2000), Perms::r());
         tlb.insert(1, 1, Gva(0x3000), Hpa(0x3000), Perms::r());
         assert_eq!(tlb.len(), 2);
-        assert!(entry_for(&mut tlb, 1, 1, 0x1000).is_none(), "oldest evicted");
+        assert!(
+            entry_for(&mut tlb, 1, 1, 0x1000).is_none(),
+            "oldest evicted"
+        );
         assert!(entry_for(&mut tlb, 1, 1, 0x2000).is_some());
         assert!(entry_for(&mut tlb, 1, 1, 0x3000).is_some());
         assert_eq!(tlb.stats().evictions, 1);

@@ -32,12 +32,7 @@ use crate::MmuError;
 /// assert_eq!(translate(&pt, &ept, Gva(0x8010), Perms::w())?, Hpa(0x3010));
 /// # Ok::<(), xover_mmu::MmuError>(())
 /// ```
-pub fn translate(
-    pt: &PageTable,
-    ept: &Ept,
-    gva: Gva,
-    access: Perms,
-) -> Result<Hpa, MmuError> {
+pub fn translate(pt: &PageTable, ept: &Ept, gva: Gva, access: Perms) -> Result<Hpa, MmuError> {
     let gpa = pt.translate(gva, access)?;
     ept.translate(gpa, access)
 }

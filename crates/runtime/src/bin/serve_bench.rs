@@ -1,0 +1,159 @@
+//! Throughput harness: sweep the worker count, emit `BENCH_runtime.json`.
+//!
+//! Scenario: four tenant VMs, each with a user and a kernel world, plus
+//! two host-side service worlds — 10 worlds total. A seeded PRNG draws
+//! call requests across them (callee-weighted so destination batching
+//! has something to batch), with a small fraction carrying deadlines
+//! their body work cannot meet, exercising the timeout path under load.
+//!
+//! Two kinds of numbers come out:
+//!
+//! * **Simulated** throughput/latency from the cycle meters — derived
+//!   from the makespan (busiest core) at the Haswell 3.4 GHz model
+//!   frequency, so they are deterministic and host-independent. This is
+//!   the number the scaling claim is made on.
+//! * **Host wall-clock** per sweep point — informational only.
+//!
+//! Usage: `serve_bench [output-path]` (default `BENCH_runtime.json`).
+
+use std::time::Instant;
+
+use machine::rng::SplitMix64;
+use xover_runtime::report::{percentile, render_json, BenchPoint};
+use xover_runtime::{CallRequest, RuntimeConfig, WorldCallService};
+
+const FREQUENCY_GHZ: f64 = 3.4;
+const CALLS_PER_POINT: u64 = 10_000;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 0xC0DE_BEEF;
+
+/// Builds the tenant scenario and returns the service plus the world
+/// pool (callers and callees).
+fn build_service(workers: usize) -> (WorldCallService, Vec<crossover::world::Wid>) {
+    let mut svc = WorldCallService::new(RuntimeConfig {
+        workers,
+        // Room for the whole request stream: the sweep pre-fills the
+        // queue before starting the pool, so the measurement is pure
+        // strong scaling, not submitter-throughput-bound.
+        queue_capacity: CALLS_PER_POINT as usize,
+        ..RuntimeConfig::default()
+    });
+    let mut worlds = Vec::new();
+    for t in 0..4u64 {
+        let vm = svc
+            .create_vm(hypervisor::vm::VmConfig::named(&format!("tenant-{t}")))
+            .expect("create vm");
+        worlds.push(
+            svc.register_guest_user(vm, 0x1000 * (t + 1), 0x40_0000)
+                .expect("register user world"),
+        );
+        worlds.push(
+            svc.register_guest_kernel(vm, 0x10_0000 * (t + 1), 0xFFFF_8000)
+                .expect("register kernel world"),
+        );
+    }
+    for s in 0..2u64 {
+        worlds.push(
+            svc.register_world(crossover::world::WorldDescriptor::host_kernel(
+                0x100_0000 * (s + 1),
+                0xE000,
+            ))
+            .expect("register host world"),
+        );
+    }
+    (svc, worlds)
+}
+
+/// Draws one request. Callee selection is skewed (half the draws land on
+/// two hot worlds) so batching and shard contention are realistic.
+fn draw_request(rng: &mut SplitMix64, worlds: &[crossover::world::Wid]) -> CallRequest {
+    let caller = worlds[rng.below(worlds.len() as u64) as usize];
+    let callee = loop {
+        let w = if rng.flip() {
+            worlds[rng.below(2) as usize] // hot pair
+        } else {
+            worlds[rng.below(worlds.len() as u64) as usize]
+        };
+        if w != caller {
+            break w;
+        }
+    };
+    let work_cycles = 200 + rng.below(2_000);
+    let req = CallRequest::new(caller, callee, work_cycles, work_cycles / 3);
+    if rng.chance(0.03) {
+        // Deadline far below the body work: guaranteed cancellation.
+        req.with_budget(work_cycles / 4)
+    } else {
+        req
+    }
+}
+
+fn run_point(workers: usize) -> BenchPoint {
+    let (mut svc, worlds) = build_service(workers);
+    let mut rng = SplitMix64::new(SEED); // same request stream per point
+    for _ in 0..CALLS_PER_POINT {
+        svc.submit(draw_request(&mut rng, &worlds))
+            .expect("queue open while benching");
+    }
+    let wall_start = Instant::now();
+    svc.start();
+    let report = svc.drain();
+    let host_wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let latencies = report.sorted_latencies();
+    BenchPoint {
+        workers,
+        submitted: CALLS_PER_POINT,
+        completed: report.completed,
+        timed_out: report.timed_out,
+        failed: report.failed,
+        rejected_busy: report.rejected_busy,
+        batches: report.batches,
+        makespan_cycles: report.smp.makespan_cycles(),
+        total_cycles: report.smp.total_cycles(),
+        sim_calls_per_sec: report.sim_calls_per_sec(FREQUENCY_GHZ * 1e9),
+        p50_latency_cycles: percentile(&latencies, 50.0),
+        p99_latency_cycles: percentile(&latencies, 99.0),
+        shard_contended: report.contention.shard_contended,
+        index_contended: report.contention.index_contended,
+        host_wall_ms,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let mut points = Vec::new();
+    for workers in WORKER_SWEEP {
+        let p = run_point(workers);
+        eprintln!(
+            "workers={:2}  sim {:>12.0} calls/s  p50 {:>5} cyc  p99 {:>5} cyc  \
+             timeouts {}  contended shard/index {}/{}  ({:.0} ms host)",
+            p.workers,
+            p.sim_calls_per_sec,
+            p.p50_latency_cycles,
+            p.p99_latency_cycles,
+            p.timed_out,
+            p.shard_contended,
+            p.index_contended,
+            p.host_wall_ms,
+        );
+        points.push(p);
+    }
+    for w in points.windows(2) {
+        assert!(
+            w[1].sim_calls_per_sec > w[0].sim_calls_per_sec,
+            "throughput must scale monotonically with workers ({} -> {})",
+            w[0].workers,
+            w[1].workers
+        );
+    }
+    let doc = render_json(
+        "xover-runtime world-call service sweep",
+        FREQUENCY_GHZ,
+        CALLS_PER_POINT,
+        &points,
+    );
+    std::fs::write(&out_path, doc).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

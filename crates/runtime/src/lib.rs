@@ -1,0 +1,55 @@
+//! `xover-runtime`: a concurrent multi-tenant world-call service.
+//!
+//! The rest of the workspace reproduces CrossOver (§3–§7) on a faithful
+//! single-vCPU [`hypervisor::platform::Platform`]. This crate asks the
+//! scaling question the paper leaves implicit: the design removes the
+//! hypervisor from the call path, so the remaining shared structure is
+//! the world table itself — what does a *machine-wide* world-call
+//! service look like when many cores drive calls for many guest VMs at
+//! once?
+//!
+//! Three pieces answer it:
+//!
+//! * [`shard::ShardedWorldTable`] — the hypervisor-managed world table,
+//!   lock-striped by WID so concurrent WT-cache miss walks on different
+//!   worlds never serialize, with a global atomic WID allocator that
+//!   keeps ids monotonic and never reused (the unforgeability
+//!   invariant), and contention counters so the striping's effect is
+//!   measurable rather than assumed. Workers drive it through the same
+//!   [`crossover::table::WorldLookup`] contract as the sequential
+//!   table, so the hardware model ([`crossover::call::WorldCallUnit`])
+//!   is unchanged.
+//! * [`service::WorldCallService`] — a bounded request queue (admission
+//!   control: `try_submit` returns `Busy` at capacity instead of
+//!   buffering without bound) in front of a pool of OS-thread workers.
+//!   Each worker simulates one vCPU: a cloned platform, private
+//!   WT-/IWT-caches, and a private meter, so the hot path takes no
+//!   shared lock except the table shards it actually misses into.
+//!   Worlds can be deleted while the pool runs; the delete broadcasts
+//!   over an invalidation bus and every worker purges its caches — the
+//!   concurrent `manage_wtc`. Per-call deadlines reuse the §3.4
+//!   timeout machinery ([`crossover::manager::CallToken::expired`]).
+//!   On drain the per-worker meters merge into an
+//!   [`hypervisor::smp::SmpMachine`], one core per worker.
+//! * `serve_bench` (the crate's binary) — sweeps the worker count and
+//!   emits `BENCH_runtime.json`: simulated calls/sec (derived from the
+//!   makespan, so it is host-independent), p50/p99 service latency and
+//!   lock-contention counters per point.
+//!
+//! The equivalence property test (`tests/equivalence.rs`) pins the
+//! crate's central claim: the sharded table driven sequentially is
+//! *indistinguishable* from the sequential table — same WIDs, same
+//! errors, same cache statistics, same metered cycles.
+
+pub mod queue;
+pub mod report;
+pub mod router;
+pub mod service;
+pub mod shard;
+mod worker;
+
+pub use queue::{PushError, Queue};
+pub use router::{CallOutcome, CallRequest, CallVerdict};
+pub use service::{InvalidationBus, RuntimeConfig, ServiceReport, SubmitError, WorldCallService};
+pub use shard::{ContentionSnapshot, ShardedWorldTable};
+pub use worker::WorkerReport;

@@ -1,0 +1,298 @@
+//! A bounded MPMC queue with backpressure and same-key batch pops.
+//!
+//! The call router needs exactly three things from its queue, and the
+//! standard library's channels provide none of them together: a hard
+//! capacity bound whose overflow is *observable* (`try_push` returns
+//! [`PushError::Busy`] so the service can reject rather than buffer
+//! without bound — the admission-control analogue of the paper's
+//! anti-DoS quotas), multi-consumer popping (every worker drains the
+//! same queue), and destination batching (a worker that just switched
+//! into a callee world wants to service every queued call for that same
+//! callee before paying another world switch).
+//!
+//! Plain `Mutex<VecDeque>` + two condvars; nothing clever, everything
+//! auditable.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; retry later or shed load.
+    Busy(T),
+    /// The queue is closed and accepts no further items.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+#[derive(Debug)]
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Queue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Queue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes fail,
+    /// and blocked poppers wake up once the backlog drains.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`Queue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock poisoned").closed
+    }
+
+    /// Non-blocking push.
+    ///
+    /// # Errors
+    ///
+    /// * [`PushError::Busy`] — at capacity (the item is handed back).
+    /// * [`PushError::Closed`] — the queue is closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Busy(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for a free slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("queue lock poisoned");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits for an item; `None` once the queue is closed
+    /// *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Blocking batch pop with destination affinity: waits for at least
+    /// one item, then additionally removes up to `max - 1` queued items
+    /// whose `key` matches the first item's (preserving the relative
+    /// order of everything left behind). Returns an empty vector once
+    /// the queue is closed and drained.
+    pub fn pop_batch<K, F>(&self, max: usize, key: F) -> Vec<T>
+    where
+        F: Fn(&T) -> K,
+        K: PartialEq,
+    {
+        assert!(max > 0, "batch size must be positive");
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let first = loop {
+            if let Some(item) = inner.items.pop_front() {
+                break item;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        };
+        let k = key(&first);
+        let mut batch = vec![first];
+        let mut i = 0;
+        while batch.len() < max && i < inner.items.len() {
+            if key(&inner.items[i]) == k {
+                batch.push(inner.items.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        drop(inner);
+        self.not_full.notify_all();
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = Queue::bounded(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_push_reports_busy_at_capacity() {
+        let q = Queue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Busy(3)));
+        q.pop().unwrap();
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_backlog() {
+        let q = Queue::bounded(4);
+        q.try_push('a').unwrap();
+        q.close();
+        assert_eq!(q.try_push('b'), Err(PushError::Closed('b')));
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn batch_pop_groups_same_key_preserving_other_order() {
+        let q = Queue::bounded(16);
+        for item in [(1, 'a'), (2, 'b'), (1, 'c'), (3, 'd'), (1, 'e')] {
+            q.try_push(item).unwrap();
+        }
+        let batch = q.pop_batch(8, |&(k, _)| k);
+        assert_eq!(batch, vec![(1, 'a'), (1, 'c'), (1, 'e')]);
+        assert_eq!(q.pop(), Some((2, 'b')));
+        assert_eq!(q.pop(), Some((3, 'd')));
+    }
+
+    #[test]
+    fn batch_pop_respects_max() {
+        let q = Queue::bounded(16);
+        for i in 0..6 {
+            q.try_push((7, i)).unwrap();
+        }
+        let batch = q.pop_batch(4, |&(k, _)| k);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_move_everything() {
+        let q = Arc::new(Queue::bounded(8));
+        let mut producers = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 400);
+        all.dedup();
+        assert_eq!(all.len(), 400, "every item delivered exactly once");
+    }
+
+    #[test]
+    fn blocked_push_wakes_on_close() {
+        let q = Arc::new(Queue::bounded(1));
+        q.try_push(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Queue::<u8>::bounded(0);
+    }
+}

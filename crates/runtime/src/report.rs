@@ -1,0 +1,156 @@
+//! Percentiles and hand-rolled JSON for the throughput harness.
+//!
+//! The workspace is intentionally dependency-free, so the bench emits
+//! its JSON with a tiny writer instead of serde. The format is one flat
+//! object per sweep point — easy for downstream plotting scripts to
+//! consume and for humans to diff.
+
+use std::fmt::Write as _;
+
+/// Nearest-rank percentile of an ascending-sorted slice. `pct` in
+/// [0, 100]. Returns 0 for an empty slice.
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// One sweep point of the serve bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Worker threads (== simulated cores).
+    pub workers: usize,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests that completed normally.
+    pub completed: u64,
+    /// Requests cancelled on deadline.
+    pub timed_out: u64,
+    /// Requests that failed outright.
+    pub failed: u64,
+    /// Backpressure rejections.
+    pub rejected_busy: u64,
+    /// Batches popped (destination affinity: submitted / batches is the
+    /// mean same-callee run length).
+    pub batches: u64,
+    /// Busiest core's cycles — the simulated wall clock.
+    pub makespan_cycles: u64,
+    /// Sum of all cores' cycles.
+    pub total_cycles: u64,
+    /// Completed calls per *simulated* second at the model frequency.
+    pub sim_calls_per_sec: f64,
+    /// Median on-CPU service latency (cycles).
+    pub p50_latency_cycles: u64,
+    /// Tail on-CPU service latency (cycles).
+    pub p99_latency_cycles: u64,
+    /// Shard-lock acquisitions that had to block.
+    pub shard_contended: u64,
+    /// Index-stripe acquisitions that had to block.
+    pub index_contended: u64,
+    /// Host wall-clock for the sweep point, milliseconds (informational;
+    /// machine-dependent, unlike the simulated numbers).
+    pub host_wall_ms: f64,
+}
+
+impl BenchPoint {
+    fn write_json(&self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{indent}{{\n\
+             {indent}  \"workers\": {},\n\
+             {indent}  \"submitted\": {},\n\
+             {indent}  \"completed\": {},\n\
+             {indent}  \"timed_out\": {},\n\
+             {indent}  \"failed\": {},\n\
+             {indent}  \"rejected_busy\": {},\n\
+             {indent}  \"batches\": {},\n\
+             {indent}  \"makespan_cycles\": {},\n\
+             {indent}  \"total_cycles\": {},\n\
+             {indent}  \"sim_calls_per_sec\": {:.1},\n\
+             {indent}  \"p50_latency_cycles\": {},\n\
+             {indent}  \"p99_latency_cycles\": {},\n\
+             {indent}  \"shard_contended\": {},\n\
+             {indent}  \"index_contended\": {},\n\
+             {indent}  \"host_wall_ms\": {:.2}\n\
+             {indent}}}",
+            self.workers,
+            self.submitted,
+            self.completed,
+            self.timed_out,
+            self.failed,
+            self.rejected_busy,
+            self.batches,
+            self.makespan_cycles,
+            self.total_cycles,
+            self.sim_calls_per_sec,
+            self.p50_latency_cycles,
+            self.p99_latency_cycles,
+            self.shard_contended,
+            self.index_contended,
+            self.host_wall_ms,
+        );
+    }
+}
+
+/// Renders the full benchmark document.
+pub fn render_json(
+    benchmark: &str,
+    frequency_ghz: f64,
+    calls_per_point: u64,
+    points: &[BenchPoint],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"frequency_ghz\": {frequency_ghz},\n  \"calls_per_point\": {calls_per_point},\n  \"points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        p.write_json(&mut out, "    ");
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let p = BenchPoint {
+            workers: 2,
+            submitted: 10,
+            completed: 9,
+            timed_out: 1,
+            failed: 0,
+            rejected_busy: 0,
+            batches: 4,
+            makespan_cycles: 1000,
+            total_cycles: 1900,
+            sim_calls_per_sec: 123.4,
+            p50_latency_cycles: 70,
+            p99_latency_cycles: 90,
+            shard_contended: 0,
+            index_contended: 0,
+            host_wall_ms: 1.5,
+        };
+        let doc = render_json("bench", 3.4, 10, &[p.clone(), p]);
+        assert_eq!(doc.matches("\"workers\": 2").count(), 2);
+        assert!(doc.contains("\"points\": ["));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,91 @@
+//! Request and outcome types for the call router.
+//!
+//! A [`CallRequest`] is one cross-world call a tenant wants serviced: the
+//! caller world it originates from, the callee world to invoke, the
+//! callee-side work to charge, and an optional cycle budget (the §3.4
+//! callee-DoS timeout, here enforced per request by the worker that
+//! executes it). The service's queue carries these; workers batch pops
+//! by callee (see [`crate::queue::Queue::pop_batch`]) so consecutive
+//! calls into the same world pay one scheduling decision.
+
+use crossover::world::Wid;
+use crossover::WorldError;
+
+/// One queued cross-world call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallRequest {
+    /// The world the call originates from; the executing worker schedules
+    /// this world's context onto its vCPU before issuing `world_call`.
+    pub caller: Wid,
+    /// The world to call.
+    pub callee: Wid,
+    /// Cycles of callee-side body work to charge.
+    pub work_cycles: u64,
+    /// Instructions of callee-side body work to charge.
+    pub work_instructions: u64,
+    /// Optional per-call deadline: if the callee body exceeds this many
+    /// cycles the hypervisor cancels the call (§3.4 timeout defence).
+    pub budget_cycles: Option<u64>,
+}
+
+impl CallRequest {
+    /// A call with the given endpoints and body cost, no deadline.
+    pub fn new(caller: Wid, callee: Wid, work_cycles: u64, work_instructions: u64) -> CallRequest {
+        CallRequest {
+            caller,
+            callee,
+            work_cycles,
+            work_instructions,
+            budget_cycles: None,
+        }
+    }
+
+    /// Arms a per-call deadline.
+    pub fn with_budget(mut self, budget_cycles: u64) -> CallRequest {
+        self.budget_cycles = Some(budget_cycles);
+        self
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallVerdict {
+    /// Call, body and return all completed.
+    Completed,
+    /// The callee exceeded its budget and the hypervisor cancelled the
+    /// call, forcibly restoring the caller's world.
+    TimedOut,
+    /// The call failed outright (bad WID, unregistered caller context,
+    /// control-flow violation, ...).
+    Failed(WorldError),
+}
+
+/// The per-request record a worker produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// The request as executed.
+    pub request: CallRequest,
+    /// How it ended.
+    pub verdict: CallVerdict,
+    /// Meter delta (cycles) over the measured section: state save,
+    /// `world_call`, callee body (or its cancelled prefix), return and
+    /// state restore. Queueing delay is *not* included — this is the
+    /// on-CPU service latency.
+    pub latency_cycles: u64,
+    /// Index of the worker (== SMP core) that serviced the request.
+    pub worker: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_budget() {
+        let r = CallRequest::new(Wid::from_raw(1), Wid::from_raw(2), 100, 10);
+        assert_eq!(r.budget_cycles, None);
+        let r = r.with_budget(5_000);
+        assert_eq!(r.budget_cycles, Some(5_000));
+        assert_eq!(r.caller, Wid::from_raw(1));
+    }
+}

@@ -1,0 +1,550 @@
+//! The multi-tenant world-call service: registration, admission control,
+//! a worker pool, and merged accounting.
+//!
+//! [`WorldCallService`] is the concurrent driver the single-vCPU
+//! [`Platform`] cannot be: many guest VMs' worlds registered in one
+//! [`ShardedWorldTable`], a bounded request queue in front of a pool of
+//! OS-thread workers (each simulating one vCPU with private WT-/IWT-
+//! caches), per-call deadlines reusing the §3.4 timeout machinery, and
+//! `Busy` rejection when the queue is full instead of unbounded
+//! buffering. When the pool drains, the per-worker meters are merged
+//! into an [`SmpMachine`] — one core per worker — so the usual SMP
+//! metrics (total cycles, makespan) apply unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crossover::table::DEFAULT_WORLD_QUOTA;
+use crossover::world::{Wid, WorldDescriptor};
+use crossover::wtc::CacheStats;
+use crossover::WorldError;
+use hypervisor::platform::Platform;
+use hypervisor::smp::{CoreId, SmpMachine};
+use hypervisor::vm::{VmConfig, VmId};
+use hypervisor::HvError;
+
+use crate::queue::{PushError, Queue};
+use crate::router::{CallOutcome, CallRequest, CallVerdict};
+use crate::shard::{ContentionSnapshot, ShardedWorldTable, DEFAULT_SHARDS};
+use crate::worker::{self, WorkerContext, WorkerReport};
+
+/// Pool and table sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads (simulated vCPUs / SMP cores).
+    pub workers: usize,
+    /// Shards of the world table.
+    pub shards: usize,
+    /// Per-VM world-creation quota.
+    pub quota: usize,
+    /// Request-queue capacity; `try_submit` beyond it returns `Busy`.
+    pub queue_capacity: usize,
+    /// Maximum same-callee batch a worker pops at once.
+    pub batch_max: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 4,
+            shards: DEFAULT_SHARDS,
+            quota: DEFAULT_WORLD_QUOTA,
+            queue_capacity: 1024,
+            batch_max: 16,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — backpressure; the request is handed back via
+    /// the error so the tenant can retry or shed it.
+    Busy(CallRequest),
+    /// The service is draining (or was never started).
+    Closed(CallRequest),
+}
+
+/// Broadcast channel for `manage_wtc` invalidations: one slot vector per
+/// worker. Deleting a world pushes its WID to every worker's slot; each
+/// worker drains its slot before servicing a batch, purging its private
+/// caches — the concurrent analogue of the sequential invalidate call.
+#[derive(Debug)]
+pub struct InvalidationBus {
+    queues: Vec<Mutex<Vec<Wid>>>,
+}
+
+impl InvalidationBus {
+    /// A bus for `workers` receivers.
+    pub fn new(workers: usize) -> InvalidationBus {
+        InvalidationBus {
+            queues: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Enqueues `wid` for every worker.
+    pub fn broadcast(&self, wid: Wid) {
+        for q in &self.queues {
+            q.lock().expect("bus lock poisoned").push(wid);
+        }
+    }
+
+    /// Takes all pending invalidations for `worker`.
+    pub fn drain(&self, worker: usize) -> Vec<Wid> {
+        std::mem::take(&mut *self.queues[worker].lock().expect("bus lock poisoned"))
+    }
+}
+
+/// Aggregated results of a drained pool.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The merged SMP machine: core *i*'s meter is worker *i*'s.
+    pub smp: SmpMachine,
+    /// Per-request outcomes from every worker.
+    pub outcomes: Vec<CallOutcome>,
+    /// Calls that completed normally.
+    pub completed: u64,
+    /// Calls cancelled by the deadline machinery.
+    pub timed_out: u64,
+    /// Calls that failed outright.
+    pub failed: u64,
+    /// `try_submit` rejections over the service's lifetime.
+    pub rejected_busy: u64,
+    /// Batches popped across all workers.
+    pub batches: u64,
+    /// Summed WT-cache statistics across workers.
+    pub wt: CacheStats,
+    /// Summed IWT-cache statistics across workers.
+    pub iwt: CacheStats,
+    /// World-table lock contention counters.
+    pub contention: ContentionSnapshot,
+}
+
+impl ServiceReport {
+    /// Sorted on-CPU latencies (cycles) of all serviced requests.
+    pub fn sorted_latencies(&self) -> Vec<u64> {
+        let mut l: Vec<u64> = self.outcomes.iter().map(|o| o.latency_cycles).collect();
+        l.sort_unstable();
+        l
+    }
+
+    /// Simulated throughput: completed calls per simulated second, with
+    /// the makespan (the busiest core's cycles) as the wall-clock proxy
+    /// at `hz` cycles per second.
+    pub fn sim_calls_per_sec(&self, hz: f64) -> f64 {
+        let makespan = self.smp.makespan_cycles();
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * hz / makespan as f64
+    }
+}
+
+fn add_stats(a: CacheStats, b: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        fills: a.fills + b.fills,
+        invalidations: a.invalidations + b.invalidations,
+        evictions: a.evictions + b.evictions,
+    }
+}
+
+/// The service. Life cycle: configure → create VMs → register worlds →
+/// [`WorldCallService::start`] → submit → [`WorldCallService::drain`].
+/// Worlds can also be registered or deleted while the pool runs; deletes
+/// are broadcast so every worker's caches converge.
+#[derive(Debug)]
+pub struct WorldCallService {
+    config: RuntimeConfig,
+    template: Platform,
+    table: Arc<ShardedWorldTable>,
+    queue: Arc<Queue<CallRequest>>,
+    bus: Arc<InvalidationBus>,
+    handles: Vec<JoinHandle<WorkerReport>>,
+    rejected_busy: AtomicU64,
+}
+
+impl WorldCallService {
+    /// Creates an idle service (no workers yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero (sized pools come from
+    /// configuration; a zero there is caught by
+    /// [`SmpMachine::try_new`]'s contract at drain too).
+    pub fn new(config: RuntimeConfig) -> WorldCallService {
+        assert!(config.workers > 0, "need at least one worker");
+        WorldCallService {
+            config,
+            template: Platform::new_default(),
+            table: Arc::new(ShardedWorldTable::with_shards(config.shards, config.quota)),
+            queue: Arc::new(Queue::bounded(config.queue_capacity)),
+            bus: Arc::new(InvalidationBus::new(config.workers)),
+            handles: Vec::new(),
+            rejected_busy: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The template platform (VM and EPT registry all workers clone).
+    pub fn platform(&self) -> &Platform {
+        &self.template
+    }
+
+    /// The shared world table.
+    pub fn table(&self) -> &ShardedWorldTable {
+        &self.table
+    }
+
+    /// Creates a guest VM in the template platform. Must precede
+    /// [`WorldCallService::start`]: workers clone the template, so VMs
+    /// created later would not exist on their vCPUs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Platform::create_vm`] failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already started.
+    pub fn create_vm(&mut self, config: VmConfig) -> Result<VmId, HvError> {
+        assert!(
+            self.handles.is_empty(),
+            "create VMs before starting the pool"
+        );
+        self.template.create_vm(config)
+    }
+
+    /// Registers a guest-user world in `vm`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError`] from descriptor construction or table admission.
+    pub fn register_guest_user(&self, vm: VmId, cr3: u64, entry: u64) -> Result<Wid, WorldError> {
+        let d = WorldDescriptor::guest_user(&self.template, vm, cr3, entry)?;
+        self.table.create(d)
+    }
+
+    /// Registers a guest-kernel world in `vm`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError`] from descriptor construction or table admission.
+    pub fn register_guest_kernel(&self, vm: VmId, cr3: u64, entry: u64) -> Result<Wid, WorldError> {
+        let d = WorldDescriptor::guest_kernel(&self.template, vm, cr3, entry)?;
+        self.table.create(d)
+    }
+
+    /// Registers an arbitrary world.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError`] from table admission (quota).
+    pub fn register_world(&self, descriptor: WorldDescriptor) -> Result<Wid, WorldError> {
+        self.table.create(descriptor)
+    }
+
+    /// Deletes a world and broadcasts the invalidation to every worker's
+    /// caches.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::InvalidWid`] if absent.
+    pub fn delete_world(&self, wid: Wid) -> Result<(), WorldError> {
+        self.table.delete(wid)?;
+        self.bus.broadcast(wid);
+        Ok(())
+    }
+
+    /// Spawns the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already started.
+    pub fn start(&mut self) {
+        assert!(self.handles.is_empty(), "pool already started");
+        let clocks: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..self.config.workers)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
+        for index in 0..self.config.workers {
+            let ctx = WorkerContext {
+                index,
+                platform: self.template.clone(),
+                table: Arc::clone(&self.table),
+                queue: Arc::clone(&self.queue),
+                bus: Arc::clone(&self.bus),
+                batch_max: self.config.batch_max,
+                clocks: Arc::clone(&clocks),
+            };
+            self.handles.push(
+                std::thread::Builder::new()
+                    .name(format!("xover-worker-{index}"))
+                    .spawn(move || worker::run(ctx))
+                    .expect("spawn worker thread"),
+            );
+        }
+    }
+
+    /// Whether the pool is running.
+    pub fn is_started(&self) -> bool {
+        !self.handles.is_empty()
+    }
+
+    /// Blocking submission: waits for queue space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] if the service is draining.
+    pub fn submit(&self, req: CallRequest) -> Result<(), SubmitError> {
+        self.queue.push(req).map_err(SubmitError::Closed)
+    }
+
+    /// Non-blocking submission with backpressure.
+    ///
+    /// # Errors
+    ///
+    /// * [`SubmitError::Busy`] — queue full; the rejection is counted.
+    /// * [`SubmitError::Closed`] — service draining.
+    pub fn try_submit(&self, req: CallRequest) -> Result<(), SubmitError> {
+        self.queue.try_push(req).map_err(|e| match e {
+            PushError::Busy(r) => {
+                self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                SubmitError::Busy(r)
+            }
+            PushError::Closed(r) => SubmitError::Closed(r),
+        })
+    }
+
+    /// Closes the queue, joins every worker once the backlog drains, and
+    /// merges their meters into an [`SmpMachine`] (core *i* ← worker
+    /// *i*).
+    pub fn drain(mut self) -> ServiceReport {
+        self.queue.close();
+        let reports: Vec<WorkerReport> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        let mut smp = SmpMachine::try_new(self.config.workers as u32)
+            .expect("config.workers validated positive at construction");
+        let mut outcomes = Vec::new();
+        let mut batches = 0;
+        let mut wt = CacheStats::default();
+        let mut iwt = CacheStats::default();
+        for r in &reports {
+            smp.core_mut(CoreId(r.index as u32))
+                .expect("one core per worker")
+                .meter_mut()
+                .absorb(&r.meter);
+            batches += r.batches;
+            wt = add_stats(wt, r.wt);
+            iwt = add_stats(iwt, r.iwt);
+        }
+        for r in reports {
+            outcomes.extend(r.outcomes);
+        }
+        let completed = outcomes
+            .iter()
+            .filter(|o| o.verdict == CallVerdict::Completed)
+            .count() as u64;
+        let timed_out = outcomes
+            .iter()
+            .filter(|o| o.verdict == CallVerdict::TimedOut)
+            .count() as u64;
+        let failed = outcomes.len() as u64 - completed - timed_out;
+        ServiceReport {
+            smp,
+            completed,
+            timed_out,
+            failed,
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            batches,
+            wt,
+            iwt,
+            contention: self.table.contention(),
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_world_service(workers: usize) -> (WorldCallService, Wid, Wid) {
+        let mut svc = WorldCallService::new(RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
+        });
+        let vm1 = svc.create_vm(VmConfig::named("tenant-a")).unwrap();
+        let vm2 = svc.create_vm(VmConfig::named("tenant-b")).unwrap();
+        let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+        let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+        (svc, caller, callee)
+    }
+
+    #[test]
+    fn calls_complete_and_meters_merge() {
+        let (mut svc, caller, callee) = two_world_service(2);
+        svc.start();
+        for _ in 0..50 {
+            svc.submit(CallRequest::new(caller, callee, 500, 100))
+                .unwrap();
+        }
+        let report = svc.drain();
+        assert_eq!(report.completed, 50);
+        assert_eq!(report.timed_out, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.smp.core_count(), 2);
+        assert!(report.smp.total_cycles() > 0);
+        assert!(report.smp.makespan_cycles() <= report.smp.total_cycles());
+        // Every call's measured section includes save+call+body+ret+restore.
+        for o in &report.outcomes {
+            assert!(o.latency_cycles >= 500, "body cycles are inside latency");
+        }
+    }
+
+    #[test]
+    fn deadline_cancels_slow_callee() {
+        let (mut svc, caller, callee) = two_world_service(1);
+        svc.start();
+        // Body burns 100k cycles against a 1k budget.
+        svc.submit(CallRequest::new(caller, callee, 100_000, 10).with_budget(1_000))
+            .unwrap();
+        // A well-behaved call afterwards still completes (vCPU recovered).
+        svc.submit(CallRequest::new(caller, callee, 100, 10))
+            .unwrap();
+        let report = svc.drain();
+        assert_eq!(report.timed_out, 1);
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn bad_wids_fail_without_poisoning_the_pool() {
+        let (mut svc, caller, callee) = two_world_service(2);
+        svc.start();
+        svc.submit(CallRequest::new(caller, Wid::from_raw(999), 10, 1))
+            .unwrap();
+        svc.submit(CallRequest::new(Wid::from_raw(999), callee, 10, 1))
+            .unwrap();
+        svc.submit(CallRequest::new(caller, callee, 10, 1)).unwrap();
+        let report = svc.drain();
+        assert_eq!(report.failed, 2);
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn try_submit_backpressure_counts_rejections() {
+        let (mut svc, caller, callee) = {
+            let mut svc = WorldCallService::new(RuntimeConfig {
+                workers: 1,
+                queue_capacity: 4,
+                ..RuntimeConfig::default()
+            });
+            let vm1 = svc.create_vm(VmConfig::named("a")).unwrap();
+            let vm2 = svc.create_vm(VmConfig::named("b")).unwrap();
+            let caller = svc.register_guest_user(vm1, 0x1000, 0).unwrap();
+            let callee = svc.register_guest_kernel(vm2, 0x2000, 0).unwrap();
+            (svc, caller, callee)
+        };
+        // Pool not started: the queue fills and stays full.
+        let req = CallRequest::new(caller, callee, 10, 1);
+        for _ in 0..4 {
+            svc.try_submit(req).unwrap();
+        }
+        assert!(matches!(svc.try_submit(req), Err(SubmitError::Busy(_))));
+        assert!(matches!(svc.try_submit(req), Err(SubmitError::Busy(_))));
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.rejected_busy, 2);
+        assert_eq!(report.completed, 4);
+    }
+
+    #[test]
+    fn delete_broadcast_invalidates_worker_caches() {
+        let (mut svc, caller, callee) = two_world_service(1);
+        svc.start();
+        // Warm the single worker's caches (may race with the delete
+        // below; either outcome for this call is fine).
+        svc.submit(CallRequest::new(caller, callee, 10, 1)).unwrap();
+        svc.delete_world(callee).unwrap();
+        // This call is submitted strictly after the broadcast, so the
+        // batch that carries it drains the invalidation first. Without
+        // the broadcast it would hit the stale cache line and "succeed"
+        // against a deleted world.
+        svc.submit(CallRequest::new(caller, callee, 20, 1)).unwrap();
+        let report = svc.drain();
+        let second = report
+            .outcomes
+            .iter()
+            .find(|o| o.request.work_cycles == 20)
+            .expect("second call serviced");
+        assert_eq!(
+            second.verdict,
+            CallVerdict::Failed(WorldError::InvalidWid { wid: callee })
+        );
+    }
+
+    #[test]
+    fn invalidation_bus_broadcasts_to_every_worker() {
+        let bus = InvalidationBus::new(3);
+        bus.broadcast(Wid::from_raw(5));
+        bus.broadcast(Wid::from_raw(9));
+        for w in 0..3 {
+            assert_eq!(bus.drain(w), vec![Wid::from_raw(5), Wid::from_raw(9)]);
+            assert!(bus.drain(w).is_empty(), "drain empties the slot");
+        }
+    }
+
+    #[test]
+    fn submissions_after_drain_are_closed() {
+        let (mut svc, caller, callee) = two_world_service(1);
+        svc.start();
+        let queue = Arc::clone(&svc.queue);
+        let _ = svc.drain();
+        assert!(matches!(
+            queue.try_push(CallRequest::new(caller, callee, 1, 1)),
+            Err(PushError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn work_splits_across_workers() {
+        // Scheduling is the host OS's business, so "more than one worker
+        // participated" is statistical; pre-filling the queue before the
+        // pool starts and retrying a few times makes a false negative
+        // vanishingly unlikely without masking a real serialization bug.
+        const CALLS: u64 = 2_000;
+        for attempt in 0..5 {
+            let mut svc = WorldCallService::new(RuntimeConfig {
+                workers: 4,
+                queue_capacity: 4096, // pre-filled before the pool starts
+                ..RuntimeConfig::default()
+            });
+            let vm1 = svc.create_vm(VmConfig::named("fill-a")).unwrap();
+            let vm2 = svc.create_vm(VmConfig::named("fill-b")).unwrap();
+            let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+            let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+            for _ in 0..CALLS {
+                svc.submit(CallRequest::new(caller, callee, 1_000, 100))
+                    .unwrap();
+            }
+            svc.start();
+            let report = svc.drain();
+            assert_eq!(report.completed, CALLS);
+            if report.smp.makespan_cycles() < report.smp.total_cycles() {
+                return; // at least two cores carried work
+            }
+            eprintln!("attempt {attempt}: one worker drained everything; retrying");
+        }
+        panic!("work never split across workers in 5 attempts");
+    }
+}

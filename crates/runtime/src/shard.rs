@@ -1,0 +1,415 @@
+//! The sharded world table: [`crossover::table::WorldTable`] partitioned
+//! into lock-striped shards keyed by WID.
+//!
+//! The sequential table serializes every registration, deletion and miss
+//! walk behind one structure; a worker pool driving many guest vCPUs
+//! would turn that into the global lock the paper's design removed from
+//! the call path. The sharded table keeps the same semantics — monotonic
+//! never-reused WIDs, per-VM quotas, context replacement — while letting
+//! walks against different shards proceed concurrently:
+//!
+//! * **WID → entry** resolution (the WT-cache miss walk) locks only the
+//!   shard `wid % shards`, so concurrent misses on different worlds do
+//!   not serialize.
+//! * **context → WID** resolution (the IWT-cache miss walk) and the
+//!   quota/replacement bookkeeping live in a single `index` stripe: they
+//!   are registration-time paths, rare by design (§3.2 pays registration
+//!   cost happily), so one stripe suffices.
+//! * WID minting is a lock-free atomic counter shared by all shards, so
+//!   WIDs stay globally unique and monotonic — the unforgeability
+//!   argument is unchanged.
+//!
+//! Lock order is always `index` before any shard, and at most one shard
+//! is held at a time; there is no lock cycle.
+//!
+//! Contention is observable: every lock acquisition first tries
+//! `try_lock` and counts a failure before blocking, so the throughput
+//! harness can report how hot the stripes actually are.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crossover::table::{WorldLookup, WorldTable, DEFAULT_WORLD_QUOTA};
+use crossover::world::{Wid, WorldContext, WorldDescriptor, WorldEntry};
+use crossover::WorldError;
+use hypervisor::vm::VmId;
+
+/// Default shard count: enough stripes that eight workers rarely collide,
+/// small enough that iterating every shard (len, debug dumps) stays cheap.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Point-in-time contention counters (all monotonically increasing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionSnapshot {
+    /// Shard-lock acquisitions.
+    pub shard_acquisitions: u64,
+    /// Shard-lock acquisitions that found the lock held and had to block.
+    pub shard_contended: u64,
+    /// Index-stripe acquisitions.
+    pub index_acquisitions: u64,
+    /// Index-stripe acquisitions that had to block.
+    pub index_contended: u64,
+}
+
+#[derive(Debug, Default)]
+struct ContentionCounters {
+    shard_acquisitions: AtomicU64,
+    shard_contended: AtomicU64,
+    index_acquisitions: AtomicU64,
+    index_contended: AtomicU64,
+}
+
+/// Registration-time bookkeeping that must stay globally consistent:
+/// context identity (for replacement and IWT walks), ownership and
+/// per-VM quota accounting.
+#[derive(Debug, Default)]
+struct IndexState {
+    by_context: HashMap<WorldContext, Wid>,
+    owners: HashMap<u64, Option<VmId>>,
+    per_vm: HashMap<VmId, usize>,
+}
+
+/// The lock-striped world table. Semantically equivalent to
+/// [`WorldTable`] driven sequentially (see the equivalence property test
+/// in `tests/equivalence.rs`), safe to share across worker threads.
+#[derive(Debug)]
+pub struct ShardedWorldTable {
+    shards: Vec<Mutex<WorldTable>>,
+    index: Mutex<IndexState>,
+    next_wid: AtomicU64,
+    quota: usize,
+    stats: ContentionCounters,
+}
+
+impl ShardedWorldTable {
+    /// Creates a table with [`DEFAULT_SHARDS`] shards and the default
+    /// per-VM quota.
+    pub fn new() -> ShardedWorldTable {
+        ShardedWorldTable::with_shards(DEFAULT_SHARDS, DEFAULT_WORLD_QUOTA)
+    }
+
+    /// Creates a table with explicit shard count and per-VM quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `quota` is zero.
+    pub fn with_shards(shards: usize, quota: usize) -> ShardedWorldTable {
+        assert!(shards > 0, "need at least one shard");
+        assert!(quota > 0, "quota must be positive");
+        ShardedWorldTable {
+            shards: (0..shards)
+                // Inner quotas never bind: the global ledger in `index`
+                // enforces the real quota before any shard insert.
+                .map(|_| Mutex::new(WorldTable::with_quota(quota)))
+                .collect(),
+            index: Mutex::new(IndexState::default()),
+            next_wid: AtomicU64::new(1),
+            quota,
+            stats: ContentionCounters::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-VM quota.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Contention counters so far.
+    pub fn contention(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            shard_acquisitions: self.stats.shard_acquisitions.load(Ordering::Relaxed),
+            shard_contended: self.stats.shard_contended.load(Ordering::Relaxed),
+            index_acquisitions: self.stats.index_acquisitions.load(Ordering::Relaxed),
+            index_contended: self.stats.index_contended.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, wid: Wid) -> usize {
+        (wid.raw() % self.shards.len() as u64) as usize
+    }
+
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, WorldTable> {
+        self.stats
+            .shard_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        match self.shards[i].try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.stats.shard_contended.fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock().expect("shard lock poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+        }
+    }
+
+    fn lock_index(&self) -> MutexGuard<'_, IndexState> {
+        self.stats
+            .index_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        match self.index.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.stats.index_contended.fetch_add(1, Ordering::Relaxed);
+                self.index.lock().expect("index lock poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("index lock poisoned"),
+        }
+    }
+
+    /// Registers a world and mints its WID, with the sequential table's
+    /// semantics: re-registering an identical context replaces the old
+    /// entry (old WID invalidated, quota slot reused); otherwise the
+    /// owning VM's quota is checked first.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::QuotaExceeded`] if the owning VM is at its quota.
+    pub fn create(&self, descriptor: WorldDescriptor) -> Result<Wid, WorldError> {
+        let mut index = self.lock_index();
+        let replaced = index.by_context.get(&descriptor.context).copied();
+        match replaced {
+            Some(old) => {
+                // Same context re-registered: drop the old entry from its
+                // shard; its quota slot transfers to the new entry.
+                let mut shard = self.lock_shard(self.shard_of(old));
+                shard.delete(old).expect("index and shard agree");
+                index.owners.remove(&old.raw());
+            }
+            None => {
+                if let Some(vm) = descriptor.owner {
+                    let count = index.per_vm.get(&vm).copied().unwrap_or(0);
+                    if count >= self.quota {
+                        return Err(WorldError::QuotaExceeded { quota: self.quota });
+                    }
+                    *index.per_vm.entry(vm).or_insert(0) += 1;
+                }
+            }
+        }
+        // Mint only after the quota check so refused registrations never
+        // consume a WID — exactly like the sequential table.
+        let wid = Wid::from_raw(self.next_wid.fetch_add(1, Ordering::Relaxed));
+        {
+            let mut shard = self.lock_shard(self.shard_of(wid));
+            shard
+                .create_with_wid(descriptor, wid)
+                .expect("global ledger already admitted this registration");
+        }
+        index.by_context.insert(descriptor.context, wid);
+        index.owners.insert(wid.raw(), descriptor.owner);
+        Ok(wid)
+    }
+
+    /// Deletes a world.
+    ///
+    /// The caller (the service layer) is responsible for broadcasting the
+    /// matching `manage_wtc` invalidation to every worker's caches — the
+    /// concurrent analogue of the single-CPU invalidate.
+    ///
+    /// # Errors
+    ///
+    /// [`WorldError::InvalidWid`] if absent.
+    pub fn delete(&self, wid: Wid) -> Result<(), WorldError> {
+        let mut index = self.lock_index();
+        let mut shard = self.lock_shard(self.shard_of(wid));
+        let entry = shard
+            .lookup(wid)
+            .copied()
+            .ok_or(WorldError::InvalidWid { wid })?;
+        shard.delete(wid).expect("entry just resolved");
+        drop(shard);
+        // The context may have been rebound by a later replacement; only
+        // unlink it if it still names this WID.
+        if index.by_context.get(&entry.context) == Some(&wid) {
+            index.by_context.remove(&entry.context);
+        }
+        if let Some(Some(vm)) = index.owners.remove(&wid.raw()) {
+            if let Some(c) = index.per_vm.get_mut(&vm) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a world by WID (copy-out, shard-locked).
+    pub fn lookup(&self, wid: Wid) -> Option<WorldEntry> {
+        self.lock_shard(self.shard_of(wid)).lookup(wid).copied()
+    }
+
+    /// Looks up a world by context.
+    pub fn lookup_context(&self, context: &WorldContext) -> Option<Wid> {
+        self.lock_index().by_context.get(context).copied()
+    }
+
+    /// Number of worlds owned by `vm`.
+    pub fn world_count(&self, vm: VmId) -> usize {
+        self.lock_index().per_vm.get(&vm).copied().unwrap_or(0)
+    }
+
+    /// Total number of present worlds across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.locked_len(s)).sum()
+    }
+
+    /// Whether no worlds are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn locked_len(&self, shard: &Mutex<WorldTable>) -> usize {
+        self.stats
+            .shard_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        shard.lock().expect("shard lock poisoned").len()
+    }
+}
+
+impl Default for ShardedWorldTable {
+    fn default() -> ShardedWorldTable {
+        ShardedWorldTable::new()
+    }
+}
+
+impl WorldLookup for ShardedWorldTable {
+    fn entry_of(&self, wid: Wid) -> Option<WorldEntry> {
+        self.lookup(wid)
+    }
+
+    fn wid_of(&self, context: &WorldContext) -> Option<Wid> {
+        self.lookup_context(context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn host(cr3: u64) -> WorldDescriptor {
+        WorldDescriptor::host_user(cr3, 0xE000)
+    }
+
+    #[test]
+    fn wids_are_globally_unique_and_monotonic() {
+        let t = ShardedWorldTable::with_shards(4, 16);
+        let mut last = 0;
+        for i in 0..32 {
+            let wid = t.create(host(0x1000 * (i + 1))).unwrap();
+            assert!(wid.raw() > last, "WIDs must increase");
+            last = wid.raw();
+        }
+        assert_eq!(t.len(), 32);
+    }
+
+    #[test]
+    fn replacement_spans_shards() {
+        // The replaced entry lives in a different shard than its
+        // replacement (WIDs 1 and 2 with 4 shards), exercising the
+        // cross-shard unlink.
+        let t = ShardedWorldTable::with_shards(4, 16);
+        let old = t.create(host(0x1000)).unwrap();
+        let new = t.create(host(0x1000)).unwrap();
+        assert_ne!(old, new);
+        assert_ne!(
+            t.shard_of(old),
+            t.shard_of(new),
+            "test should actually span shards"
+        );
+        assert!(t.lookup(old).is_none(), "old WID invalidated");
+        assert!(t.lookup(new).is_some());
+        assert_eq!(t.lookup_context(&host(0x1000).context), Some(new));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn quota_is_global_across_shards() {
+        use hypervisor::platform::Platform;
+        use hypervisor::vm::VmConfig;
+        let mut p = Platform::new_default();
+        let vm = p.create_vm(VmConfig::default()).unwrap();
+        let t = ShardedWorldTable::with_shards(8, 2);
+        let d = |cr3| WorldDescriptor::guest_user(&p, vm, cr3, 0).unwrap();
+        t.create(d(0x1000)).unwrap();
+        t.create(d(0x2000)).unwrap();
+        assert_eq!(
+            t.create(d(0x3000)),
+            Err(WorldError::QuotaExceeded { quota: 2 })
+        );
+        assert_eq!(t.world_count(vm), 2);
+        // Deleting releases the global slot regardless of shard.
+        let wid = t.lookup_context(&d(0x1000).context).unwrap();
+        t.delete(wid).unwrap();
+        assert!(t.create(d(0x3000)).is_ok());
+    }
+
+    #[test]
+    fn delete_unknown_wid_errors() {
+        let t = ShardedWorldTable::new();
+        let ghost = Wid::from_raw(99);
+        assert_eq!(t.delete(ghost), Err(WorldError::InvalidWid { wid: ghost }));
+    }
+
+    #[test]
+    fn quota_refusal_does_not_consume_a_wid() {
+        use hypervisor::platform::Platform;
+        use hypervisor::vm::VmConfig;
+        let mut p = Platform::new_default();
+        let vm = p.create_vm(VmConfig::default()).unwrap();
+        let t = ShardedWorldTable::with_shards(2, 1);
+        let d = |cr3| WorldDescriptor::guest_user(&p, vm, cr3, 0).unwrap();
+        let first = t.create(d(0x1000)).unwrap();
+        assert!(t.create(d(0x2000)).is_err());
+        // Next successful mint is exactly first+1: the refusal minted nothing.
+        let host_wid = t.create(host(0x9000)).unwrap();
+        assert_eq!(host_wid.raw(), first.raw() + 1);
+    }
+
+    #[test]
+    fn concurrent_creates_never_duplicate_wids() {
+        let t = Arc::new(ShardedWorldTable::with_shards(4, 64));
+        let mut handles = Vec::new();
+        for thread in 0..8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                (0..64u64)
+                    .map(|i| {
+                        t.create(host(0x10_0000 * (thread + 1) + 0x1000 * i))
+                            .unwrap()
+                            .raw()
+                    })
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate WIDs under concurrency");
+        assert_eq!(t.len(), n);
+    }
+
+    #[test]
+    fn contention_counters_move() {
+        let t = ShardedWorldTable::with_shards(2, 8);
+        t.create(host(0x1000)).unwrap();
+        t.lookup(Wid::from_raw(1));
+        let c = t.contention();
+        assert!(c.shard_acquisitions >= 2);
+        assert!(c.index_acquisitions >= 1);
+        assert_eq!(c.shard_contended, 0, "single thread never contends");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardedWorldTable::with_shards(0, 4);
+    }
+}

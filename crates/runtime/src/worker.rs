@@ -1,0 +1,259 @@
+//! The worker loop: one OS thread driving one simulated vCPU.
+//!
+//! Each worker owns a cloned [`Platform`] (same VMs and EPTs as the
+//! service template, so every registered world's EPTP resolves) and a
+//! private [`WorldCallUnit`] — its own WT-/IWT-caches, exactly as each
+//! core of a real CrossOver machine would have its own cache hardware.
+//! The shared state is the [`ShardedWorldTable`] (the hypervisor-managed
+//! table all cores walk on a miss) and the invalidation bus (the
+//! concurrent analogue of `manage_wtc` invalidate: deletes are broadcast
+//! and each worker purges its caches before its next batch).
+//!
+//! Metering is lock-free on the hot path: every charge lands on the
+//! worker's private CPU meter; the service merges the meters into an
+//! [`hypervisor::smp::SmpMachine`] when the pool drains.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossover::call::{Direction, WorldCallUnit};
+use crossover::manager::{
+    CallToken, RESTORE_STATE_CYCLES, RESTORE_STATE_INSTRUCTIONS, SAVE_STATE_CYCLES,
+    SAVE_STATE_INSTRUCTIONS,
+};
+use crossover::world::WorldEntry;
+use crossover::wtc::CacheStats;
+use crossover::WorldError;
+use hypervisor::platform::Platform;
+use hypervisor::ExitReason;
+use machine::account::Meter;
+use machine::trace::TransitionKind;
+
+use crate::queue::Queue;
+use crate::router::{CallOutcome, CallRequest, CallVerdict};
+use crate::service::InvalidationBus;
+use crate::shard::ShardedWorldTable;
+
+/// Everything a worker thread needs; built by the service at start.
+pub(crate) struct WorkerContext {
+    pub index: usize,
+    pub platform: Platform,
+    pub table: Arc<ShardedWorldTable>,
+    pub queue: Arc<Queue<CallRequest>>,
+    pub bus: Arc<InvalidationBus>,
+    pub batch_max: usize,
+    /// Per-worker simulated clocks (cycles) for virtual-time pacing.
+    pub clocks: Arc<Vec<AtomicU64>>,
+}
+
+/// How far (in simulated cycles) a worker may run ahead of the slowest
+/// live worker before it defers pulling more work. One generous batch's
+/// worth: enough to keep the pace gate off the common path, small
+/// against any realistic per-worker load.
+const PACE_SLACK_CYCLES: u64 = 64_000;
+
+/// Virtual-time gate. The simulated machine's cores advance in parallel
+/// virtual time, but the host may multiplex the worker threads onto
+/// fewer physical cores (possibly one), in which case OS timeslicing —
+/// not the simulation — would decide how many simulated cycles each
+/// vCPU accumulates. Publishing each worker's meter as a shared clock
+/// and making workers that run ahead yield until the laggards catch up
+/// keeps the per-vCPU cycle loads even, so the makespan metric behaves
+/// like a real SMP's wall clock whatever the host's core count.
+///
+/// The minimum is taken over all live workers including the caller, so
+/// the slowest worker always passes immediately; exited workers park
+/// their clock at `u64::MAX` and drop out of the minimum. That worker's
+/// progress (or the queue closing) is what unblocks the spinners, so
+/// the gate cannot deadlock.
+fn pace(clocks: &[AtomicU64], index: usize, my_cycles: u64) {
+    clocks[index].store(my_cycles, Ordering::Relaxed);
+    loop {
+        let min = clocks
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .min()
+            .expect("at least one worker clock");
+        if my_cycles <= min.saturating_add(PACE_SLACK_CYCLES) {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// What a worker hands back when the pool drains.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The worker's index (== the SMP core its meter merges into).
+    pub index: usize,
+    /// The worker vCPU's meter (merged into the service's
+    /// [`hypervisor::smp::SmpMachine`] at drain).
+    pub meter: Meter,
+    /// Per-request outcomes, in service order.
+    pub outcomes: Vec<CallOutcome>,
+    /// Number of batches popped (batches/calls ratio shows how much
+    /// destination affinity the queue actually delivered).
+    pub batches: u64,
+    /// WT-cache statistics of this worker's call unit.
+    pub wt: CacheStats,
+    /// IWT-cache statistics of this worker's call unit.
+    pub iwt: CacheStats,
+}
+
+impl WorkerReport {
+    /// Count of outcomes matching `verdict` coarsely.
+    pub fn count(&self, want_completed: bool) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| (o.verdict == CallVerdict::Completed) == want_completed)
+            .count() as u64
+    }
+}
+
+/// Schedules a world's context onto the worker vCPU: mode, page-table
+/// root and EPTP, as if the worker core had been running that world all
+/// along. Free of charge — this is setup, not a priced transition; the
+/// priced path starts at the state save.
+fn schedule_in(platform: &mut Platform, entry: &WorldEntry) {
+    let cpu = platform.cpu_mut();
+    cpu.force_mode(entry.context.mode());
+    cpu.force_cr3(entry.context.ptp);
+    cpu.load_eptp(0, entry.context.eptp);
+}
+
+/// Runs one request end to end, returning its verdict. The measured
+/// section (caller state save → caller state restore) is delimited by
+/// the caller's meter, mirroring `WorldManager::call`/`ret` but driven
+/// against the shared sharded table.
+fn execute(
+    platform: &mut Platform,
+    unit: &mut WorldCallUnit,
+    table: &ShardedWorldTable,
+    req: &CallRequest,
+) -> (CallVerdict, u64) {
+    let caller_entry = match table.lookup(req.caller) {
+        Some(e) => e,
+        None => {
+            return (
+                CallVerdict::Failed(WorldError::InvalidWid { wid: req.caller }),
+                0,
+            )
+        }
+    };
+    schedule_in(platform, &caller_entry);
+    let start = platform.cpu().meter().cycles();
+    platform.cpu_mut().charge_work(
+        SAVE_STATE_CYCLES,
+        SAVE_STATE_INSTRUCTIONS,
+        "save caller state",
+    );
+    let verdict = match unit.world_call(platform, table, req.callee, Direction::Call) {
+        Err(e) => CallVerdict::Failed(e),
+        Ok(outcome) if outcome.from != req.caller => {
+            // Hardware-identified caller disagrees with the request's
+            // claimed identity: control-flow violation. Bounce back so
+            // the vCPU does not linger in the callee world.
+            let _ = unit.world_call(platform, table, req.caller, Direction::Return);
+            CallVerdict::Failed(WorldError::ControlFlowViolation {
+                expected: req.caller,
+                got: outcome.from,
+            })
+        }
+        Ok(_) => {
+            let token = CallToken {
+                caller: req.caller,
+                callee: req.callee,
+                started_at_cycles: platform.cpu().meter().cycles(),
+                budget_cycles: req.budget_cycles,
+            };
+            platform
+                .cpu_mut()
+                .charge_work(req.work_cycles, req.work_instructions, "callee body");
+            if token.expired(platform) {
+                // §3.4: the armed timer fires — a timer VMExit traps the
+                // callee (world_call left the platform's current-VM
+                // bookkeeping pointing at the callee, so this is safe),
+                // and the hypervisor forcibly restores the caller world.
+                if platform.cpu().mode().operation().is_guest() {
+                    platform
+                        .vmexit(ExitReason::ExternalInterrupt)
+                        .expect("guest mode implies a current VM");
+                }
+                platform
+                    .crossover_switch(
+                        TransitionKind::WorldReturn,
+                        caller_entry.context.mode(),
+                        caller_entry.context.ptp,
+                        caller_entry.context.eptp,
+                    )
+                    .expect("caller context was resolvable at call time");
+                platform.cpu_mut().charge_work(
+                    RESTORE_STATE_CYCLES,
+                    RESTORE_STATE_INSTRUCTIONS,
+                    "restore caller state (timeout)",
+                );
+                CallVerdict::TimedOut
+            } else {
+                match unit.world_call(platform, table, req.caller, Direction::Return) {
+                    Ok(_) => {
+                        platform.cpu_mut().charge_work(
+                            RESTORE_STATE_CYCLES,
+                            RESTORE_STATE_INSTRUCTIONS,
+                            "restore caller state",
+                        );
+                        CallVerdict::Completed
+                    }
+                    Err(e) => CallVerdict::Failed(e),
+                }
+            }
+        }
+    };
+    let latency = platform.cpu().meter().cycles() - start;
+    (verdict, latency)
+}
+
+/// The worker thread body: pop destination-batched requests until the
+/// queue closes and drains, servicing invalidation broadcasts between
+/// batches.
+pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
+    // The template platform's meter carries registration-time costs;
+    // each worker accounts only its own execution.
+    ctx.platform.cpu_mut().meter_mut().reset();
+    let mut unit = WorldCallUnit::new();
+    let mut outcomes = Vec::new();
+    let mut batches = 0u64;
+    loop {
+        pace(&ctx.clocks, ctx.index, ctx.platform.cpu().meter().cycles());
+        let batch = ctx
+            .queue
+            .pop_batch(ctx.batch_max, |r: &CallRequest| r.callee);
+        if batch.is_empty() {
+            break; // closed and drained
+        }
+        batches += 1;
+        // Concurrent manage_wtc: purge every world deleted since the
+        // last batch from this worker's private caches.
+        for wid in ctx.bus.drain(ctx.index) {
+            unit.manage_wtc_invalidate(&mut ctx.platform, wid);
+        }
+        for req in batch {
+            let (verdict, latency_cycles) = execute(&mut ctx.platform, &mut unit, &ctx.table, &req);
+            outcomes.push(CallOutcome {
+                request: req,
+                verdict,
+                latency_cycles,
+                worker: ctx.index,
+            });
+        }
+    }
+    // Park the clock so remaining workers stop pacing against us.
+    ctx.clocks[ctx.index].store(u64::MAX, Ordering::Relaxed);
+    WorkerReport {
+        index: ctx.index,
+        meter: ctx.platform.cpu().meter().clone(),
+        outcomes,
+        batches,
+        wt: unit.wt_stats(),
+        iwt: unit.iwt_stats(),
+    }
+}

@@ -120,20 +120,15 @@ pub fn vmfunc_cross_vm_syscall(
         .cpu_mut()
         .set_interrupts(false)
         .expect("ring 0");
-    env.platform
-        .cpu_mut()
-        .write_idt(IDT2_BASE)
-        .expect("ring 0");
+    env.platform.cpu_mut().write_idt(IDT2_BASE).expect("ring 0");
 
     // ③ Marshal the request into the shared page (real bytes, really
     // shared: the frame is aliased in both VMs' EPTs).
     let request = encode_request(syscall);
     env.platform.write_active_gpa(SHARED_PAGE_GPA, &request)?;
-    env.platform.cpu_mut().charge_work(
-        MARSHAL_CYCLES,
-        MARSHAL_INSTRUCTIONS,
-        "marshal parameters",
-    );
+    env.platform
+        .cpu_mut()
+        .charge_work(MARSHAL_CYCLES, MARSHAL_INSTRUCTIONS, "marshal parameters");
 
     // ④ VMFUNC to VM-2's EPT. Execution continues on the cross-ring code
     // page, which is mapped at the same GPA in both VMs.
@@ -174,10 +169,7 @@ pub fn vmfunc_cross_vm_syscall(
     // return to user mode.
     env.platform.cpu_mut().write_idt(IDT1_BASE).expect("ring 0");
     env.platform.cpu_mut().set_interrupts(true).expect("ring 0");
-    env.platform
-        .cpu_mut()
-        .write_cr3(app_cr3)
-        .expect("ring 0");
+    env.platform.cpu_mut().write_cr3(app_cr3).expect("ring 0");
     env.k1.trap_exit(&mut env.platform);
 
     result.map_err(Into::into)
@@ -207,18 +199,10 @@ impl CrossOverChannel {
         let mut manager = WorldManager::new();
         let app_cr3 = env.k1.process(env.app).expect("app exists").cr3();
         let stub_cr3 = env.k2.process(env.remote).expect("stub exists").cr3();
-        let caller_desc = WorldDescriptor::guest_kernel(
-            &env.platform,
-            env.vm1,
-            app_cr3,
-            CODE_PAGE_GPA.value(),
-        )?;
-        let callee_desc = WorldDescriptor::guest_kernel(
-            &env.platform,
-            env.vm2,
-            stub_cr3,
-            CODE_PAGE_GPA.value(),
-        )?;
+        let caller_desc =
+            WorldDescriptor::guest_kernel(&env.platform, env.vm1, app_cr3, CODE_PAGE_GPA.value())?;
+        let callee_desc =
+            WorldDescriptor::guest_kernel(&env.platform, env.vm2, stub_cr3, CODE_PAGE_GPA.value())?;
         let caller = manager.register_world(&mut env.platform, caller_desc)?;
         let callee = manager.register_world(&mut env.platform, callee_desc)?;
         // Registration hypercalls round-tripped through the hypervisor;
@@ -260,11 +244,9 @@ pub fn crossover_cross_vm_syscall(
     // Callee: execute the body and marshal the result through shared
     // memory.
     let result = env.k2.execute_body(&mut env.platform, syscall);
-    env.platform.cpu_mut().charge_work(
-        MARSHAL_CYCLES,
-        MARSHAL_INSTRUCTIONS,
-        "marshal result",
-    );
+    env.platform
+        .cpu_mut()
+        .charge_work(MARSHAL_CYCLES, MARSHAL_INSTRUCTIONS, "marshal result");
     // world_call back (return + restore-state).
     channel.manager.ret(&mut env.platform, token)?;
     env.k1.trap_exit(&mut env.platform);
@@ -358,10 +340,7 @@ mod tests {
         let mut e = env();
         let before = e.platform.cpu().trace().hypervisor_interventions();
         vmfunc_cross_vm_syscall(&mut e, &Syscall::Null).unwrap();
-        assert_eq!(
-            e.platform.cpu().trace().hypervisor_interventions(),
-            before
-        );
+        assert_eq!(e.platform.cpu().trace().hypervisor_interventions(), before);
         assert_eq!(
             e.platform.cpu().trace().count(TransitionKind::Vmfunc),
             vmfunc_switches_per_call()
@@ -439,10 +418,7 @@ mod tests {
         crossover_cross_vm_syscall(&mut e, &mut ch, &Syscall::Null).unwrap();
         let before = e.platform.cpu().trace().hypervisor_interventions();
         crossover_cross_vm_syscall(&mut e, &mut ch, &Syscall::Null).unwrap();
-        assert_eq!(
-            e.platform.cpu().trace().hypervisor_interventions(),
-            before
-        );
+        assert_eq!(e.platform.cpu().trace().hypervisor_interventions(), before);
     }
 
     #[test]

@@ -171,8 +171,18 @@ mod tests {
             env.k2.process(env.helper2).unwrap().cr3()
         );
         // Code page mapped at the same GPA in both VMs, read-execute.
-        let e1 = env.platform.ept(env.vm1).unwrap().entry(CODE_PAGE_GPA).unwrap();
-        let e2 = env.platform.ept(env.vm2).unwrap().entry(CODE_PAGE_GPA).unwrap();
+        let e1 = env
+            .platform
+            .ept(env.vm1)
+            .unwrap()
+            .entry(CODE_PAGE_GPA)
+            .unwrap();
+        let e2 = env
+            .platform
+            .ept(env.vm2)
+            .unwrap()
+            .entry(CODE_PAGE_GPA)
+            .unwrap();
         assert_eq!(e1.hpa, e2.hpa);
         assert!(!e1.perms.can_write());
     }
@@ -194,7 +204,10 @@ mod tests {
     fn native_syscalls_work_in_vm1() {
         let mut env = CrossVmEnv::new("a", "b").unwrap();
         let (ret, delta) = env
-            .measure(|e| e.k1.syscall(&mut e.platform, Syscall::Null).map_err(Into::into))
+            .measure(|e| {
+                e.k1.syscall(&mut e.platform, Syscall::Null)
+                    .map_err(Into::into)
+            })
             .unwrap();
         assert_eq!(ret, guestos::SyscallRet::Unit);
         assert_eq!(delta.cycles.0, 986, "native NULL syscall = 0.29 us");

@@ -99,8 +99,7 @@ impl Fuse {
         let vm = platform.create_vm(VmConfig::named("fuse-vm"))?;
         let mut manager = WorldManager::new();
         let app_desc = WorldDescriptor::guest_user(&platform, vm, Fuse::APP_CR3, 0x40_0000)?;
-        let daemon_desc =
-            WorldDescriptor::guest_user(&platform, vm, Fuse::DAEMON_CR3, 0x50_0000)?;
+        let daemon_desc = WorldDescriptor::guest_user(&platform, vm, Fuse::DAEMON_CR3, 0x50_0000)?;
         let app_world = manager.register_world(&mut platform, app_desc)?;
         let daemon_world = manager.register_world(&mut platform, daemon_desc)?;
         platform.vmentry(vm)?;
@@ -242,7 +241,11 @@ impl Fuse {
     /// # Errors
     ///
     /// Propagates call failures.
-    pub fn measure(&mut self, op: &FuseOp, baseline: bool) -> Result<(FuseRet, Delta), SystemError> {
+    pub fn measure(
+        &mut self,
+        op: &FuseOp,
+        baseline: bool,
+    ) -> Result<(FuseRet, Delta), SystemError> {
         let snap = self.platform.cpu().meter().snapshot();
         let ret = if baseline {
             self.baseline_call(op)?

@@ -87,10 +87,7 @@ impl HyperShell {
 
     /// The original path: shell syscall → KVM → inject into the polling
     /// helper → execute in the guest → INT3 trap → resume the shell.
-    fn baseline_reverse_syscall(
-        &mut self,
-        syscall: &Syscall,
-    ) -> Result<SyscallRet, SystemError> {
+    fn baseline_reverse_syscall(&mut self, syscall: &Syscall) -> Result<SyscallRet, SystemError> {
         let env = &mut self.env;
         // Shell issues the to-be-redirected syscall in its own VM.
         env.k1.trap_enter(&mut env.platform);
@@ -207,7 +204,9 @@ mod tests {
         let t = h.env.platform.cpu().trace();
         assert!(t.count(machine::trace::TransitionKind::VmExit) >= 2);
         // INT3-based completion, not a completion hypercall.
-        assert_eq!(h.env.platform.vmcs(h.env.vm2).unwrap().last_exit,
-                   Some(ExitReason::Breakpoint));
+        assert_eq!(
+            h.env.platform.vmcs(h.env.vm2).unwrap().last_exit,
+            Some(ExitReason::Breakpoint)
+        );
     }
 }

@@ -111,9 +111,11 @@ impl VirtualTcpLink {
         );
         // NIC doorbell: device emulation VMExit, bridge forward, resume.
         platform.vmexit(ExitReason::IoAccess)?;
-        platform
-            .cpu_mut()
-            .charge_work(BRIDGE_CYCLES, BRIDGE_INSTRUCTIONS, "virtual bridge forward");
+        platform.cpu_mut().charge_work(
+            BRIDGE_CYCLES,
+            BRIDGE_INSTRUCTIONS,
+            "virtual bridge forward",
+        );
         let to = if from == self.a { self.b } else { self.a };
         platform.inject_interrupt(to, 0x2E)?; // RX interrupt for the peer
         platform.vmentry(from)?;

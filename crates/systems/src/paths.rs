@@ -88,9 +88,7 @@ pub fn survey() -> Vec<SystemPath> {
             category: Category::Security,
             semantic: "IPC call",
             minimal: vec!["U_VM", "U_host", "U_VM"],
-            actual: vec![
-                "U_VM", "K_VM", "K_host", "U_host", "K_host", "K_VM", "U_VM",
-            ],
+            actual: vec!["U_VM", "K_VM", "K_host", "U_host", "K_host", "K_VM", "U_VM"],
         },
         SystemPath {
             name: "Overshadow",
@@ -116,7 +114,13 @@ pub fn survey() -> Vec<SystemPath> {
             semantic: "syscall",
             minimal: vec!["U_VM1", "K_VM2", "U_VM1"],
             actual: vec![
-                "U_VM1", "hypervisor", "U_VM2", "K_VM2", "U_VM2", "hypervisor", "U_VM1",
+                "U_VM1",
+                "hypervisor",
+                "U_VM2",
+                "K_VM2",
+                "U_VM2",
+                "hypervisor",
+                "U_VM1",
             ],
         },
         SystemPath {
@@ -209,8 +213,7 @@ pub fn survey() -> Vec<SystemPath> {
             semantic: "syscall",
             minimal: vec!["U_VM1", "K_VM2", "U_VM1"],
             actual: vec![
-                "U_VM1", "K_VM1", "K_host", "U_VM2", "K_VM2", "U_VM2", "K_host", "K_VM1",
-                "U_VM1",
+                "U_VM1", "K_VM1", "K_host", "U_VM2", "K_VM2", "U_VM2", "K_host", "K_VM1", "U_VM1",
             ],
         },
     ]

@@ -221,11 +221,7 @@ mod tests {
     #[test]
     fn introspection_reads_untrusted_vm_state() {
         let mut s = ShadowContext::optimized().unwrap();
-        s.env
-            .k2
-            .fs_mut()
-            .create("/proc/suspicious", 0o444)
-            .unwrap();
+        s.env.k2.fs_mut().create("/proc/suspicious", 0o444).unwrap();
         let ret = s
             .introspect_syscall(&Syscall::Stat {
                 path: "/proc/suspicious".into(),

@@ -9,9 +9,7 @@
 
 use guestos::process::Fd;
 use guestos::syscall::{Syscall, SyscallRet};
-use systems::crossvm::{
-    crossover_cross_vm_syscall, hypervisor_cross_vm_syscall, CrossOverChannel,
-};
+use systems::crossvm::{crossover_cross_vm_syscall, hypervisor_cross_vm_syscall, CrossOverChannel};
 use systems::env::CrossVmEnv;
 use systems::SystemError;
 
@@ -133,7 +131,12 @@ impl LmbenchHarness {
             other => unreachable!("open returned {other:?}"),
         };
         env.settle_in_vm1()?;
-        Ok(LmbenchHarness { env, channel, local_fd, remote_fd })
+        Ok(LmbenchHarness {
+            env,
+            channel,
+            local_fd,
+            remote_fd,
+        })
     }
 
     fn syscalls_for(&self, op: LmbenchOp, fd: Fd) -> Vec<Syscall> {
@@ -161,11 +164,7 @@ impl LmbenchHarness {
     /// # Errors
     ///
     /// Propagates execution failures.
-    pub fn instructions(
-        &mut self,
-        op: LmbenchOp,
-        mode: LmbenchMode,
-    ) -> Result<u64, SystemError> {
+    pub fn instructions(&mut self, op: LmbenchOp, mode: LmbenchMode) -> Result<u64, SystemError> {
         self.env.settle_in_vm1()?;
         // Warm the world-table caches outside the measurement (the paper
         // notes "there is no world table cache miss during the process").
@@ -189,9 +188,7 @@ impl LmbenchHarness {
                 LmbenchMode::WithCrossOver => {
                     crossover_cross_vm_syscall(&mut self.env, &mut self.channel, call)?
                 }
-                LmbenchMode::WithoutCrossOver => {
-                    hypervisor_cross_vm_syscall(&mut self.env, call)?
-                }
+                LmbenchMode::WithoutCrossOver => hypervisor_cross_vm_syscall(&mut self.env, call)?,
             };
             // open/close: close the fd we just opened, inside the same
             // measured iteration.

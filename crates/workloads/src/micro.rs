@@ -185,7 +185,8 @@ pub fn run_native(env: &mut CrossVmEnv, op: MicroOp) -> Result<Delta, SystemErro
             // The parent blocks; the child wakes and reads through its
             // inherited descriptor.
             env.k1.block_and_switch(&mut env.platform, child)?;
-            env.k1.syscall(&mut env.platform, Syscall::Read { fd: r, len: 1 })?;
+            env.k1
+                .syscall(&mut env.platform, Syscall::Read { fd: r, len: 1 })?;
             env.platform
                 .cpu_mut()
                 .touch(machine::trace::TransitionKind::ContextSwitch);
@@ -261,7 +262,9 @@ pub fn run_redirected<T: RedirectTarget>(
             env.k1.run(env.app);
             target.redirect(&Syscall::Read { fd: r, len: 1 })?;
             let env = target.env_mut();
-            env.platform.cpu_mut().touch(machine::trace::TransitionKind::ContextSwitch);
+            env.platform
+                .cpu_mut()
+                .touch(machine::trace::TransitionKind::ContextSwitch);
             charge_stub(env);
             Ok(env.platform.cpu().meter().since(snap))
         }
@@ -303,9 +306,7 @@ mod tests {
 
     fn native_us(op: MicroOp) -> f64 {
         let mut env = CrossVmEnv::new("a", "b").unwrap();
-        run_native(&mut env, op)
-            .unwrap()
-            .micros(Frequency::GHZ_3_4)
+        run_native(&mut env, op).unwrap().micros(Frequency::GHZ_3_4)
     }
 
     #[test]

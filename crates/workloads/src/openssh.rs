@@ -175,11 +175,7 @@ mod tests {
             let with = scp_throughput(SshMode::WithCrossOver, mb).unwrap();
             let without = scp_throughput(SshMode::WithoutCrossOver, mb).unwrap();
             let imp = throughput_improvement(with, without);
-            assert!(
-                imp > 0.5,
-                "{mb} MB: improvement {:.0}%",
-                imp * 100.0
-            );
+            assert!(imp > 0.5, "{mb} MB: improvement {:.0}%", imp * 100.0);
         }
     }
 

@@ -136,8 +136,7 @@ pub enum UtilityVehicle {
 }
 
 fn trace_syscalls(u: &Utility) -> Vec<Syscall> {
-    let mut calls =
-        Vec::with_capacity(u.syscall_count() as usize);
+    let mut calls = Vec::with_capacity(u.syscall_count() as usize);
     for i in 0..u.file_walks {
         // Rotate over the standard /proc-ish files.
         let path = match i % 4 {
@@ -253,12 +252,10 @@ fn run_utility_hypershell(u: &Utility, mode: UtilityMode) -> Result<f64, SystemE
     };
     // A long-lived fd for the standalone reads (opened unmeasured).
     let warm_fd = match mode {
-        UtilityMode::Native => {
-            shell
-                .env
-                .k1
-                .open(&mut shell.env.platform, "/etc/passwd", false)?
-        }
+        UtilityMode::Native => shell
+            .env
+            .k1
+            .open(&mut shell.env.platform, "/etc/passwd", false)?,
         _ => match shell.reverse_syscall(&Syscall::Open {
             path: "/etc/passwd".into(),
             create: false,
@@ -366,8 +363,7 @@ mod tests {
         let u = utilities().into_iter().find(|u| u.name == "grep").unwrap();
         for vehicle in [UtilityVehicle::HyperShell, UtilityVehicle::ShadowContext] {
             let native = run_utility_on(&u, UtilityMode::Native, vehicle).unwrap();
-            let without =
-                run_utility_on(&u, UtilityMode::WithoutCrossOver, vehicle).unwrap();
+            let without = run_utility_on(&u, UtilityMode::WithoutCrossOver, vehicle).unwrap();
             let with = run_utility_on(&u, UtilityMode::WithCrossOver, vehicle).unwrap();
             assert!(
                 native < with && with < without,

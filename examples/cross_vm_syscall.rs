@@ -48,10 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let crossover = env.platform.cpu().meter().since(snap);
 
     println!("NULL syscall latency (us):");
-    println!("  native in VM-1:          {:.2}", native.micros(Frequency::GHZ_3_4));
-    println!("  via hypervisor:          {:.2}", baseline.micros(Frequency::GHZ_3_4));
-    println!("  via VMFUNC (Fig. 4):     {:.2}", vmfunc.micros(Frequency::GHZ_3_4));
-    println!("  via world_call:          {:.2}", crossover.micros(Frequency::GHZ_3_4));
+    println!(
+        "  native in VM-1:          {:.2}",
+        native.micros(Frequency::GHZ_3_4)
+    );
+    println!(
+        "  via hypervisor:          {:.2}",
+        baseline.micros(Frequency::GHZ_3_4)
+    );
+    println!(
+        "  via VMFUNC (Fig. 4):     {:.2}",
+        vmfunc.micros(Frequency::GHZ_3_4)
+    );
+    println!(
+        "  via world_call:          {:.2}",
+        crossover.micros(Frequency::GHZ_3_4)
+    );
 
     // Side effects land in the target VM, not the caller's.
     let open = Syscall::Open {
@@ -74,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "/created-by-vm1 in caller VM: {:?}",
-        env.k1.fs().stat("/created-by-vm1").err().map(|e| e.to_string())
+        env.k1
+            .fs()
+            .stat("/created-by-vm1")
+            .err()
+            .map(|e| e.to_string())
     );
     Ok(())
 }

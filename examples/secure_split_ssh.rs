@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --example secure_split_ssh`
 
-use workloads::openssh::{
-    scp_throughput, throughput_improvement, SshMode, FILE_SIZES_MB,
-};
+use workloads::openssh::{scp_throughput, throughput_improvement, SshMode, FILE_SIZES_MB};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("scp of a cached file from the split OpenSSH server (MB/s):\n");

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut baseline = ShadowContext::baseline()?;
-    baseline.env.k2.fs_mut().create("/proc/1234/cmdline", 0o444)?;
+    baseline
+        .env
+        .k2
+        .fs_mut()
+        .create("/proc/1234/cmdline", 0o444)?;
     let (_, slow) = baseline.measure_syscall(&Syscall::Stat {
         path: "/proc/1234/cmdline".into(),
     })?;
@@ -58,11 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trusted_vm = platform.create_vm(VmConfig::named("trusted"))?;
     let untrusted_vm = platform.create_vm(VmConfig::named("untrusted"))?;
     let mut manager = WorldManager::new();
-    let inspector_desc =
-        WorldDescriptor::guest_user(&platform, trusted_vm, 0x1000, 0)?;
+    let inspector_desc = WorldDescriptor::guest_user(&platform, trusted_vm, 0x1000, 0)?;
     let rogue_desc = WorldDescriptor::guest_user(&platform, trusted_vm, 0x9000, 0)?;
-    let target_desc =
-        WorldDescriptor::guest_kernel(&platform, untrusted_vm, 0x2000, 0)?;
+    let target_desc = WorldDescriptor::guest_kernel(&platform, untrusted_vm, 0x2000, 0)?;
     let inspector = manager.register_world(&mut platform, inspector_desc)?;
     let rogue = manager.register_world(&mut platform, rogue_desc)?;
     let target = manager.register_world(&mut platform, target_desc)?;

@@ -12,11 +12,14 @@
 //!   `world_call`, WT/IWT caches, hop planner.
 //! * [`systems`] — Proxos, HyperShell, Tahoma, ShadowContext case studies.
 //! * [`workloads`] — lmbench micro-ops, utilities, OpenSSH scp model.
+//! * [`runtime`] — the concurrent multi-vCPU world-call service:
+//!   sharded world table, call router, worker pool.
 
 pub use crossover;
 pub use guestos;
 pub use hypervisor;
 pub use machine;
 pub use mmu;
+pub use runtime;
 pub use systems;
 pub use workloads;

@@ -52,7 +52,12 @@ fn table4_null_syscall_column() {
 
     let mut s = ShadowContext::baseline().unwrap();
     let (_, d) = s.measure_syscall(&Syscall::Null).unwrap();
-    within(d.micros(Frequency::GHZ_3_4), 3.40, TOL, "ShadowContext orig");
+    within(
+        d.micros(Frequency::GHZ_3_4),
+        3.40,
+        TOL,
+        "ShadowContext orig",
+    );
     let mut s = ShadowContext::optimized().unwrap();
     let (_, d) = s.measure_syscall(&Syscall::Null).unwrap();
     within(d.micros(Frequency::GHZ_3_4), 0.71, TOL, "ShadowContext opt");

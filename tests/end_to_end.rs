@@ -4,7 +4,7 @@
 use guestos::syscall::{Syscall, SyscallRet};
 use machine::cost::Frequency;
 use machine::trace::TransitionKind;
-use systems::crossvm::{vmfunc_cross_vm_syscall, CrossOverChannel, crossover_cross_vm_syscall};
+use systems::crossvm::{crossover_cross_vm_syscall, vmfunc_cross_vm_syscall, CrossOverChannel};
 use systems::env::CrossVmEnv;
 use systems::hypershell::HyperShell;
 use systems::proxos::Proxos;
@@ -23,8 +23,12 @@ fn the_headline_claim_holds_for_every_system_and_op() {
                 let mut b = Proxos::baseline().unwrap();
                 let mut o = Proxos::optimized().unwrap();
                 (
-                    run_redirected(&mut b, op).unwrap().micros(Frequency::GHZ_3_4),
-                    run_redirected(&mut o, op).unwrap().micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut b, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut o, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
                     "Proxos",
                 )
             },
@@ -32,8 +36,12 @@ fn the_headline_claim_holds_for_every_system_and_op() {
                 let mut b = HyperShell::baseline().unwrap();
                 let mut o = HyperShell::optimized().unwrap();
                 (
-                    run_redirected(&mut b, op).unwrap().micros(Frequency::GHZ_3_4),
-                    run_redirected(&mut o, op).unwrap().micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut b, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut o, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
                     "HyperShell",
                 )
             },
@@ -41,8 +49,12 @@ fn the_headline_claim_holds_for_every_system_and_op() {
                 let mut b = Tahoma::baseline().unwrap();
                 let mut o = Tahoma::optimized().unwrap();
                 (
-                    run_redirected(&mut b, op).unwrap().micros(Frequency::GHZ_3_4),
-                    run_redirected(&mut o, op).unwrap().micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut b, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut o, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
                     "Tahoma",
                 )
             },
@@ -53,8 +65,12 @@ fn the_headline_claim_holds_for_every_system_and_op() {
                 // measure the second.
                 let _ = run_redirected(&mut b, op).unwrap();
                 (
-                    run_redirected(&mut b, op).unwrap().micros(Frequency::GHZ_3_4),
-                    run_redirected(&mut o, op).unwrap().micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut b, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
+                    run_redirected(&mut o, op)
+                        .unwrap()
+                        .micros(Frequency::GHZ_3_4),
                     "ShadowContext",
                 )
             },
@@ -212,7 +228,10 @@ fn a_long_workload_keeps_every_invariant() {
         }
         // Invariants after every operation.
         assert_eq!(env.platform.current_vm(), Some(env.vm1));
-        assert_eq!(env.platform.cpu().mode(), machine::mode::CpuMode::GUEST_USER);
+        assert_eq!(
+            env.platform.cpu().mode(),
+            machine::mode::CpuMode::GUEST_USER
+        );
         assert_eq!(channel.manager.call_depth(channel.caller), 0);
     }
     // 60 files created remotely, none locally.
@@ -255,7 +274,12 @@ fn one_world_serves_many_callers_at_different_tiers() {
 
     let mut registry = ServiceRegistry::new();
     registry.grant(admin, ServiceTier::Full);
-    registry.grant(tenant, ServiceTier::Throttled { calls_per_window: 1 });
+    registry.grant(
+        tenant,
+        ServiceTier::Throttled {
+            calls_per_window: 1,
+        },
+    );
 
     p.vmentry(vm1).unwrap();
     let mut observed = Vec::new();
@@ -269,7 +293,10 @@ fn one_world_serves_many_callers_at_different_tiers() {
         mgr.ret(&mut p, token).unwrap();
     }
     assert_eq!(observed[0], Dispatch::Serve(ServiceTier::Full));
-    assert!(matches!(observed[1], Dispatch::Serve(ServiceTier::Throttled { .. })));
+    assert!(matches!(
+        observed[1],
+        Dispatch::Serve(ServiceTier::Throttled { .. })
+    ));
     assert_eq!(observed[2], Dispatch::Throttle);
     // One world in the table serves all of it.
     assert_eq!(mgr.table().len(), 3);

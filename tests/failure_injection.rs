@@ -140,7 +140,10 @@ fn malicious_callee_cannot_return_to_a_world_that_never_called_it() {
     // The callee "returns" to the victim instead of its caller. The
     // hardware permits the switch (the victim is a valid world), but the
     // victim's software stack detects the violation.
-    let forged = crossover::manager::CallToken { caller: victim, ..token };
+    let forged = crossover::manager::CallToken {
+        caller: victim,
+        ..token
+    };
     let err = mgr.ret(&mut p, forged).unwrap_err();
     assert!(
         matches!(
@@ -179,7 +182,10 @@ fn guest_cannot_write_the_cross_ring_code_page() {
         .platform
         .write_gpa(env.vm1, systems::env::CODE_PAGE_GPA, b"shellcode")
         .unwrap_err();
-    assert!(matches!(err, HvError::Mmu(mmu::MmuError::PermissionDenied { .. })));
+    assert!(matches!(
+        err,
+        HvError::Mmu(mmu::MmuError::PermissionDenied { .. })
+    ));
 }
 
 #[test]
@@ -283,10 +289,22 @@ fn context_differing_in_any_field_is_a_different_world() {
         .unwrap();
     assert_eq!(table.lookup_context(&base), Some(wid));
     for perturbed in [
-        WorldContext { operation: Operation::Root, ..base },
-        WorldContext { ring: Ring::Ring3, ..base },
-        WorldContext { eptp: base.eptp + 99, ..base },
-        WorldContext { ptp: 0x2000, ..base },
+        WorldContext {
+            operation: Operation::Root,
+            ..base
+        },
+        WorldContext {
+            ring: Ring::Ring3,
+            ..base
+        },
+        WorldContext {
+            eptp: base.eptp + 99,
+            ..base
+        },
+        WorldContext {
+            ptp: 0x2000,
+            ..base
+        },
     ] {
         assert_eq!(table.lookup_context(&perturbed), None, "{perturbed}");
     }

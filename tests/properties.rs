@@ -1,12 +1,17 @@
-//! Property-based tests on the core data structures and invariants.
+//! Randomized property tests on the core data structures and invariants.
+//!
+//! Formerly written with `proptest`; now driven by the in-tree
+//! deterministic [`SplitMix64`] generator so the workspace builds and
+//! tests offline. Each test replays a fixed number of seeded random
+//! cases, so failures are reproducible from the printed seed.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 use crossover::plan::{HopPlanner, Mechanism, WorldCoord};
 use crossover::table::WorldTable;
 use crossover::world::WorldDescriptor;
 use guestos::pipe::Pipe;
+use machine::rng::SplitMix64;
 use mmu::addr::{Gpa, Gva, Hpa, PAGE_SIZE};
 use mmu::ept::Ept;
 use mmu::pagetable::PageTable;
@@ -14,175 +19,206 @@ use mmu::perms::Perms;
 use mmu::radix::Radix;
 use mmu::tlb::Tlb;
 
+const CASES: u64 = 64;
+
+/// Runs `f` once per case with an independent, reproducible generator.
+fn for_each_case(test: &str, f: impl Fn(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let seed = 0xC0DE_0000 + case;
+        let mut rng = SplitMix64::new(seed);
+        eprintln!("{test}: case {case} (seed {seed:#x})");
+        f(&mut rng);
+    }
+}
+
 // ---------------------------------------------------------------
 // Radix table vs a HashMap model
 // ---------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum RadixOp {
-    Insert(u64, u32),
-    Remove(u64),
-    Lookup(u64),
-}
-
-fn radix_op() -> impl Strategy<Value = RadixOp> {
-    // Frames drawn from a small pool to force collisions and reuse.
-    let frame = prop_oneof![0u64..64, prop::sample::select(vec![0u64, 511, 512, 262_144, 0xF_FFFF_FFFF])];
-    prop_oneof![
-        (frame.clone(), any::<u32>()).prop_map(|(f, v)| RadixOp::Insert(f, v)),
-        frame.clone().prop_map(RadixOp::Remove),
-        frame.prop_map(RadixOp::Lookup),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn radix_matches_hashmap_model(ops in prop::collection::vec(radix_op(), 1..200)) {
+#[test]
+fn radix_matches_hashmap_model() {
+    let pool = [0u64, 511, 512, 262_144, 0xF_FFFF_FFFF];
+    for_each_case("radix_matches_hashmap_model", |rng| {
         let mut radix = Radix::new();
         let mut model: HashMap<u64, u32> = HashMap::new();
-        for op in ops {
-            match op {
-                RadixOp::Insert(f, v) => {
-                    let got = radix.insert(f, v).expect("in range");
-                    let want = model.insert(f, v);
-                    prop_assert_eq!(got, want);
+        let ops = rng.range(1, 200);
+        for _ in 0..ops {
+            // Frames drawn from a small pool to force collisions and reuse.
+            let frame = if rng.flip() {
+                rng.below(64)
+            } else {
+                *rng.pick(&pool)
+            };
+            match rng.below(3) {
+                0 => {
+                    let v = rng.next_u64() as u32;
+                    let got = radix.insert(frame, v).expect("in range");
+                    let want = model.insert(frame, v);
+                    assert_eq!(got, want);
                 }
-                RadixOp::Remove(f) => {
-                    prop_assert_eq!(radix.remove(f), model.remove(&f));
-                }
-                RadixOp::Lookup(f) => {
-                    prop_assert_eq!(radix.lookup(f), model.get(&f));
-                }
+                1 => assert_eq!(radix.remove(frame), model.remove(&frame)),
+                _ => assert_eq!(radix.lookup(frame), model.get(&frame)),
             }
-            prop_assert_eq!(radix.len(), model.len() as u64);
+            assert_eq!(radix.len(), model.len() as u64);
         }
         // Iteration yields exactly the model's entries, sorted.
         let mut entries: Vec<(u64, u32)> = model.into_iter().collect();
         entries.sort_unstable();
         let got: Vec<(u64, u32)> = radix.iter().map(|(f, v)| (f, *v)).collect();
-        prop_assert_eq!(got, entries);
-    }
+        assert_eq!(got, entries);
+    });
+}
 
-    // ---------------------------------------------------------------
-    // Two-stage translation invariants
-    // ---------------------------------------------------------------
+// ---------------------------------------------------------------
+// Two-stage translation invariants
+// ---------------------------------------------------------------
 
-    #[test]
-    fn translation_preserves_page_offsets(
-        vpn in 0u64..1024,
-        gpn in 0u64..1024,
-        hpn in 1u64..1024,
-        offset in 0u64..PAGE_SIZE,
-    ) {
+#[test]
+fn translation_preserves_page_offsets() {
+    for_each_case("translation_preserves_page_offsets", |rng| {
+        let vpn = rng.below(1024);
+        let gpn = rng.below(1024);
+        let hpn = rng.range(1, 1024);
+        let offset = rng.below(PAGE_SIZE);
         let mut pt = PageTable::new(0x1000);
         let mut ept = Ept::new(0xA000);
-        pt.map(Gva::from_frame(vpn), Gpa::from_frame(gpn), Perms::rw()).expect("map pt");
-        ept.map(Gpa::from_frame(gpn), Hpa::from_frame(hpn), Perms::rw()).expect("map ept");
+        pt.map(Gva::from_frame(vpn), Gpa::from_frame(gpn), Perms::rw())
+            .expect("map pt");
+        ept.map(Gpa::from_frame(gpn), Hpa::from_frame(hpn), Perms::rw())
+            .expect("map ept");
         let gva = Gva::from_frame(vpn) + offset;
         let hpa = mmu::translate::translate(&pt, &ept, gva, Perms::r()).expect("translate");
-        prop_assert_eq!(hpa.page_offset(), offset);
-        prop_assert_eq!(hpa.page_base(), Hpa::from_frame(hpn));
-    }
+        assert_eq!(hpa.page_offset(), offset);
+        assert_eq!(hpa.page_base(), Hpa::from_frame(hpn));
+    });
+}
 
-    #[test]
-    fn unmapped_addresses_always_fault(
-        mapped_vpn in 0u64..512,
-        probe_vpn in 0u64..1024,
-    ) {
+#[test]
+fn unmapped_addresses_always_fault() {
+    for_each_case("unmapped_addresses_always_fault", |rng| {
+        let mapped_vpn = rng.below(512);
+        let probe_vpn = rng.below(1024);
         let mut pt = PageTable::new(0x1000);
         pt.map(Gva::from_frame(mapped_vpn), Gpa::from_frame(7), Perms::rw())
             .expect("map");
         let result = pt.translate(Gva::from_frame(probe_vpn), Perms::r());
-        if probe_vpn == mapped_vpn {
-            prop_assert!(result.is_ok());
-        } else {
-            prop_assert!(result.is_err());
-        }
-    }
+        assert_eq!(result.is_ok(), probe_vpn == mapped_vpn);
+    });
+}
 
-    #[test]
-    fn effective_permissions_are_the_intersection(
-        pt_r in any::<bool>(), pt_w in any::<bool>(),
-        ept_r in any::<bool>(), ept_w in any::<bool>(),
-    ) {
+#[test]
+fn effective_permissions_are_the_intersection() {
+    for_each_case("effective_permissions_are_the_intersection", |rng| {
+        let (pt_r, pt_w, ept_r, ept_w) = (rng.flip(), rng.flip(), rng.flip(), rng.flip());
         let mut pt_perms = Perms::NONE;
-        if pt_r { pt_perms = pt_perms | Perms::r(); }
-        if pt_w { pt_perms = pt_perms | Perms::w(); }
+        if pt_r {
+            pt_perms = pt_perms | Perms::r();
+        }
+        if pt_w {
+            pt_perms = pt_perms | Perms::w();
+        }
         let mut ept_perms = Perms::NONE;
-        if ept_r { ept_perms = ept_perms | Perms::r(); }
-        if ept_w { ept_perms = ept_perms | Perms::w(); }
+        if ept_r {
+            ept_perms = ept_perms | Perms::r();
+        }
+        if ept_w {
+            ept_perms = ept_perms | Perms::w();
+        }
 
         let mut pt = PageTable::new(0x1000);
         let mut ept = Ept::new(0xA000);
         pt.map(Gva(0x4000), Gpa(0x2000), pt_perms).expect("map");
         ept.map(Gpa(0x2000), Hpa(0x3000), ept_perms).expect("map");
-        for (access, pt_ok, ept_ok) in [
-            (Perms::r(), pt_r, ept_r),
-            (Perms::w(), pt_w, ept_w),
-        ] {
+        for (access, pt_ok, ept_ok) in [(Perms::r(), pt_r, ept_r), (Perms::w(), pt_w, ept_w)] {
             let res = mmu::translate::translate(&pt, &ept, Gva(0x4000), access);
-            prop_assert_eq!(res.is_ok(), pt_ok && ept_ok);
+            assert_eq!(res.is_ok(), pt_ok && ept_ok);
         }
-    }
+    });
+}
 
-    // ---------------------------------------------------------------
-    // TLB consistency
-    // ---------------------------------------------------------------
+// ---------------------------------------------------------------
+// TLB consistency
+// ---------------------------------------------------------------
 
-    #[test]
-    fn tlb_never_leaks_across_tags(
-        entries in prop::collection::vec((1u64..8, 1u64..8, 0u64..32, 1u64..512), 1..40),
-        probe in (1u64..8, 1u64..8, 0u64..32),
-    ) {
+#[test]
+fn tlb_never_leaks_across_tags() {
+    for_each_case("tlb_never_leaks_across_tags", |rng| {
         let mut tlb = Tlb::new(1024); // big enough to never evict here
         let mut model: HashMap<(u64, u64, u64), Hpa> = HashMap::new();
-        for (cr3, eptp, vpn, hpn) in entries {
-            tlb.insert(cr3, eptp, Gva::from_frame(vpn), Hpa::from_frame(hpn), Perms::rw());
+        for _ in 0..rng.range(1, 40) {
+            let (cr3, eptp, vpn, hpn) = (
+                rng.range(1, 8),
+                rng.range(1, 8),
+                rng.below(32),
+                rng.range(1, 512),
+            );
+            tlb.insert(
+                cr3,
+                eptp,
+                Gva::from_frame(vpn),
+                Hpa::from_frame(hpn),
+                Perms::rw(),
+            );
             model.insert((cr3, eptp, vpn), Hpa::from_frame(hpn));
         }
-        let (cr3, eptp, vpn) = probe;
-        let got = tlb.lookup(cr3, eptp, Gva::from_frame(vpn)).map(|e| e.hpa_base);
-        prop_assert_eq!(got, model.get(&(cr3, eptp, vpn)).copied());
-    }
+        let (cr3, eptp, vpn) = (rng.range(1, 8), rng.range(1, 8), rng.below(32));
+        let got = tlb
+            .lookup(cr3, eptp, Gva::from_frame(vpn))
+            .map(|e| e.hpa_base);
+        assert_eq!(got, model.get(&(cr3, eptp, vpn)).copied());
+    });
+}
 
-    #[test]
-    fn tlb_invalidation_is_exact(
-        keep_cr3 in 1u64..4,
-        kill_cr3 in 4u64..8,
-        vpns in prop::collection::vec(0u64..64, 1..20),
-    ) {
+#[test]
+fn tlb_invalidation_is_exact() {
+    for_each_case("tlb_invalidation_is_exact", |rng| {
+        let keep_cr3 = rng.range(1, 4);
+        let kill_cr3 = rng.range(4, 8);
+        let vpns: Vec<u64> = (0..rng.range(1, 20)).map(|_| rng.below(64)).collect();
         let mut tlb = Tlb::new(1024);
         for &vpn in &vpns {
-            tlb.insert(keep_cr3, 1, Gva::from_frame(vpn), Hpa::from_frame(vpn + 1), Perms::r());
-            tlb.insert(kill_cr3, 1, Gva::from_frame(vpn), Hpa::from_frame(vpn + 1), Perms::r());
+            tlb.insert(
+                keep_cr3,
+                1,
+                Gva::from_frame(vpn),
+                Hpa::from_frame(vpn + 1),
+                Perms::r(),
+            );
+            tlb.insert(
+                kill_cr3,
+                1,
+                Gva::from_frame(vpn),
+                Hpa::from_frame(vpn + 1),
+                Perms::r(),
+            );
         }
         tlb.invalidate_cr3(kill_cr3);
         for &vpn in &vpns {
-            prop_assert!(tlb.lookup(keep_cr3, 1, Gva::from_frame(vpn)).is_some());
-            prop_assert!(tlb.lookup(kill_cr3, 1, Gva::from_frame(vpn)).is_none());
+            assert!(tlb.lookup(keep_cr3, 1, Gva::from_frame(vpn)).is_some());
+            assert!(tlb.lookup(kill_cr3, 1, Gva::from_frame(vpn)).is_none());
         }
-    }
+    });
+}
 
-    // ---------------------------------------------------------------
-    // World table invariants
-    // ---------------------------------------------------------------
+// ---------------------------------------------------------------
+// World table invariants
+// ---------------------------------------------------------------
 
-    #[test]
-    fn wids_are_never_reused_under_any_schedule(
-        script in prop::collection::vec(any::<bool>(), 1..60)
-    ) {
-        // true = create, false = delete the oldest live world.
+#[test]
+fn wids_are_never_reused_under_any_schedule() {
+    for_each_case("wids_are_never_reused_under_any_schedule", |rng| {
+        // flip = create, otherwise delete the newest live world.
         let mut table = WorldTable::new();
         let mut live = Vec::new();
         let mut all_seen = Vec::new();
         let mut cr3 = 0x1000u64;
-        for create in script {
-            if create {
+        for _ in 0..rng.range(1, 60) {
+            if rng.flip() {
                 cr3 += 0x1000;
                 let wid = table
                     .create(WorldDescriptor::host_user(cr3, 0))
                     .expect("host worlds unquota'd");
-                prop_assert!(!all_seen.contains(&wid), "reused {wid}");
+                assert!(!all_seen.contains(&wid), "reused {wid}");
                 all_seen.push(wid);
                 live.push(wid);
             } else if let Some(wid) = live.pop() {
@@ -191,85 +227,92 @@ proptest! {
         }
         // Every live world resolves; every dead one does not.
         for wid in &all_seen {
-            prop_assert_eq!(table.lookup(*wid).is_some(), live.contains(wid));
+            assert_eq!(table.lookup(*wid).is_some(), live.contains(wid));
         }
-    }
+    });
+}
 
-    // ---------------------------------------------------------------
-    // Hop planner properties
-    // ---------------------------------------------------------------
+// ---------------------------------------------------------------
+// Hop planner properties
+// ---------------------------------------------------------------
 
-    #[test]
-    fn planner_mechanism_ordering(from_idx in 0usize..10, to_idx in 0usize..10) {
+#[test]
+fn planner_mechanism_ordering() {
+    for_each_case("planner_mechanism_ordering", |rng| {
         let planner = HopPlanner::new(2);
         let pairs = HopPlanner::table3_pairs();
-        let from = pairs[from_idx].0;
-        let to = pairs[to_idx].1;
+        let from = pairs[rng.below(pairs.len() as u64) as usize].0;
+        let to = pairs[rng.below(pairs.len() as u64) as usize].1;
         let sw = planner.hops(from, to, Mechanism::Existing);
         let vmf = planner.hops(from, to, Mechanism::Vmfunc);
         let xo = planner.hops(from, to, Mechanism::CrossOver);
         // CrossOver is always optimal (0 or 1 hop).
-        prop_assert!(xo.expect("total graph") <= 1);
+        assert!(xo.expect("total graph") <= 1);
         // Adding VMFUNC edges can only help.
         if let (Some(sw), Some(vmf)) = (sw, vmf) {
-            prop_assert!(vmf <= sw, "{from} -> {to}: vmfunc {vmf} > sw {sw}");
+            assert!(vmf <= sw, "{from} -> {to}: vmfunc {vmf} > sw {sw}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn planner_worlds_reach_each_other_with_existing_mechanisms(
-        vms in 1u16..6,
-    ) {
+#[test]
+fn planner_worlds_reach_each_other_with_existing_mechanisms() {
+    for vms in 1u16..6 {
         let planner = HopPlanner::new(vms);
         for from in planner.worlds() {
             for to in planner.worlds() {
-                prop_assert!(
+                assert!(
                     planner.hops(from, to, Mechanism::Existing).is_some(),
                     "{from} -> {to} unreachable"
                 );
             }
         }
     }
+}
 
-    // ---------------------------------------------------------------
-    // Pipe FIFO property
-    // ---------------------------------------------------------------
+// ---------------------------------------------------------------
+// Pipe FIFO property
+// ---------------------------------------------------------------
 
-    #[test]
-    fn pipe_is_fifo_and_lossless(
-        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..20),
-        read_sizes in prop::collection::vec(1usize..128, 1..40),
-    ) {
+#[test]
+fn pipe_is_fifo_and_lossless() {
+    for_each_case("pipe_is_fifo_and_lossless", |rng| {
         let mut pipe = Pipe::new();
         let mut expected: Vec<u8> = Vec::new();
-        for chunk in &chunks {
-            if pipe.write(chunk).is_ok() {
-                expected.extend_from_slice(chunk);
+        for _ in 0..rng.range(1, 20) {
+            let chunk: Vec<u8> = (0..rng.range(1, 64))
+                .map(|_| rng.next_u64() as u8)
+                .collect();
+            if pipe.write(&chunk).is_ok() {
+                expected.extend_from_slice(&chunk);
             }
         }
         let mut got = Vec::new();
-        for size in read_sizes {
-            got.extend(pipe.read(size));
+        for _ in 0..rng.range(1, 40) {
+            got.extend(pipe.read(rng.range(1, 128) as usize));
         }
         got.extend(pipe.read(usize::MAX >> 1));
-        prop_assert_eq!(got, expected);
-    }
-
-    // ---------------------------------------------------------------
-    // Switch classification is symmetric
-    // ---------------------------------------------------------------
-
-    #[test]
-    fn crossing_predicates_are_symmetric(a in 0usize..10, b in 0usize..10) {
-        let pairs = HopPlanner::table3_pairs();
-        let x: WorldCoord = pairs[a].0;
-        let y: WorldCoord = pairs[b].1;
-        prop_assert_eq!(x.crosses_hg(&y), y.crosses_hg(&x));
-        prop_assert_eq!(x.crosses_ring(&y), y.crosses_ring(&x));
-        prop_assert_eq!(x.crosses_space(&y), y.crosses_space(&x));
-    }
+        assert_eq!(got, expected);
+    });
 }
 
+// ---------------------------------------------------------------
+// Switch classification is symmetric
+// ---------------------------------------------------------------
+
+#[test]
+fn crossing_predicates_are_symmetric() {
+    let pairs = HopPlanner::table3_pairs();
+    for a in 0..pairs.len() {
+        for b in 0..pairs.len() {
+            let x: WorldCoord = pairs[a].0;
+            let y: WorldCoord = pairs[b].1;
+            assert_eq!(x.crosses_hg(&y), y.crosses_hg(&x));
+            assert_eq!(x.crosses_ring(&y), y.crosses_ring(&x));
+            assert_eq!(x.crosses_space(&y), y.crosses_space(&x));
+        }
+    }
+}
 
 // ---------------------------------------------------------------
 // World-table caches vs a model, and manager call-stack discipline
@@ -279,8 +322,8 @@ mod crossover_props {
     use super::*;
     use crossover::call::{Direction, WorldCallUnit};
     use crossover::manager::WorldManager;
-    use crossover::wtc::{IwtCache, WtCache};
     use crossover::world::{Wid, WorldEntry};
+    use crossover::wtc::{IwtCache, WtCache};
     use hypervisor::platform::Platform;
     use hypervisor::vm::VmConfig;
     use machine::mode::{Operation, Ring};
@@ -292,19 +335,18 @@ mod crossover_props {
         *table.lookup(wid).expect("present")
     }
 
-    proptest! {
-        #[test]
-        fn wt_cache_agrees_with_map_when_uncapped(
-            ops in prop::collection::vec((0u64..24, any::<bool>()), 1..80)
-        ) {
+    #[test]
+    fn wt_cache_agrees_with_map_when_uncapped() {
+        for_each_case("wt_cache_agrees_with_map_when_uncapped", |rng| {
             // With capacity >= working set, the cache must behave exactly
             // like a map fed by fills (no capacity effects).
             let mut table = WorldTable::new();
             let mut cache = WtCache::new(64);
             let mut model: HashMap<u64, WorldEntry> = HashMap::new();
             let mut made: Vec<WorldEntry> = Vec::new();
-            for (slot, fill) in ops {
-                if fill {
+            for _ in 0..rng.range(1, 80) {
+                let slot = rng.below(24);
+                if rng.flip() {
                     let e = if (slot as usize) < made.len() {
                         made[slot as usize]
                     } else {
@@ -315,19 +357,17 @@ mod crossover_props {
                     cache.fill(e);
                     model.insert(e.wid.raw(), e);
                 } else if let Some(e) = made.get(slot as usize) {
-                    prop_assert_eq!(
-                        cache.lookup(e.wid),
-                        model.get(&e.wid.raw()).copied()
-                    );
+                    assert_eq!(cache.lookup(e.wid), model.get(&e.wid.raw()).copied());
                 }
             }
-            prop_assert_eq!(cache.len(), model.len());
-        }
+            assert_eq!(cache.len(), model.len());
+        });
+    }
 
-        #[test]
-        fn iwt_cache_never_confuses_contexts(
-            ptps in prop::collection::vec(1u64..64, 2..20)
-        ) {
+    #[test]
+    fn iwt_cache_never_confuses_contexts() {
+        for_each_case("iwt_cache_never_confuses_contexts", |rng| {
+            let ptps: Vec<u64> = (0..rng.range(2, 20)).map(|_| rng.range(1, 64)).collect();
             let mut cache = IwtCache::new(256);
             for (i, &ptp) in ptps.iter().enumerate() {
                 let ctx = crossover::world::WorldContext {
@@ -336,7 +376,7 @@ mod crossover_props {
                     eptp: 1,
                     ptp: ptp * 0x1000,
                 };
-                cache.fill(ctx, Wid::from_raw_test(i as u64 + 1));
+                cache.fill(ctx, Wid::from_raw(i as u64 + 1));
             }
             // Every lookup returns the WID of the *last* fill for that
             // exact context, never a neighbour's.
@@ -351,12 +391,14 @@ mod crossover_props {
                     eptp: 1,
                     ptp: ptp * 0x1000,
                 };
-                prop_assert_eq!(cache.lookup(&ctx).map(|w| w.raw()), Some(wid));
+                assert_eq!(cache.lookup(&ctx).map(|w| w.raw()), Some(wid));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn nested_calls_always_unwind_lifo(depth in 1usize..6) {
+    #[test]
+    fn nested_calls_always_unwind_lifo() {
+        for depth in 1usize..6 {
             // Chain worlds w0 -> w1 -> ... -> wN and unwind; CR3 must
             // retrace the chain exactly in reverse.
             let mut p = Platform::new_default();
@@ -381,13 +423,15 @@ mod crossover_props {
             }
             for i in (0..depth).rev() {
                 mgr.ret(&mut p, tokens[i]).expect("ret");
-                prop_assert_eq!(p.cpu().cr3(), 0x1000 * (i as u64 + 1));
+                assert_eq!(p.cpu().cr3(), 0x1000 * (i as u64 + 1));
             }
-            prop_assert_eq!(mgr.call_depth(wids[0]), 0);
+            assert_eq!(mgr.call_depth(wids[0]), 0);
         }
+    }
 
-        #[test]
-        fn world_call_units_are_deterministic(calls in 1usize..30) {
+    #[test]
+    fn world_call_units_are_deterministic() {
+        for calls in [1usize, 2, 7, 29] {
             // Two identical units fed the same call sequence produce the
             // same cache statistics (no hidden nondeterminism).
             let run = || {
@@ -412,28 +456,7 @@ mod crossover_props {
                 }
                 (unit.wt_stats(), unit.iwt_stats(), p.cpu().meter().cycles())
             };
-            prop_assert_eq!(run(), run());
-        }
-    }
-
-    /// Test-only WID forging helper (property tests need arbitrary ids).
-    trait WidTestExt {
-        fn from_raw_test(raw: u64) -> Wid;
-    }
-    impl WidTestExt for Wid {
-        fn from_raw_test(raw: u64) -> Wid {
-            let mut t = WorldTable::new();
-            let mut w = t
-                .create(WorldDescriptor::host_user(0x1000, 0))
-                .expect("quota");
-            let mut cr3 = 0x1000;
-            while w.raw() < raw {
-                cr3 += 0x1000;
-                w = t
-                    .create(WorldDescriptor::host_user(cr3, 0))
-                    .expect("quota");
-            }
-            w
+            assert_eq!(run(), run());
         }
     }
 }
