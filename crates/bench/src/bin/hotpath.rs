@@ -1,0 +1,285 @@
+//! Hot-path ablation sweep: emit `BENCH_hotpath.json`.
+//!
+//! Runs the same seeded world-call workload under two service
+//! configurations and sweeps the worker count for each:
+//!
+//! * **baseline** — the pre-overhaul shape: the `Mutex<VecDeque>` MPMC
+//!   dispatcher and the unified TLB disabled, so every working-set
+//!   touch pays a full two-stage page walk (24 priced PTE accesses),
+//!   the way hardware without VMFUNC-tagged translations would.
+//! * **tuned** — the overhauled hot path: per-worker lock-free rings
+//!   with work stealing, the EPTP-tagged unified TLB on, and the
+//!   default set-associative WT/IWT geometry.
+//!
+//! Both configurations service the identical request stream (same seed,
+//! no budgeted calls — timeout behaviour is `serve_bench`'s business),
+//! so the simulated cycles are directly comparable and deterministic.
+//! The binary asserts the overhaul's acceptance criteria in-process:
+//!
+//! 1. at 4 workers, tuned spends ≥ 20% fewer simulated cycles per
+//!    completed call than baseline;
+//! 2. tuned cycles-per-call stays under an absolute ceiling (a
+//!    regression tripwire for the CI perf-smoke job);
+//! 3. tuned simulated throughput scales monotonically with workers.
+//!
+//! Usage: `hotpath [output-path]` (default `BENCH_hotpath.json`).
+
+use std::fmt::Write as _;
+
+use machine::rng::SplitMix64;
+use runtime::report::hit_rate;
+use runtime::{CallRequest, DispatchMode, RuntimeConfig, WorldCallService};
+
+const CALLS_PER_POINT: u64 = 6_000;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 0x0_5CA1_AB1E;
+const WORKING_SET_PAGES: u64 = 16;
+/// Acceptance: tuned must beat baseline by at least this at 4 workers.
+const MIN_IMPROVEMENT_PCT: f64 = 20.0;
+/// CI tripwire: simulated cycles per completed call, tuned, any width.
+const TUNED_CYCLES_PER_CALL_CEILING: f64 = 6_000.0;
+
+#[derive(Clone, Copy)]
+struct Config {
+    name: &'static str,
+    dispatch: DispatchMode,
+    unified_tlb: bool,
+}
+
+const CONFIGS: [Config; 2] = [
+    Config {
+        name: "baseline",
+        dispatch: DispatchMode::MutexQueue,
+        unified_tlb: false,
+    },
+    Config {
+        name: "tuned",
+        dispatch: DispatchMode::LockFreeRings,
+        unified_tlb: true,
+    },
+];
+
+struct Point {
+    workers: usize,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    makespan_cycles: u64,
+    total_cycles: u64,
+    cycles_per_call: f64,
+    wt_hit_rate: f64,
+    iwt_hit_rate: f64,
+    tlb_hit_rate: f64,
+    queue_wait_cycles: u64,
+    stolen: u64,
+}
+
+fn build_service(cfg: Config, workers: usize) -> (WorldCallService, Vec<crossover::world::Wid>) {
+    let mut svc = WorldCallService::new(RuntimeConfig {
+        workers,
+        queue_capacity: CALLS_PER_POINT as usize,
+        dispatch: cfg.dispatch,
+        unified_tlb: cfg.unified_tlb,
+        ..RuntimeConfig::default()
+    });
+    let mut worlds = Vec::new();
+    for t in 0..4u64 {
+        let vm = svc
+            .create_vm(hypervisor::vm::VmConfig::named(&format!("hot-{t}")))
+            .expect("create vm");
+        let user = svc
+            .register_guest_user(vm, 0x1000 * (t + 1), 0x40_0000)
+            .expect("register user world");
+        let kernel = svc
+            .register_guest_kernel(vm, 0x10_0000 * (t + 1), 0xFFFF_8000)
+            .expect("register kernel world");
+        svc.attach_working_set(user, vm, WORKING_SET_PAGES)
+            .expect("attach user working set");
+        svc.attach_working_set(kernel, vm, WORKING_SET_PAGES)
+            .expect("attach kernel working set");
+        worlds.push(user);
+        worlds.push(kernel);
+    }
+    (svc, worlds)
+}
+
+/// Same skewed draw as the serve bench, minus budgets: every call must
+/// complete in every configuration, so cycles-per-completed-call is an
+/// apples-to-apples number.
+fn draw_request(rng: &mut SplitMix64, worlds: &[crossover::world::Wid]) -> CallRequest {
+    let caller = worlds[rng.below(worlds.len() as u64) as usize];
+    let callee = loop {
+        let w = if rng.flip() {
+            worlds[rng.below(2) as usize] // hot pair
+        } else {
+            worlds[rng.below(worlds.len() as u64) as usize]
+        };
+        if w != caller {
+            break w;
+        }
+    };
+    let work_cycles = 200 + rng.below(2_000);
+    let touches = rng.below(2 * WORKING_SET_PAGES);
+    CallRequest::new(caller, callee, work_cycles, work_cycles / 3).with_touches(touches)
+}
+
+fn run_point(cfg: Config, workers: usize) -> Point {
+    let (mut svc, worlds) = build_service(cfg, workers);
+    let mut rng = SplitMix64::new(SEED);
+    for _ in 0..CALLS_PER_POINT {
+        svc.submit(draw_request(&mut rng, &worlds))
+            .expect("dispatcher open while benching");
+    }
+    svc.start();
+    let report = svc.drain();
+    assert_eq!(
+        report.completed, CALLS_PER_POINT,
+        "unbudgeted calls against live worlds all complete"
+    );
+    Point {
+        workers,
+        completed: report.completed,
+        failed: report.failed,
+        batches: report.batches,
+        makespan_cycles: report.smp.makespan_cycles(),
+        total_cycles: report.smp.total_cycles(),
+        cycles_per_call: report.smp.total_cycles() as f64 / report.completed as f64,
+        wt_hit_rate: hit_rate(report.wt.hits, report.wt.misses),
+        iwt_hit_rate: hit_rate(report.iwt.hits, report.iwt.misses),
+        tlb_hit_rate: hit_rate(report.tlb.hits, report.tlb.misses),
+        queue_wait_cycles: report.queue_wait_cycles,
+        stolen: report.stolen,
+    }
+}
+
+fn write_point(out: &mut String, p: &Point) {
+    let _ = write!(
+        out,
+        "      {{\n\
+         \x20       \"workers\": {},\n\
+         \x20       \"completed\": {},\n\
+         \x20       \"failed\": {},\n\
+         \x20       \"batches\": {},\n\
+         \x20       \"makespan_cycles\": {},\n\
+         \x20       \"total_cycles\": {},\n\
+         \x20       \"cycles_per_call\": {:.1},\n\
+         \x20       \"wt_hit_rate\": {:.4},\n\
+         \x20       \"iwt_hit_rate\": {:.4},\n\
+         \x20       \"tlb_hit_rate\": {:.4},\n\
+         \x20       \"queue_wait_cycles\": {},\n\
+         \x20       \"stolen\": {}\n\
+         \x20     }}",
+        p.workers,
+        p.completed,
+        p.failed,
+        p.batches,
+        p.makespan_cycles,
+        p.total_cycles,
+        p.cycles_per_call,
+        p.wt_hit_rate,
+        p.iwt_hit_rate,
+        p.tlb_hit_rate,
+        p.queue_wait_cycles,
+        p.stolen,
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let mut sweeps: Vec<(Config, Vec<Point>)> = Vec::new();
+    for cfg in CONFIGS {
+        let mut points = Vec::new();
+        for workers in WORKER_SWEEP {
+            let p = run_point(cfg, workers);
+            eprintln!(
+                "{:>8} workers={:2}  {:>7.0} cyc/call  wt/iwt/tlb {:.2}/{:.2}/{:.2}  \
+                 wait {:>12} cyc  stolen {}",
+                cfg.name,
+                p.workers,
+                p.cycles_per_call,
+                p.wt_hit_rate,
+                p.iwt_hit_rate,
+                p.tlb_hit_rate,
+                p.queue_wait_cycles,
+                p.stolen,
+            );
+            points.push(p);
+        }
+        sweeps.push((cfg, points));
+    }
+
+    let cpc_at = |name: &str, workers: usize| -> f64 {
+        sweeps
+            .iter()
+            .find(|(c, _)| c.name == name)
+            .and_then(|(_, ps)| ps.iter().find(|p| p.workers == workers))
+            .map(|p| p.cycles_per_call)
+            .expect("sweep point present")
+    };
+    let baseline_cpc = cpc_at("baseline", 4);
+    let tuned_cpc = cpc_at("tuned", 4);
+    let improvement_pct = (baseline_cpc - tuned_cpc) / baseline_cpc * 100.0;
+    eprintln!(
+        "4-worker cycles/call: baseline {baseline_cpc:.0}, tuned {tuned_cpc:.0} \
+         ({improvement_pct:.1}% fewer)"
+    );
+
+    // Acceptance 1: the overhaul pays for itself.
+    assert!(
+        improvement_pct >= MIN_IMPROVEMENT_PCT,
+        "tuned must spend >= {MIN_IMPROVEMENT_PCT}% fewer cycles/call than baseline \
+         at 4 workers (got {improvement_pct:.1}%)"
+    );
+    // Acceptance 2: absolute ceiling (CI perf-smoke tripwire).
+    let tuned = &sweeps.iter().find(|(c, _)| c.name == "tuned").unwrap().1;
+    for p in tuned.iter() {
+        assert!(
+            p.cycles_per_call <= TUNED_CYCLES_PER_CALL_CEILING,
+            "tuned cycles/call {} at {} workers exceeds ceiling {}",
+            p.cycles_per_call,
+            p.workers,
+            TUNED_CYCLES_PER_CALL_CEILING
+        );
+    }
+    // Acceptance 3: tuned throughput (completed / makespan) scales
+    // monotonically with workers — simulated cycles, so deterministic.
+    for w in tuned.windows(2) {
+        let thr = |p: &Point| p.completed as f64 / p.makespan_cycles as f64;
+        assert!(
+            thr(&w[1]) > thr(&w[0]),
+            "tuned throughput must scale monotonically ({} -> {} workers)",
+            w[0].workers,
+            w[1].workers
+        );
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"benchmark\": \"xover hot-path ablation sweep\",\n  \
+         \"calls_per_point\": {CALLS_PER_POINT},\n  \
+         \"working_set_pages\": {WORKING_SET_PAGES},\n  \
+         \"improvement_pct_4_workers\": {improvement_pct:.1},\n  \
+         \"configs\": [\n"
+    );
+    for (i, (cfg, points)) in sweeps.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"dispatch\": \"{:?}\",\n      \
+             \"unified_tlb\": {},\n      \"points\": [\n",
+            cfg.name, cfg.dispatch, cfg.unified_tlb
+        );
+        for (j, p) in points.iter().enumerate() {
+            write_point(&mut out, p);
+            out.push_str(if j + 1 < points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n    }");
+        out.push_str(if i + 1 < sweeps.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, out).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

@@ -74,6 +74,15 @@ impl WorldCallUnit {
         }
     }
 
+    /// Creates a unit whose caches share an explicit sets × ways shape.
+    pub fn with_geometry(geometry: crate::wtc::CacheGeometry) -> WorldCallUnit {
+        WorldCallUnit {
+            wt: WtCache::with_geometry(geometry),
+            iwt: IwtCache::with_geometry(geometry),
+            prefetch: None,
+        }
+    }
+
     /// Enables the Current-World-ID prefetch register (§5.1 alternative).
     /// The OS/hypervisor must then call
     /// [`WorldCallUnit::notify_context_switch`] on every context switch

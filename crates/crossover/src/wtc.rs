@@ -1,4 +1,4 @@
-//! The world-table caches of §5.1.
+//! The world-table caches of §5.1, modelled as set-associative arrays.
 //!
 //! Two small hardware caches sit next to the VMFUNC logic (Figure 5b):
 //!
@@ -13,8 +13,12 @@
 //! table and fills the entry via `manage_wtc` (VMFUNC leaf 0x2). That
 //! choice keeps the hardware trivial and lets the hypervisor pick fill
 //! and eviction policy (§5.1).
-
-use std::collections::HashMap;
+//!
+//! The storage is hardware-faithful: a fixed geometry of `sets × ways`
+//! slots allocated once at construction, indexed by a hash of the key.
+//! A lookup probes the `ways` slots of one set — O(ways), no heap
+//! traffic — and replacement is per-set LRU driven by a monotonic age
+//! counter, exactly the structure a synthesized cache RAM would have.
 
 use crate::world::{Wid, WorldContext, WorldEntry};
 
@@ -50,166 +54,321 @@ impl CacheStats {
 /// world of the evaluated systems.
 pub const DEFAULT_WTC_CAPACITY: usize = 32;
 
-/// The WID-keyed cache used for callee lookup.
+/// Default associativity: 4-way, the sweet spot for small lookup
+/// structures (conflict misses nearly vanish, the probe loop stays
+/// four comparisons wide).
+pub const DEFAULT_WTC_WAYS: usize = 4;
+
+/// The sets × ways shape of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets; always a power of two so the set index is a mask.
+    pub sets: usize,
+    /// Slots per set probed on a lookup.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// A geometry with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or `sets` is zero / not a power of two.
+    pub fn new(sets: usize, ways: usize) -> CacheGeometry {
+        assert!(ways > 0, "capacity must be positive");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two"
+        );
+        CacheGeometry { sets, ways }
+    }
+
+    /// The geometry holding at least `capacity` entries at the default
+    /// associativity: `ways = min(DEFAULT_WTC_WAYS, capacity)` and the
+    /// smallest power-of-two set count covering the rest. Small caps
+    /// degrade gracefully — `capacity = 2` becomes one fully-associative
+    /// 2-way set, preserving whole-cache LRU for tiny configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn from_capacity(capacity: usize) -> CacheGeometry {
+        assert!(capacity > 0, "capacity must be positive");
+        let ways = capacity.min(DEFAULT_WTC_WAYS);
+        let sets = capacity.div_ceil(ways).next_power_of_two();
+        CacheGeometry { sets, ways }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> CacheGeometry {
+        CacheGeometry::from_capacity(DEFAULT_WTC_CAPACITY)
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche mix so low-entropy keys
+/// (sequential WIDs, page-aligned PTPs) spread over the sets.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One slot of the array: a tag/data pair plus its LRU age stamp.
+#[derive(Debug, Clone, Copy)]
+struct Slot<K, V> {
+    /// Age stamp from the owning set's tick counter; larger = more
+    /// recently used.
+    age: u64,
+    line: Option<(K, V)>,
+}
+
+/// The generic set-associative array both caches (and their property-test
+/// reference model) are built on. All storage is allocated in `new`;
+/// lookups and fills touch only the `ways` slots of one set.
 #[derive(Debug, Clone)]
-pub struct WtCache {
-    entries: HashMap<u64, WorldEntry>,
-    order: Vec<u64>,
-    capacity: usize,
+struct SetAssoc<K: Copy + Eq, V: Copy> {
+    geometry: CacheGeometry,
+    /// `sets × ways` slots, set-major: set `s` owns
+    /// `slots[s*ways .. (s+1)*ways]`.
+    slots: Vec<Slot<K, V>>,
+    /// Per-set monotonic tick, incremented on every touch of the set.
+    ticks: Vec<u64>,
+    len: usize,
     stats: CacheStats,
 }
 
+impl<K: Copy + Eq, V: Copy> SetAssoc<K, V> {
+    fn new(geometry: CacheGeometry) -> SetAssoc<K, V> {
+        SetAssoc {
+            geometry,
+            slots: vec![Slot { age: 0, line: None }; geometry.capacity()],
+            ticks: vec![0; geometry.sets],
+            len: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The slot range of the set a hashed key falls in.
+    fn set_range(&self, hash: u64) -> std::ops::Range<usize> {
+        let set = (mix64(hash) as usize) & (self.geometry.sets - 1);
+        let base = set * self.geometry.ways;
+        base..base + self.geometry.ways
+    }
+
+    fn touch(&mut self, hash: u64, slot: usize) {
+        let set = (mix64(hash) as usize) & (self.geometry.sets - 1);
+        self.ticks[set] += 1;
+        self.slots[slot].age = self.ticks[set];
+    }
+
+    fn lookup(&mut self, hash: u64, key: &K) -> Option<V> {
+        let range = self.set_range(hash);
+        for i in range {
+            if let Some((k, v)) = self.slots[i].line {
+                if k == *key {
+                    self.stats.hits += 1;
+                    self.touch(hash, i);
+                    return Some(v);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    fn fill(&mut self, hash: u64, key: K, value: V) {
+        self.stats.fills += 1;
+        let range = self.set_range(hash);
+        // Refill of a cached key updates in place.
+        for i in range.clone() {
+            if matches!(self.slots[i].line, Some((k, _)) if k == key) {
+                self.slots[i].line = Some((key, value));
+                self.touch(hash, i);
+                return;
+            }
+        }
+        // Otherwise take a free way, or evict the set's LRU way.
+        let victim = range
+            .clone()
+            .find(|&i| self.slots[i].line.is_none())
+            .unwrap_or_else(|| {
+                self.stats.evictions += 1;
+                self.len -= 1;
+                range
+                    .min_by_key(|&i| self.slots[i].age)
+                    .expect("ways is positive")
+            });
+        self.slots[victim].line = Some((key, value));
+        self.len += 1;
+        self.touch(hash, victim);
+    }
+
+    /// Removes `key` if present; returns whether an entry was dropped.
+    fn invalidate(&mut self, hash: u64, key: &K) -> bool {
+        let range = self.set_range(hash);
+        for i in range {
+            if matches!(self.slots[i].line, Some((k, _)) if k == *key) {
+                self.slots[i].line = None;
+                self.len -= 1;
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every entry whose value matches `pred` (cold path: full
+    /// array sweep, used by value-keyed invalidation broadcasts).
+    fn invalidate_values(&mut self, mut pred: impl FnMut(&V) -> bool) {
+        for slot in &mut self.slots {
+            if matches!(slot.line, Some((_, ref v)) if pred(v)) {
+                slot.line = None;
+                self.len -= 1;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+}
+
+/// Hash of a WID key.
+fn wid_hash(wid: Wid) -> u64 {
+    wid.raw()
+}
+
+/// Hash of a context key: fold every field that distinguishes worlds
+/// through the mixer so EPTP-only or ring-only differences change sets.
+fn context_hash(c: &WorldContext) -> u64 {
+    let op = c.operation.is_host() as u64;
+    let ring = c.ring.level() as u64;
+    mix64(c.ptp ^ mix64(c.eptp ^ mix64(op << 2 | ring)))
+}
+
+/// The WID-keyed cache used for callee lookup.
+#[derive(Debug, Clone)]
+pub struct WtCache {
+    array: SetAssoc<u64, WorldEntry>,
+}
+
 impl WtCache {
-    /// Creates an empty cache with `capacity` entries.
+    /// Creates an empty cache holding at least `capacity` entries (see
+    /// [`CacheGeometry::from_capacity`]).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> WtCache {
-        assert!(capacity > 0, "capacity must be positive");
+        WtCache::with_geometry(CacheGeometry::from_capacity(capacity))
+    }
+
+    /// Creates an empty cache with an explicit sets × ways shape.
+    pub fn with_geometry(geometry: CacheGeometry) -> WtCache {
         WtCache {
-            entries: HashMap::new(),
-            order: Vec::new(),
-            capacity,
-            stats: CacheStats::default(),
+            array: SetAssoc::new(geometry),
         }
+    }
+
+    /// The cache's sets × ways shape.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.array.geometry
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.array.stats
     }
 
     /// Current number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.array.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.array.len == 0
     }
 
     /// Hardware lookup by WID.
     pub fn lookup(&mut self, wid: Wid) -> Option<WorldEntry> {
-        match self.entries.get(&wid.raw()) {
-            Some(e) => {
-                self.stats.hits += 1;
-                Some(*e)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.array.lookup(wid_hash(wid), &wid.raw())
     }
 
     /// `manage_wtc` fill operation.
     pub fn fill(&mut self, entry: WorldEntry) {
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&entry.wid.raw()) {
-            if let Some(oldest) = self.order.first().copied() {
-                self.order.remove(0);
-                self.entries.remove(&oldest);
-                self.stats.evictions += 1;
-            }
-        }
-        if self.entries.insert(entry.wid.raw(), entry).is_none() {
-            self.order.push(entry.wid.raw());
-        }
-        self.stats.fills += 1;
+        self.array.fill(wid_hash(entry.wid), entry.wid.raw(), entry);
     }
 
     /// `manage_wtc` invalidate operation (world deleted).
     pub fn invalidate(&mut self, wid: Wid) {
-        if self.entries.remove(&wid.raw()).is_some() {
-            self.order.retain(|&w| w != wid.raw());
-            self.stats.invalidations += 1;
-        }
+        self.array.invalidate(wid_hash(wid), &wid.raw());
     }
 }
 
 /// The context-keyed inverted cache used for caller identification.
 #[derive(Debug, Clone)]
 pub struct IwtCache {
-    entries: HashMap<WorldContext, Wid>,
-    order: Vec<WorldContext>,
-    capacity: usize,
-    stats: CacheStats,
+    array: SetAssoc<WorldContext, Wid>,
 }
 
 impl IwtCache {
-    /// Creates an empty cache with `capacity` entries.
+    /// Creates an empty cache holding at least `capacity` entries (see
+    /// [`CacheGeometry::from_capacity`]).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> IwtCache {
-        assert!(capacity > 0, "capacity must be positive");
+        IwtCache::with_geometry(CacheGeometry::from_capacity(capacity))
+    }
+
+    /// Creates an empty cache with an explicit sets × ways shape.
+    pub fn with_geometry(geometry: CacheGeometry) -> IwtCache {
         IwtCache {
-            entries: HashMap::new(),
-            order: Vec::new(),
-            capacity,
-            stats: CacheStats::default(),
+            array: SetAssoc::new(geometry),
         }
+    }
+
+    /// The cache's sets × ways shape.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.array.geometry
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.array.stats
     }
 
     /// Current number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.array.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.array.len == 0
     }
 
     /// Hardware lookup by caller context.
     pub fn lookup(&mut self, context: &WorldContext) -> Option<Wid> {
-        match self.entries.get(context) {
-            Some(w) => {
-                self.stats.hits += 1;
-                Some(*w)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.array.lookup(context_hash(context), context)
     }
 
     /// `manage_wtc` fill operation.
     pub fn fill(&mut self, context: WorldContext, wid: Wid) {
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&context) {
-            if let Some(oldest) = self.order.first().copied() {
-                self.order.remove(0);
-                self.entries.remove(&oldest);
-                self.stats.evictions += 1;
-            }
-        }
-        if self.entries.insert(context, wid).is_none() {
-            self.order.push(context);
-        }
-        self.stats.fills += 1;
+        self.array.fill(context_hash(&context), context, wid);
     }
 
-    /// `manage_wtc` invalidate operation.
+    /// `manage_wtc` invalidate operation. Keys are contexts but deletion
+    /// is by WID, so this sweeps the whole array — fine for a cold path
+    /// that runs only when a world is destroyed.
     pub fn invalidate_wid(&mut self, wid: Wid) {
-        let keys: Vec<WorldContext> = self
-            .entries
-            .iter()
-            .filter(|(_, w)| **w == wid)
-            .map(|(c, _)| *c)
-            .collect();
-        for k in keys {
-            self.entries.remove(&k);
-            self.order.retain(|c| c != &k);
-            self.stats.invalidations += 1;
-        }
+        self.array.invalidate_values(|w| *w == wid);
     }
 }
 
@@ -248,8 +407,11 @@ mod tests {
     }
 
     #[test]
-    fn wt_capacity_evicts_fifo() {
+    fn wt_capacity_evicts_lru() {
+        // Capacity 2 collapses to one fully-associative 2-way set, so
+        // eviction order is observable: untouched-oldest goes first.
         let mut c = WtCache::new(2);
+        assert_eq!(c.geometry(), CacheGeometry { sets: 1, ways: 2 });
         c.fill(entry(1, 0x1000));
         c.fill(entry(2, 0x2000));
         c.fill(entry(3, 0x3000));
@@ -257,6 +419,26 @@ mod tests {
         assert!(c.lookup(Wid::from_raw(1)).is_none());
         assert!(c.lookup(Wid::from_raw(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn wt_lookup_refreshes_lru_age() {
+        let mut c = WtCache::new(2);
+        c.fill(entry(1, 0x1000));
+        c.fill(entry(2, 0x2000));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(Wid::from_raw(1)).is_some());
+        c.fill(entry(3, 0x3000));
+        assert!(c.lookup(Wid::from_raw(1)).is_some());
+        assert!(c.lookup(Wid::from_raw(2)).is_none());
+        assert!(c.lookup(Wid::from_raw(3)).is_some());
+    }
+
+    #[test]
+    fn wt_default_geometry_is_set_associative() {
+        let c = WtCache::new(DEFAULT_WTC_CAPACITY);
+        assert_eq!(c.geometry(), CacheGeometry { sets: 8, ways: 4 });
+        assert_eq!(c.geometry().capacity(), DEFAULT_WTC_CAPACITY);
     }
 
     #[test]
@@ -312,8 +494,22 @@ mod tests {
     }
 
     #[test]
+    fn refill_updates_value_in_place() {
+        let mut c = WtCache::new(4);
+        c.fill(entry(1, 0x1000));
+        c.fill(entry(1, 0x9000));
+        assert_eq!(c.lookup(Wid::from_raw(1)).unwrap().context.ptp, 0x9000);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_wt_panics() {
         WtCache::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        CacheGeometry::new(3, 4);
     }
 }

@@ -13,10 +13,15 @@ use machine::cost::CostModel;
 use machine::cpu::Cpu;
 use machine::mode::CpuMode;
 use machine::trace::TransitionKind;
-use mmu::addr::{Gpa, Hpa, PAGE_SIZE};
+use mmu::addr::{Gpa, Gva, Hpa, PAGE_SIZE};
 use mmu::ept::Ept;
+use mmu::pagetable::PageTable;
 use mmu::perms::Perms;
 use mmu::phys::PhysMemory;
+use mmu::tlb::{
+    Tlb, TlbStats, STAGE1_WALK_ACCESSES, STAGE1_WALK_CYCLES, TLB_HIT_CYCLES, TWO_STAGE_WALK_CYCLES,
+};
+use mmu::translate::{translate, TWO_STAGE_WALK_ACCESSES};
 
 use crate::exit::ExitReason;
 use crate::sched::SchedModel;
@@ -55,7 +60,18 @@ pub struct Platform {
     active_ept: Option<usize>,
     sched: SchedModel,
     hypercalls: u64,
+    /// Per-core unified GVA→HPA TLB tagged by (CR3, EPTP). Cloning the
+    /// platform clones the TLB, so each simulated core has its own —
+    /// exactly like hardware.
+    tlb: Tlb,
+    /// Ablation switch: with the TLB disabled every [`Platform::access_gva`]
+    /// pays the full page walk (the pre-CrossOver baseline).
+    tlb_enabled: bool,
 }
+
+/// Default unified-TLB capacity: 128 sets × 4 ways, the L2 STLB size of
+/// the Haswell parts the paper measures on.
+pub const DEFAULT_UNIFIED_TLB_CAPACITY: usize = 512;
 
 impl Platform {
     /// Creates a platform with the given cost model.
@@ -73,6 +89,8 @@ impl Platform {
             active_ept: None,
             sched: SchedModel::idle(),
             hypercalls: 0,
+            tlb: Tlb::new(DEFAULT_UNIFIED_TLB_CAPACITY),
+            tlb_enabled: true,
         }
     }
 
@@ -608,6 +626,95 @@ impl Platform {
         }
         Ok(())
     }
+
+    // ---------------------------------------------------------------
+    // Unified TLB: priced virtual-address accesses
+    // ---------------------------------------------------------------
+
+    /// The core's unified TLB.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// The core's TLB statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Whether [`Platform::access_gva`] consults the TLB.
+    pub fn tlb_enabled(&self) -> bool {
+        self.tlb_enabled
+    }
+
+    /// Enables or disables the TLB (ablation: the disabled configuration
+    /// pays a full walk on every access, like a machine without EPTP
+    /// tagging that must flush on every world switch).
+    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+        self.tlb_enabled = enabled;
+    }
+
+    /// Flushes the core's TLB (a full `invept`-style sweep).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush();
+    }
+
+    /// Invalidates every TLB entry tagged with `eptp` — required after an
+    /// EPT edit that removes or tightens a mapping. (Edits that only *add*
+    /// mappings cannot leave stale entries, since absent translations are
+    /// never cached.)
+    pub fn invalidate_tlb_eptp(&mut self, eptp: u64) {
+        self.tlb.invalidate_eptp(eptp);
+    }
+
+    /// Performs one priced virtual-memory access under the CPU's current
+    /// (CR3, EPTP) tags: TLB hit costs [`TLB_HIT_CYCLES`]; a miss walks
+    /// `pt` (and the active EPT in guest mode) for the full hardware walk
+    /// cost and fills the TLB. Because entries are tagged, a `world_call`
+    /// EPT switch leaves them resident — repeated calls hit, which is the
+    /// fast path the paper's Table 4 numbers rely on.
+    ///
+    /// Outside guest mode (no active EPT, host worlds) the walk is
+    /// single-stage and the guest-physical result is used as the host
+    /// frame identity-mapped.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Mmu`] on translation failure at either stage.
+    pub fn access_gva(&mut self, pt: &PageTable, gva: Gva, access: Perms) -> Result<Hpa, HvError> {
+        let cr3 = self.cpu.cr3();
+        let eptp = self.cpu.eptp();
+        if self.tlb_enabled {
+            if let Some(entry) = self.tlb.lookup(cr3, eptp, gva) {
+                if entry.perms.allows(access) {
+                    self.cpu.charge_work(TLB_HIT_CYCLES, 1, "tlb hit");
+                    return Ok(entry.hpa_base + gva.page_offset());
+                }
+                // Cached with narrower permissions: hardware re-walks to
+                // confirm the wider access, then upgrades the entry.
+            }
+        }
+        let (hpa, walk_cycles, walk_accesses) = match self.active_ept {
+            Some(index) => (
+                translate(pt, &self.epts[index], gva, access)?,
+                TWO_STAGE_WALK_CYCLES,
+                TWO_STAGE_WALK_ACCESSES as u64,
+            ),
+            None => {
+                let gpa = pt.translate(gva, access)?;
+                (
+                    Hpa(gpa.value()),
+                    STAGE1_WALK_CYCLES,
+                    STAGE1_WALK_ACCESSES as u64,
+                )
+            }
+        };
+        self.cpu
+            .charge_work(walk_cycles, walk_accesses, "page walk");
+        if self.tlb_enabled {
+            self.tlb.insert(cr3, eptp, gva, hpa.page_base(), access);
+        }
+        Ok(hpa)
+    }
 }
 
 #[cfg(test)]
@@ -840,6 +947,111 @@ mod tests {
         assert!(p.vm_info(ghost).is_err());
         assert!(p.inject_interrupt(ghost, 1).is_err());
         assert!(p.charge_wakeup(ghost).is_err());
+    }
+
+    #[test]
+    fn access_gva_hit_is_cheap_miss_pays_walk() {
+        let (mut p, a, _) = two_vm_platform();
+        let gpa = p.alloc_guest_pages(a, 1).unwrap();
+        let mut pt = PageTable::new(0x1000);
+        pt.map(Gva(0x4000_0000), gpa, Perms::rw()).unwrap();
+        p.vmentry(a).unwrap();
+        p.cpu_mut().force_cr3(0x1000);
+
+        let before = p.cpu().meter().cycles();
+        p.access_gva(&pt, Gva(0x4000_0010), Perms::r()).unwrap();
+        let miss_cost = p.cpu().meter().cycles() - before;
+        assert_eq!(miss_cost, TWO_STAGE_WALK_CYCLES);
+
+        let before = p.cpu().meter().cycles();
+        let hpa = p.access_gva(&pt, Gva(0x4000_0020), Perms::r()).unwrap();
+        let hit_cost = p.cpu().meter().cycles() - before;
+        assert_eq!(hit_cost, TLB_HIT_CYCLES);
+        assert_eq!(hpa.page_offset(), 0x20);
+        assert_eq!(p.tlb_stats().hits, 1);
+        assert_eq!(p.tlb_stats().misses, 1);
+    }
+
+    #[test]
+    fn world_switch_preserves_tlb_entries() {
+        let (mut p, a, b) = two_vm_platform();
+        let gpa = p.alloc_guest_pages(a, 1).unwrap();
+        p.back_guest_page(b, gpa, Perms::rwx()).unwrap();
+        let mut pt = PageTable::new(0x1000);
+        pt.map(Gva(0x4000_0000), gpa, Perms::rw()).unwrap();
+        let eptp_a = p.eptp_of(a).unwrap();
+        let eptp_b = p.eptp_of(b).unwrap();
+
+        p.vmentry(a).unwrap();
+        p.cpu_mut().force_cr3(0x1000);
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::r()).unwrap();
+
+        // world_call into b and back: a's entry must still hit.
+        p.crossover_switch(
+            TransitionKind::WorldCall,
+            CpuMode::GUEST_KERNEL,
+            0x1000,
+            eptp_b,
+        )
+        .unwrap();
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::r()).unwrap(); // b's view: miss
+        p.crossover_switch(
+            TransitionKind::WorldReturn,
+            CpuMode::GUEST_USER,
+            0x1000,
+            eptp_a,
+        )
+        .unwrap();
+        let misses_before = p.tlb_stats().misses;
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::r()).unwrap();
+        assert_eq!(p.tlb_stats().misses, misses_before, "no flush on VMFUNC");
+        assert_eq!(p.tlb_stats().hits, 1);
+    }
+
+    #[test]
+    fn tlb_disabled_pays_walk_every_time() {
+        let (mut p, a, _) = two_vm_platform();
+        let gpa = p.alloc_guest_pages(a, 1).unwrap();
+        let mut pt = PageTable::new(0x1000);
+        pt.map(Gva(0x4000_0000), gpa, Perms::rw()).unwrap();
+        p.set_tlb_enabled(false);
+        p.vmentry(a).unwrap();
+        p.cpu_mut().force_cr3(0x1000);
+        let before = p.cpu().meter().cycles();
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::r()).unwrap();
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::r()).unwrap();
+        let cost = p.cpu().meter().cycles() - before;
+        assert_eq!(cost, 2 * TWO_STAGE_WALK_CYCLES);
+        assert_eq!(p.tlb_stats().hits + p.tlb_stats().misses, 0);
+    }
+
+    #[test]
+    fn access_gva_permission_upgrade_rewalks_once() {
+        let (mut p, a, _) = two_vm_platform();
+        let gpa = p.alloc_guest_pages(a, 1).unwrap();
+        let mut pt = PageTable::new(0x1000);
+        pt.map(Gva(0x4000_0000), gpa, Perms::rw()).unwrap();
+        p.vmentry(a).unwrap();
+        p.cpu_mut().force_cr3(0x1000);
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::r()).unwrap();
+        // Write access: cached read-only entry cannot satisfy it — the
+        // hardware re-walks and upgrades. A second write then hits.
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::w()).unwrap();
+        let before = p.cpu().meter().cycles();
+        p.access_gva(&pt, Gva(0x4000_0000), Perms::w()).unwrap();
+        assert_eq!(p.cpu().meter().cycles() - before, TLB_HIT_CYCLES);
+    }
+
+    #[test]
+    fn host_access_gva_is_single_stage() {
+        let mut p = Platform::new_default();
+        let mut pt = PageTable::new(0xE000);
+        pt.map(Gva(0x7000_0000), Gpa(0x3000), Perms::rw()).unwrap();
+        p.cpu_mut().force_cr3(0xE000);
+        let before = p.cpu().meter().cycles();
+        let hpa = p.access_gva(&pt, Gva(0x7000_0040), Perms::r()).unwrap();
+        assert_eq!(p.cpu().meter().cycles() - before, STAGE1_WALK_CYCLES);
+        assert_eq!(hpa, Hpa(0x3040));
     }
 
     #[test]

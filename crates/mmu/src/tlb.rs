@@ -1,16 +1,28 @@
-//! A software TLB tagged by (CR3, EPTP).
+//! A unified GVA→HPA software TLB tagged by (CR3, EPTP), modelled as a
+//! set-associative array.
 //!
 //! Real VMFUNC avoids TLB flushes because hardware TLB entries are tagged
 //! with the EPTP (via VPID/EP4TA tagging). That is a significant part of
 //! why a VMFUNC world switch is so much cheaper than a hypervisor-mediated
 //! switch. This TLB models that: entries are keyed by the *pair*
 //! (CR3, EPTP), so changing either register simply makes a different set
-//! of entries visible instead of discarding state.
-
-use std::collections::HashMap;
+//! of entries visible instead of discarding state — a `world_call` EPT
+//! switch costs zero TLB state.
+//!
+//! The storage mirrors hardware: a fixed `sets × ways` array allocated
+//! once, indexed by a hash of the tagged page number, with per-set LRU
+//! replacement driven by monotonic age counters. Lookups probe one set
+//! (O(ways)) and never allocate.
+//!
+//! The cycle constants at the bottom price the translation fast/slow
+//! paths: a hit costs [`TLB_HIT_CYCLES`]; a miss pays the 24-access
+//! two-stage walk ([`TWO_STAGE_WALK_CYCLES`]), or the 4-access
+//! single-stage walk ([`STAGE1_WALK_CYCLES`]) when no EPT is active
+//! (host worlds).
 
 use crate::addr::{Gva, Hpa};
 use crate::perms::Perms;
+use crate::translate::TWO_STAGE_WALK_ACCESSES;
 
 /// Key identifying one cached translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,9 +64,43 @@ impl TlbStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Accumulates another core's counters (for SMP-wide reporting).
+    pub fn absorb(&mut self, other: &TlbStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
-/// A finite, FIFO-evicting software TLB tagged by (CR3, EPTP).
+/// Default TLB associativity: 4-way, matching the L2 STLB of the
+/// Haswell parts the paper measures on.
+pub const DEFAULT_TLB_WAYS: usize = 4;
+
+/// One slot: a tagged translation plus its LRU age stamp.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    age: u64,
+    line: Option<(TlbKey, TlbEntry)>,
+}
+
+/// SplitMix64 finalizer, spreading page-aligned tags over the sets.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TlbKey {
+    fn hash(&self) -> u64 {
+        mix64(self.vpn ^ mix64(self.cr3 ^ mix64(self.eptp)))
+    }
+}
+
+/// A finite set-associative software TLB tagged by (CR3, EPTP), with
+/// per-set LRU replacement.
 ///
 /// # Example
 ///
@@ -73,36 +119,65 @@ impl TlbStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    entries: HashMap<TlbKey, TlbEntry>,
-    order: Vec<TlbKey>,
-    capacity: usize,
+    sets: usize,
+    ways: usize,
+    /// `sets × ways` slots, set-major.
+    slots: Vec<Slot>,
+    /// Per-set monotonic tick for LRU ages.
+    ticks: Vec<u64>,
+    len: usize,
     stats: TlbStats,
 }
 
 impl Tlb {
-    /// Creates a TLB holding at most `capacity` entries.
+    /// Creates a TLB holding at least `capacity` translations at the
+    /// default associativity (`ways = min(DEFAULT_TLB_WAYS, capacity)`,
+    /// sets rounded up to a power of two).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Tlb {
         assert!(capacity > 0, "TLB capacity must be positive");
+        let ways = capacity.min(DEFAULT_TLB_WAYS);
+        let sets = capacity.div_ceil(ways).next_power_of_two();
+        Tlb::with_geometry(sets, ways)
+    }
+
+    /// Creates a TLB with an explicit sets × ways shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or `sets` is zero / not a power of two.
+    pub fn with_geometry(sets: usize, ways: usize) -> Tlb {
+        assert!(ways > 0, "TLB capacity must be positive");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "TLB set count must be a positive power of two"
+        );
         Tlb {
-            entries: HashMap::new(),
-            order: Vec::new(),
-            capacity,
+            sets,
+            ways,
+            slots: vec![Slot { age: 0, line: None }; sets * ways],
+            ticks: vec![0; sets],
+            len: 0,
             stats: TlbStats::default(),
         }
     }
 
+    /// The (sets, ways) shape.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.sets, self.ways)
+    }
+
     /// Current number of cached translations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the TLB is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Accumulated statistics.
@@ -110,74 +185,118 @@ impl Tlb {
         self.stats
     }
 
+    fn set_range(&self, key: &TlbKey) -> std::ops::Range<usize> {
+        let set = (key.hash() as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        base..base + self.ways
+    }
+
+    fn touch(&mut self, key: &TlbKey, slot: usize) {
+        let set = (key.hash() as usize) & (self.sets - 1);
+        self.ticks[set] += 1;
+        self.slots[slot].age = self.ticks[set];
+    }
+
     /// Looks up the translation of `gva` under the given (CR3, EPTP) tag.
-    /// Records a hit or miss.
+    /// Records a hit or miss; a hit refreshes the entry's LRU age.
     pub fn lookup(&mut self, cr3: u64, eptp: u64, gva: Gva) -> Option<TlbEntry> {
         let key = TlbKey {
             cr3,
             eptp,
             vpn: gva.frame_number(),
         };
-        match self.entries.get(&key) {
-            Some(e) => {
-                self.stats.hits += 1;
-                Some(*e)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
+        for i in self.set_range(&key) {
+            if let Some((k, e)) = self.slots[i].line {
+                if k == key {
+                    self.stats.hits += 1;
+                    self.touch(&key, i);
+                    return Some(e);
+                }
             }
         }
+        self.stats.misses += 1;
+        None
     }
 
-    /// Inserts a translation, evicting the oldest entry if at capacity.
+    /// Inserts a translation, evicting the set's LRU way if the set is
+    /// full. Re-inserting a cached tag updates the entry in place.
     pub fn insert(&mut self, cr3: u64, eptp: u64, gva: Gva, hpa_base: Hpa, perms: Perms) {
         let key = TlbKey {
             cr3,
             eptp,
             vpn: gva.frame_number(),
         };
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            // FIFO eviction.
-            while let Some(oldest) = self.order.first().copied() {
-                self.order.remove(0);
-                if self.entries.remove(&oldest).is_some() {
-                    self.stats.evictions += 1;
-                    break;
-                }
+        let entry = TlbEntry { hpa_base, perms };
+        let range = self.set_range(&key);
+        for i in range.clone() {
+            if matches!(self.slots[i].line, Some((k, _)) if k == key) {
+                self.slots[i].line = Some((key, entry));
+                self.touch(&key, i);
+                return;
             }
         }
-        if self
-            .entries
-            .insert(key, TlbEntry { hpa_base, perms })
-            .is_none()
-        {
-            self.order.push(key);
+        let victim = range
+            .clone()
+            .find(|&i| self.slots[i].line.is_none())
+            .unwrap_or_else(|| {
+                self.stats.evictions += 1;
+                self.len -= 1;
+                range
+                    .min_by_key(|&i| self.slots[i].age)
+                    .expect("ways is positive")
+            });
+        self.slots[victim].line = Some((key, entry));
+        self.len += 1;
+        self.touch(&key, victim);
+    }
+
+    fn invalidate_matching(&mut self, pred: impl Fn(&TlbKey) -> bool) {
+        for slot in &mut self.slots {
+            if matches!(slot.line, Some((ref k, _)) if pred(k)) {
+                slot.line = None;
+                self.len -= 1;
+                self.stats.invalidations += 1;
+            }
         }
     }
 
     /// Invalidates every entry tagged with `cr3` (the effect of a CR3
     /// write without PCID on legacy hardware, or an `invlpg` sweep).
     pub fn invalidate_cr3(&mut self, cr3: u64) {
-        let before = self.entries.len();
-        self.entries.retain(|k, _| k.cr3 != cr3);
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+        self.invalidate_matching(|k| k.cr3 == cr3);
     }
 
     /// Invalidates every entry tagged with `eptp` (hypervisor EPT edit).
     pub fn invalidate_eptp(&mut self, eptp: u64) {
-        let before = self.entries.len();
-        self.entries.retain(|k, _| k.eptp != eptp);
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+        self.invalidate_matching(|k| k.eptp == eptp);
     }
 
     /// Flushes everything.
     pub fn flush(&mut self) {
-        self.stats.invalidations += self.entries.len() as u64;
-        self.entries.clear();
-        self.order.clear();
+        self.invalidate_matching(|_| true);
     }
 }
+
+/// Cycles charged for a translation served from the TLB. Address
+/// translation on a hit overlaps the access pipeline; one cycle is the
+/// marginal cost.
+pub const TLB_HIT_CYCLES: u64 = 1;
+
+/// Cycles per paging-structure access during a walk (an L2-ish latency:
+/// walks hit the paging-structure caches and L2 far more often than
+/// DRAM).
+pub const PTE_ACCESS_CYCLES: u64 = 20;
+
+/// Cycles for the full two-stage walk a miss pays under nested paging:
+/// [`TWO_STAGE_WALK_ACCESSES`] × [`PTE_ACCESS_CYCLES`].
+pub const TWO_STAGE_WALK_CYCLES: u64 = TWO_STAGE_WALK_ACCESSES as u64 * PTE_ACCESS_CYCLES;
+
+/// Memory accesses for a single-stage (no-EPT, host world) walk of a
+/// 4-level table.
+pub const STAGE1_WALK_ACCESSES: u32 = 4;
+
+/// Cycles for the single-stage walk a miss pays outside guest mode.
+pub const STAGE1_WALK_CYCLES: u64 = STAGE1_WALK_ACCESSES as u64 * PTE_ACCESS_CYCLES;
 
 #[cfg(test)]
 mod tests {
@@ -216,8 +335,11 @@ mod tests {
     }
 
     #[test]
-    fn capacity_eviction_is_fifo() {
+    fn capacity_eviction_is_per_set_lru() {
+        // Capacity 2 collapses to one fully-associative 2-way set, so
+        // LRU order is observable at the whole-cache level.
         let mut tlb = Tlb::new(2);
+        assert_eq!(tlb.geometry(), (1, 2));
         tlb.insert(1, 1, Gva(0x1000), Hpa(0x1000), Perms::r());
         tlb.insert(1, 1, Gva(0x2000), Hpa(0x2000), Perms::r());
         tlb.insert(1, 1, Gva(0x3000), Hpa(0x3000), Perms::r());
@@ -229,6 +351,18 @@ mod tests {
         assert!(entry_for(&mut tlb, 1, 1, 0x2000).is_some());
         assert!(entry_for(&mut tlb, 1, 1, 0x3000).is_some());
         assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_age() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(1, 1, Gva(0x1000), Hpa(0x1000), Perms::r());
+        tlb.insert(1, 1, Gva(0x2000), Hpa(0x2000), Perms::r());
+        // Touch the older entry; the newer one becomes the LRU victim.
+        assert!(entry_for(&mut tlb, 1, 1, 0x1000).is_some());
+        tlb.insert(1, 1, Gva(0x3000), Hpa(0x3000), Perms::r());
+        assert!(entry_for(&mut tlb, 1, 1, 0x1000).is_some());
+        assert!(entry_for(&mut tlb, 1, 1, 0x2000).is_none());
     }
 
     #[test]
@@ -269,5 +403,14 @@ mod tests {
         let e = entry_for(&mut tlb, 1, 1, 0x1000).unwrap();
         assert_eq!(e.hpa_base, Hpa(0x9000));
         assert!(e.perms.can_write());
+    }
+
+    #[test]
+    fn walk_cost_model_is_consistent() {
+        assert_eq!(TWO_STAGE_WALK_CYCLES, 24 * PTE_ACCESS_CYCLES);
+        const {
+            assert!(STAGE1_WALK_CYCLES < TWO_STAGE_WALK_CYCLES);
+            assert!(TLB_HIT_CYCLES < STAGE1_WALK_CYCLES);
+        }
     }
 }

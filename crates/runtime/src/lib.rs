@@ -19,22 +19,30 @@
 //!   [`crossover::table::WorldLookup`] contract as the sequential
 //!   table, so the hardware model ([`crossover::call::WorldCallUnit`])
 //!   is unchanged.
-//! * [`service::WorldCallService`] — a bounded request queue (admission
-//!   control: `try_submit` returns `Busy` at capacity instead of
-//!   buffering without bound) in front of a pool of OS-thread workers.
-//!   Each worker simulates one vCPU: a cloned platform, private
-//!   WT-/IWT-caches, and a private meter, so the hot path takes no
-//!   shared lock except the table shards it actually misses into.
-//!   Worlds can be deleted while the pool runs; the delete broadcasts
-//!   over an invalidation bus and every worker purges its caches — the
-//!   concurrent `manage_wtc`. Per-call deadlines reuse the §3.4
-//!   timeout machinery ([`crossover::manager::CallToken::expired`]).
-//!   On drain the per-worker meters merge into an
-//!   [`hypervisor::smp::SmpMachine`], one core per worker.
+//! * [`service::WorldCallService`] — bounded admission (`try_submit`
+//!   returns `Busy` at capacity instead of buffering without bound) in
+//!   front of a pool of OS-thread workers. Dispatch is per-worker
+//!   lock-free rings ([`ring::RingSet`], a Vyukov bounded MPMC ring per
+//!   worker) routed by callee with round-robin work stealing; the old
+//!   `Mutex<VecDeque>` queue survives as the
+//!   [`service::DispatchMode::MutexQueue`] ablation baseline. Each
+//!   worker simulates one vCPU: a cloned platform with a private
+//!   EPTP-tagged unified TLB, private set-associative WT-/IWT-caches,
+//!   and a private meter, so the hot path takes no shared lock except
+//!   the table shards it actually misses into. Worlds can be deleted
+//!   while the pool runs; the delete broadcasts over an invalidation
+//!   bus and every worker purges its caches — the concurrent
+//!   `manage_wtc`. Per-call deadlines reuse the §3.4 timeout machinery
+//!   ([`crossover::manager::CallToken::expired`]). Requests are stamped
+//!   with the minimum live worker clock at submission, so each outcome
+//!   carries its virtual-time queue wait. On drain the per-worker
+//!   meters merge into an [`hypervisor::smp::SmpMachine`], one core per
+//!   worker, alongside summed WT/IWT/TLB statistics.
 //! * `serve_bench` (the crate's binary) — sweeps the worker count and
 //!   emits `BENCH_runtime.json`: simulated calls/sec (derived from the
-//!   makespan, so it is host-independent), p50/p99 service latency and
-//!   lock-contention counters per point.
+//!   makespan, so it is host-independent), p50/p99 service latency,
+//!   cache and TLB hit rates, queue-wait cycles and lock-contention
+//!   counters per point.
 //!
 //! The equivalence property test (`tests/equivalence.rs`) pins the
 //! crate's central claim: the sharded table driven sequentially is
@@ -43,13 +51,18 @@
 
 pub mod queue;
 pub mod report;
+pub mod ring;
 pub mod router;
 pub mod service;
 pub mod shard;
 mod worker;
 
 pub use queue::{PushError, Queue};
+pub use ring::{Ring, RingSet};
 pub use router::{CallOutcome, CallRequest, CallVerdict};
-pub use service::{InvalidationBus, RuntimeConfig, ServiceReport, SubmitError, WorldCallService};
+pub use service::{
+    DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError, WorldCallService,
+    WorldMemory,
+};
 pub use shard::{ContentionSnapshot, ShardedWorldTable};
 pub use worker::WorkerReport;

@@ -17,6 +17,15 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
+/// Hit rate in [0, 1]; 0 when there was no traffic at all.
+pub fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
+}
+
 /// One sweep point of the serve bench.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchPoint {
@@ -45,6 +54,16 @@ pub struct BenchPoint {
     pub p50_latency_cycles: u64,
     /// Tail on-CPU service latency (cycles).
     pub p99_latency_cycles: u64,
+    /// WT-cache hit rate across all workers, in [0, 1].
+    pub wt_hit_rate: f64,
+    /// IWT-cache hit rate across all workers, in [0, 1].
+    pub iwt_hit_rate: f64,
+    /// Unified-TLB hit rate across all worker platforms, in [0, 1].
+    pub tlb_hit_rate: f64,
+    /// Summed virtual-time dispatch delay (cycles) across all requests.
+    pub queue_wait_cycles: u64,
+    /// Batches whose leading request was stolen from a peer's ring.
+    pub stolen: u64,
     /// Shard-lock acquisitions that had to block.
     pub shard_contended: u64,
     /// Index-stripe acquisitions that had to block.
@@ -71,6 +90,11 @@ impl BenchPoint {
              {indent}  \"sim_calls_per_sec\": {:.1},\n\
              {indent}  \"p50_latency_cycles\": {},\n\
              {indent}  \"p99_latency_cycles\": {},\n\
+             {indent}  \"wt_hit_rate\": {:.4},\n\
+             {indent}  \"iwt_hit_rate\": {:.4},\n\
+             {indent}  \"tlb_hit_rate\": {:.4},\n\
+             {indent}  \"queue_wait_cycles\": {},\n\
+             {indent}  \"stolen\": {},\n\
              {indent}  \"shard_contended\": {},\n\
              {indent}  \"index_contended\": {},\n\
              {indent}  \"host_wall_ms\": {:.2}\n\
@@ -87,6 +111,11 @@ impl BenchPoint {
             self.sim_calls_per_sec,
             self.p50_latency_cycles,
             self.p99_latency_cycles,
+            self.wt_hit_rate,
+            self.iwt_hit_rate,
+            self.tlb_hit_rate,
+            self.queue_wait_cycles,
+            self.stolen,
             self.shard_contended,
             self.index_contended,
             self.host_wall_ms,
@@ -143,6 +172,11 @@ mod tests {
             sim_calls_per_sec: 123.4,
             p50_latency_cycles: 70,
             p99_latency_cycles: 90,
+            wt_hit_rate: 0.9876,
+            iwt_hit_rate: 0.5,
+            tlb_hit_rate: 0.25,
+            queue_wait_cycles: 12_000,
+            stolen: 3,
             shard_contended: 0,
             index_contended: 0,
             host_wall_ms: 1.5,
@@ -150,7 +184,17 @@ mod tests {
         let doc = render_json("bench", 3.4, 10, &[p.clone(), p]);
         assert_eq!(doc.matches("\"workers\": 2").count(), 2);
         assert!(doc.contains("\"points\": ["));
+        assert!(doc.contains("\"wt_hit_rate\": 0.9876"));
+        assert!(doc.contains("\"tlb_hit_rate\": 0.2500"));
+        assert!(doc.contains("\"queue_wait_cycles\": 12000"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_traffic() {
+        assert_eq!(hit_rate(0, 0), 0.0);
+        assert_eq!(hit_rate(3, 1), 0.75);
+        assert_eq!(hit_rate(5, 0), 1.0);
     }
 }

@@ -26,6 +26,10 @@ pub struct CallRequest {
     /// Optional per-call deadline: if the callee body exceeds this many
     /// cycles the hypervisor cancels the call (§3.4 timeout defence).
     pub budget_cycles: Option<u64>,
+    /// Pages of the callee's attached working set the body touches (each
+    /// touch is a priced [`hypervisor::platform::Platform::access_gva`];
+    /// 0, or a callee without attached memory, skips the loop).
+    pub touch_pages: u64,
 }
 
 impl CallRequest {
@@ -37,6 +41,7 @@ impl CallRequest {
             work_cycles,
             work_instructions,
             budget_cycles: None,
+            touch_pages: 0,
         }
     }
 
@@ -45,6 +50,22 @@ impl CallRequest {
         self.budget_cycles = Some(budget_cycles);
         self
     }
+
+    /// Sets the number of working-set pages the callee body touches.
+    pub fn with_touches(mut self, touch_pages: u64) -> CallRequest {
+        self.touch_pages = touch_pages;
+        self
+    }
+}
+
+/// What actually travels through the dispatcher: the request plus its
+/// submission stamp in shared virtual time, from which the executing
+/// worker derives the call's queue-wait cycles.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Queued {
+    pub req: CallRequest,
+    /// The minimum live worker clock (simulated cycles) at submission.
+    pub stamped_at: u64,
 }
 
 /// How a request ended.
@@ -72,8 +93,14 @@ pub struct CallOutcome {
     /// state restore. Queueing delay is *not* included — this is the
     /// on-CPU service latency.
     pub latency_cycles: u64,
+    /// Simulated cycles the request waited between submission and the
+    /// start of its execution (virtual-time dispatch delay).
+    pub queue_wait_cycles: u64,
     /// Index of the worker (== SMP core) that serviced the request.
     pub worker: usize,
+    /// Whether the executing worker stole the request from a peer's ring
+    /// (always `false` under the mutex-queue dispatcher).
+    pub stolen: bool,
 }
 
 #[cfg(test)]

@@ -11,23 +11,41 @@
 //! into an [`SmpMachine`] — one core per worker — so the usual SMP
 //! metrics (total cycles, makespan) apply unchanged.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crossover::table::DEFAULT_WORLD_QUOTA;
 use crossover::world::{Wid, WorldDescriptor};
-use crossover::wtc::CacheStats;
+use crossover::wtc::{CacheGeometry, CacheStats};
 use crossover::WorldError;
 use hypervisor::platform::Platform;
 use hypervisor::smp::{CoreId, SmpMachine};
 use hypervisor::vm::{VmConfig, VmId};
 use hypervisor::HvError;
+use mmu::addr::{Gva, PAGE_SIZE};
+use mmu::pagetable::PageTable;
+use mmu::perms::Perms;
+use mmu::tlb::TlbStats;
 
 use crate::queue::{PushError, Queue};
-use crate::router::{CallOutcome, CallRequest, CallVerdict};
+use crate::ring::RingSet;
+use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::shard::{ContentionSnapshot, ShardedWorldTable, DEFAULT_SHARDS};
 use crate::worker::{self, WorkerContext, WorkerReport};
+
+/// Which dispatch structure carries requests from submitters to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Per-worker lock-free rings (routed by callee) with work stealing —
+    /// the contention-free fast path.
+    #[default]
+    LockFreeRings,
+    /// The single `Mutex<VecDeque>` MPMC queue — kept as the ablation
+    /// baseline the rings are measured against.
+    MutexQueue,
+}
 
 /// Pool and table sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +56,20 @@ pub struct RuntimeConfig {
     pub shards: usize,
     /// Per-VM world-creation quota.
     pub quota: usize,
-    /// Request-queue capacity; `try_submit` beyond it returns `Busy`.
+    /// Dispatch capacity: the mutex queue's bound, or each worker ring's
+    /// bound (rounded up to a power of two). `try_submit` beyond it
+    /// returns `Busy`.
     pub queue_capacity: usize,
     /// Maximum same-callee batch a worker pops at once.
     pub batch_max: usize,
+    /// Dispatch structure (lock-free rings by default; mutex queue as
+    /// the ablation baseline).
+    pub dispatch: DispatchMode,
+    /// Whether worker platforms use their unified TLBs (ablation: off
+    /// models hardware whose world switch flushes translations).
+    pub unified_tlb: bool,
+    /// Shape of each worker's private WT/IWT caches.
+    pub wtc_geometry: CacheGeometry,
 }
 
 impl Default for RuntimeConfig {
@@ -52,6 +80,9 @@ impl Default for RuntimeConfig {
             quota: DEFAULT_WORLD_QUOTA,
             queue_capacity: 1024,
             batch_max: 16,
+            dispatch: DispatchMode::default(),
+            unified_tlb: true,
+            wtc_geometry: CacheGeometry::default(),
         }
     }
 }
@@ -64,6 +95,60 @@ pub enum SubmitError {
     Busy(CallRequest),
     /// The service is draining (or was never started).
     Closed(CallRequest),
+}
+
+/// The dispatch structure behind submit/pop, selected by
+/// [`RuntimeConfig::dispatch`].
+#[derive(Debug)]
+pub(crate) enum Dispatcher {
+    /// Per-worker lock-free rings with work stealing.
+    Rings(RingSet<Queued>),
+    /// The mutex MPMC queue (ablation baseline).
+    Mutex(Queue<Queued>),
+}
+
+impl Dispatcher {
+    fn new(mode: DispatchMode, workers: usize, capacity: usize) -> Dispatcher {
+        match mode {
+            DispatchMode::LockFreeRings => Dispatcher::Rings(RingSet::new(workers, capacity)),
+            DispatchMode::MutexQueue => Dispatcher::Mutex(Queue::bounded(capacity)),
+        }
+    }
+
+    pub(crate) fn try_push(&self, home: usize, item: Queued) -> Result<(), PushError<Queued>> {
+        match self {
+            Dispatcher::Rings(r) => r.try_push(home, item),
+            Dispatcher::Mutex(q) => q.try_push(item),
+        }
+    }
+
+    fn push(&self, home: usize, item: Queued) -> Result<(), Queued> {
+        match self {
+            Dispatcher::Rings(r) => r.push(home, item),
+            Dispatcher::Mutex(q) => q.push(item),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Dispatcher::Rings(r) => r.close(),
+            Dispatcher::Mutex(q) => q.close(),
+        }
+    }
+}
+
+/// A world's attached working set: a private page table rooted at the
+/// world's PTP, mapping `pages` consecutive guest pages at `base`. The
+/// callee body of a [`CallRequest`] with `touch_pages > 0` walks it via
+/// priced [`Platform::access_gva`] calls.
+#[derive(Debug, Clone)]
+pub struct WorldMemory {
+    /// The guest page table the accesses translate through.
+    pub pt: PageTable,
+    /// First mapped guest-virtual address.
+    pub base: Gva,
+    /// Number of mapped pages.
+    pub pages: u64,
 }
 
 /// Broadcast channel for `manage_wtc` invalidations: one slot vector per
@@ -117,6 +202,12 @@ pub struct ServiceReport {
     pub wt: CacheStats,
     /// Summed IWT-cache statistics across workers.
     pub iwt: CacheStats,
+    /// Summed unified-TLB statistics across worker platforms.
+    pub tlb: TlbStats,
+    /// Summed virtual-time dispatch delay (cycles) across all requests.
+    pub queue_wait_cycles: u64,
+    /// Batches whose leading request was stolen from a peer's ring.
+    pub stolen: u64,
     /// World-table lock contention counters.
     pub contention: ContentionSnapshot,
 }
@@ -160,8 +251,13 @@ pub struct WorldCallService {
     config: RuntimeConfig,
     template: Platform,
     table: Arc<ShardedWorldTable>,
-    queue: Arc<Queue<CallRequest>>,
+    dispatcher: Arc<Dispatcher>,
     bus: Arc<InvalidationBus>,
+    /// Per-worker virtual clocks; submissions are stamped with the
+    /// minimum live clock so workers can derive queue-wait cycles.
+    clocks: Arc<Vec<AtomicU64>>,
+    /// Attached per-world working sets, keyed by raw WID.
+    memory: HashMap<u64, WorldMemory>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
 }
@@ -180,8 +276,14 @@ impl WorldCallService {
             config,
             template: Platform::new_default(),
             table: Arc::new(ShardedWorldTable::with_shards(config.shards, config.quota)),
-            queue: Arc::new(Queue::bounded(config.queue_capacity)),
+            dispatcher: Arc::new(Dispatcher::new(
+                config.dispatch,
+                config.workers,
+                config.queue_capacity,
+            )),
             bus: Arc::new(InvalidationBus::new(config.workers)),
+            clocks: Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect()),
+            memory: HashMap::new(),
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
         }
@@ -262,6 +364,52 @@ impl WorldCallService {
         Ok(())
     }
 
+    /// Attaches a `pages`-page working set to a registered guest world:
+    /// allocates backed guest-physical pages in `vm`, builds a page table
+    /// rooted at the world's PTP mapping them at a per-world virtual
+    /// base, and records it so callee bodies with `touch_pages > 0`
+    /// perform priced memory accesses through the worker TLBs.
+    ///
+    /// Must precede [`WorldCallService::start`] (workers clone the
+    /// template's EPTs, which this extends).
+    ///
+    /// # Errors
+    ///
+    /// * [`HvError::NoSuchVm`] for an unknown VM.
+    /// * [`HvError::Mmu`] on mapping conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already started, `pages` is zero, or `wid` is
+    /// not a registered world.
+    pub fn attach_working_set(&mut self, wid: Wid, vm: VmId, pages: u64) -> Result<(), HvError> {
+        assert!(
+            self.handles.is_empty(),
+            "attach working sets before starting the pool"
+        );
+        assert!(pages > 0, "working set needs at least one page");
+        let entry = self
+            .table
+            .lookup(wid)
+            .expect("attach_working_set requires a registered world");
+        let gpa_base = self.template.alloc_guest_pages(vm, pages)?;
+        // A per-world virtual base keeps attached ranges disjoint even
+        // for worlds sharing a page-table root.
+        let base = Gva(0x10_0000_0000 + wid.raw() * 0x1000_0000);
+        let mut pt = PageTable::new(entry.context.ptp);
+        for i in 0..pages {
+            pt.map(base + i * PAGE_SIZE, gpa_base + i * PAGE_SIZE, Perms::rw())?;
+        }
+        self.memory
+            .insert(wid.raw(), WorldMemory { pt, base, pages });
+        Ok(())
+    }
+
+    /// The attached working set of `wid`, if any.
+    pub fn working_set(&self, wid: Wid) -> Option<&WorldMemory> {
+        self.memory.get(&wid.raw())
+    }
+
     /// Spawns the worker pool.
     ///
     /// # Panics
@@ -269,20 +417,20 @@ impl WorldCallService {
     /// Panics if already started.
     pub fn start(&mut self) {
         assert!(self.handles.is_empty(), "pool already started");
-        let clocks: Arc<Vec<AtomicU64>> = Arc::new(
-            (0..self.config.workers)
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-        );
+        let memory = Arc::new(self.memory.clone());
         for index in 0..self.config.workers {
+            let mut platform = self.template.clone();
+            platform.set_tlb_enabled(self.config.unified_tlb);
             let ctx = WorkerContext {
                 index,
-                platform: self.template.clone(),
+                platform,
                 table: Arc::clone(&self.table),
-                queue: Arc::clone(&self.queue),
+                dispatcher: Arc::clone(&self.dispatcher),
                 bus: Arc::clone(&self.bus),
                 batch_max: self.config.batch_max,
-                clocks: Arc::clone(&clocks),
+                clocks: Arc::clone(&self.clocks),
+                memory: Arc::clone(&memory),
+                wtc_geometry: self.config.wtc_geometry,
             };
             self.handles.push(
                 std::thread::Builder::new()
@@ -298,13 +446,38 @@ impl WorldCallService {
         !self.handles.is_empty()
     }
 
+    /// The submission stamp: the minimum live worker clock, i.e. the
+    /// earliest virtual time at which any worker could pick the request
+    /// up. Exited workers park their clock at `u64::MAX` and are skipped.
+    fn stamp(&self) -> u64 {
+        self.clocks
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .filter(|&c| c != u64::MAX)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Home worker for a request: callee-hashed so all calls into one
+    /// world land on the same ring (destination batching survives the
+    /// switch from the shared queue), with stealing rebalancing skew.
+    fn home_of(&self, req: &CallRequest) -> usize {
+        (req.callee.raw() % self.config.workers as u64) as usize
+    }
+
     /// Blocking submission: waits for queue space.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Closed`] if the service is draining.
     pub fn submit(&self, req: CallRequest) -> Result<(), SubmitError> {
-        self.queue.push(req).map_err(SubmitError::Closed)
+        let queued = Queued {
+            req,
+            stamped_at: self.stamp(),
+        };
+        self.dispatcher
+            .push(self.home_of(&req), queued)
+            .map_err(|q| SubmitError::Closed(q.req))
     }
 
     /// Non-blocking submission with backpressure.
@@ -314,20 +487,26 @@ impl WorldCallService {
     /// * [`SubmitError::Busy`] — queue full; the rejection is counted.
     /// * [`SubmitError::Closed`] — service draining.
     pub fn try_submit(&self, req: CallRequest) -> Result<(), SubmitError> {
-        self.queue.try_push(req).map_err(|e| match e {
-            PushError::Busy(r) => {
-                self.rejected_busy.fetch_add(1, Ordering::Relaxed);
-                SubmitError::Busy(r)
-            }
-            PushError::Closed(r) => SubmitError::Closed(r),
-        })
+        let queued = Queued {
+            req,
+            stamped_at: self.stamp(),
+        };
+        self.dispatcher
+            .try_push(self.home_of(&req), queued)
+            .map_err(|e| match e {
+                PushError::Busy(q) => {
+                    self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    SubmitError::Busy(q.req)
+                }
+                PushError::Closed(q) => SubmitError::Closed(q.req),
+            })
     }
 
     /// Closes the queue, joins every worker once the backlog drains, and
     /// merges their meters into an [`SmpMachine`] (core *i* ← worker
     /// *i*).
     pub fn drain(mut self) -> ServiceReport {
-        self.queue.close();
+        self.dispatcher.close();
         let reports: Vec<WorkerReport> = self
             .handles
             .drain(..)
@@ -339,6 +518,8 @@ impl WorldCallService {
         let mut batches = 0;
         let mut wt = CacheStats::default();
         let mut iwt = CacheStats::default();
+        let mut tlb = TlbStats::default();
+        let mut stolen = 0;
         for r in &reports {
             smp.core_mut(CoreId(r.index as u32))
                 .expect("one core per worker")
@@ -347,6 +528,8 @@ impl WorldCallService {
             batches += r.batches;
             wt = add_stats(wt, r.wt);
             iwt = add_stats(iwt, r.iwt);
+            tlb.absorb(&r.tlb);
+            stolen += r.stolen;
         }
         for r in reports {
             outcomes.extend(r.outcomes);
@@ -360,6 +543,7 @@ impl WorldCallService {
             .filter(|o| o.verdict == CallVerdict::TimedOut)
             .count() as u64;
         let failed = outcomes.len() as u64 - completed - timed_out;
+        let queue_wait_cycles = outcomes.iter().map(|o| o.queue_wait_cycles).sum();
         ServiceReport {
             smp,
             completed,
@@ -369,6 +553,9 @@ impl WorldCallService {
             batches,
             wt,
             iwt,
+            tlb,
+            queue_wait_cycles,
+            stolen,
             contention: self.table.contention(),
             outcomes,
         }
@@ -508,12 +695,98 @@ mod tests {
     fn submissions_after_drain_are_closed() {
         let (mut svc, caller, callee) = two_world_service(1);
         svc.start();
-        let queue = Arc::clone(&svc.queue);
+        let dispatcher = Arc::clone(&svc.dispatcher);
         let _ = svc.drain();
+        let queued = Queued {
+            req: CallRequest::new(caller, callee, 1, 1),
+            stamped_at: 0,
+        };
         assert!(matches!(
-            queue.try_push(CallRequest::new(caller, callee, 1, 1)),
+            dispatcher.try_push(0, queued),
             Err(PushError::Closed(_))
         ));
+    }
+
+    #[test]
+    fn mutex_queue_ablation_still_services_calls() {
+        let mut svc = WorldCallService::new(RuntimeConfig {
+            workers: 2,
+            dispatch: DispatchMode::MutexQueue,
+            unified_tlb: false,
+            ..RuntimeConfig::default()
+        });
+        let vm1 = svc.create_vm(VmConfig::named("abl-a")).unwrap();
+        let vm2 = svc.create_vm(VmConfig::named("abl-b")).unwrap();
+        let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+        let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+        svc.start();
+        for _ in 0..40 {
+            svc.submit(CallRequest::new(caller, callee, 200, 20))
+                .unwrap();
+        }
+        let report = svc.drain();
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.stolen, 0, "mutex queue never steals");
+        assert_eq!(
+            report.tlb.hits + report.tlb.misses,
+            0,
+            "no memory workload, no TLB traffic"
+        );
+    }
+
+    #[test]
+    fn touch_pages_drive_tlb_hits_through_attached_memory() {
+        let (mut svc, caller, callee) = two_world_service(1);
+        let vm = svc.platform().vm_ids()[1];
+        svc.attach_working_set(callee, vm, 8).unwrap();
+        assert_eq!(svc.working_set(callee).unwrap().pages, 8);
+        svc.start();
+        for _ in 0..10 {
+            svc.submit(CallRequest::new(caller, callee, 500, 50).with_touches(16))
+                .unwrap();
+        }
+        let report = svc.drain();
+        assert_eq!(report.completed, 10);
+        let traffic = report.tlb.hits + report.tlb.misses;
+        assert_eq!(traffic, 160, "every touch consults the unified TLB");
+        // 8 distinct pages, 160 touches: all but the first round hit.
+        assert!(report.tlb.hits >= 140, "tlb hits: {:?}", report.tlb);
+    }
+
+    #[test]
+    fn queue_wait_is_accounted_for_prefilled_backlog() {
+        let (mut svc, caller, callee) = two_world_service(1);
+        for _ in 0..64 {
+            svc.submit(CallRequest::new(caller, callee, 2_000, 200))
+                .unwrap();
+        }
+        // All stamped at clock 0; the worker's clock advances as it
+        // drains, so later requests must record positive waits.
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 64);
+        assert!(
+            report.queue_wait_cycles > 0,
+            "a 64-deep backlog implies nonzero dispatch delay"
+        );
+    }
+
+    #[test]
+    fn rings_steal_when_all_callees_hash_to_one_home() {
+        // One callee world → one home ring; with 4 workers the other
+        // three can only contribute by stealing.
+        let (mut svc, caller, callee) = two_world_service(4);
+        for _ in 0..512 {
+            svc.submit(CallRequest::new(caller, callee, 2_000, 200))
+                .unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 512);
+        assert!(
+            report.stolen > 0,
+            "a single hot ring must shed work to thieves"
+        );
     }
 
     #[test]

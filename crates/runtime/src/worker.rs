@@ -4,15 +4,21 @@
 //! service template, so every registered world's EPTP resolves) and a
 //! private [`WorldCallUnit`] — its own WT-/IWT-caches, exactly as each
 //! core of a real CrossOver machine would have its own cache hardware.
-//! The shared state is the [`ShardedWorldTable`] (the hypervisor-managed
-//! table all cores walk on a miss) and the invalidation bus (the
-//! concurrent analogue of `manage_wtc` invalidate: deletes are broadcast
-//! and each worker purges its caches before its next batch).
+//! The platform clone also carries a private unified TLB, so repeated
+//! calls into the same worlds hit warm translations. The shared state is
+//! the [`ShardedWorldTable`] (the hypervisor-managed table all cores walk
+//! on a miss) and the invalidation bus (the concurrent analogue of
+//! `manage_wtc` invalidate: deletes are broadcast and each worker purges
+//! its caches before its next batch).
 //!
 //! Metering is lock-free on the hot path: every charge lands on the
 //! worker's private CPU meter; the service merges the meters into an
-//! [`hypervisor::smp::SmpMachine`] when the pool drains.
+//! [`hypervisor::smp::SmpMachine`] when the pool drains. Under the
+//! lock-free dispatcher the pop path is lock-free too: the worker drains
+//! its own ring into a local backlog (forming same-callee batches there)
+//! and steals from peer rings only when idle.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,16 +28,18 @@ use crossover::manager::{
     SAVE_STATE_INSTRUCTIONS,
 };
 use crossover::world::WorldEntry;
-use crossover::wtc::CacheStats;
+use crossover::wtc::{CacheGeometry, CacheStats};
 use crossover::WorldError;
 use hypervisor::platform::Platform;
 use hypervisor::ExitReason;
 use machine::account::Meter;
 use machine::trace::TransitionKind;
+use mmu::addr::PAGE_SIZE;
+use mmu::perms::Perms;
+use mmu::tlb::TlbStats;
 
-use crate::queue::Queue;
-use crate::router::{CallOutcome, CallRequest, CallVerdict};
-use crate::service::InvalidationBus;
+use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
+use crate::service::{Dispatcher, InvalidationBus, WorldMemory};
 use crate::shard::ShardedWorldTable;
 
 /// Everything a worker thread needs; built by the service at start.
@@ -39,11 +47,15 @@ pub(crate) struct WorkerContext {
     pub index: usize,
     pub platform: Platform,
     pub table: Arc<ShardedWorldTable>,
-    pub queue: Arc<Queue<CallRequest>>,
+    pub dispatcher: Arc<Dispatcher>,
     pub bus: Arc<InvalidationBus>,
     pub batch_max: usize,
     /// Per-worker simulated clocks (cycles) for virtual-time pacing.
     pub clocks: Arc<Vec<AtomicU64>>,
+    /// Attached per-world working sets, keyed by raw WID.
+    pub memory: Arc<HashMap<u64, WorldMemory>>,
+    /// Shape of this worker's private WT/IWT caches.
+    pub wtc_geometry: CacheGeometry,
 }
 
 /// How far (in simulated cycles) a worker may run ahead of the slowest
@@ -98,6 +110,12 @@ pub struct WorkerReport {
     pub wt: CacheStats,
     /// IWT-cache statistics of this worker's call unit.
     pub iwt: CacheStats,
+    /// Unified-TLB statistics of this worker's platform.
+    pub tlb: TlbStats,
+    /// Summed virtual-time dispatch delay over this worker's requests.
+    pub queue_wait_cycles: u64,
+    /// Requests this worker stole from peers' rings.
+    pub stolen: u64,
 }
 
 impl WorkerReport {
@@ -121,6 +139,19 @@ fn schedule_in(platform: &mut Platform, entry: &WorldEntry) {
     cpu.load_eptp(0, entry.context.eptp);
 }
 
+/// Runs the callee body's working-set touches: `touch_pages` priced
+/// virtual-memory accesses into the callee's attached memory, cycling
+/// over its pages. The first lap after a cold start (or an EPT-switching
+/// dispatcher without a tagged TLB) pays full page walks; warm laps hit.
+fn touch_working_set(platform: &mut Platform, memory: &WorldMemory, touches: u64) {
+    for i in 0..touches {
+        let gva = memory.base + (i % memory.pages) * PAGE_SIZE;
+        platform
+            .access_gva(&memory.pt, gva, Perms::rw())
+            .expect("attached working set always translates");
+    }
+}
+
 /// Runs one request end to end, returning its verdict. The measured
 /// section (caller state save → caller state restore) is delimited by
 /// the caller's meter, mirroring `WorldManager::call`/`ret` but driven
@@ -129,6 +160,7 @@ fn execute(
     platform: &mut Platform,
     unit: &mut WorldCallUnit,
     table: &ShardedWorldTable,
+    memory: &HashMap<u64, WorldMemory>,
     req: &CallRequest,
 ) -> (CallVerdict, u64) {
     let caller_entry = match table.lookup(req.caller) {
@@ -166,6 +198,15 @@ fn execute(
                 started_at_cycles: platform.cpu().meter().cycles(),
                 budget_cycles: req.budget_cycles,
             };
+            // The callee body: working-set memory accesses (priced via
+            // the unified TLB) plus abstract compute work. Both count
+            // against the §3.4 budget — the deadline bounds *service
+            // time*, not queue depth.
+            if req.touch_pages > 0 {
+                if let Some(mem) = memory.get(&req.callee.raw()) {
+                    touch_working_set(platform, mem, req.touch_pages);
+                }
+            }
             platform
                 .cpu_mut()
                 .charge_work(req.work_cycles, req.work_instructions, "callee body");
@@ -212,37 +253,112 @@ fn execute(
     (verdict, latency)
 }
 
+/// Takes the next destination-affine batch from the dispatcher. Under
+/// the mutex queue this is the queue's own `pop_batch`. Under the rings
+/// the worker first drains its own ring into `backlog` (bounded at twice
+/// the batch size), then extracts the first request's same-callee group
+/// from the backlog, preserving the relative order of what stays behind.
+/// Sets `first_stolen` when the leading request came from a peer's ring.
+/// Empty result means closed-and-drained.
+fn next_batch(
+    dispatcher: &Dispatcher,
+    home: usize,
+    batch_max: usize,
+    backlog: &mut VecDeque<Queued>,
+    first_stolen: &mut bool,
+) -> Vec<Queued> {
+    *first_stolen = false;
+    match dispatcher {
+        Dispatcher::Mutex(queue) => queue.pop_batch(batch_max, |q: &Queued| q.req.callee),
+        Dispatcher::Rings(rings) => {
+            let first = match backlog.pop_front() {
+                Some(q) => q,
+                None => match rings.pop(home) {
+                    Some((q, stolen)) => {
+                        *first_stolen = stolen;
+                        q
+                    }
+                    None => return Vec::new(),
+                },
+            };
+            while backlog.len() < batch_max.saturating_mul(2) {
+                match rings.try_pop_local(home) {
+                    Some(q) => backlog.push_back(q),
+                    None => break,
+                }
+            }
+            let callee = first.req.callee;
+            let mut batch = vec![first];
+            backlog.retain(|q| {
+                if batch.len() < batch_max && q.req.callee == callee {
+                    batch.push(*q);
+                    false
+                } else {
+                    true
+                }
+            });
+            batch
+        }
+    }
+}
+
 /// The worker thread body: pop destination-batched requests until the
-/// queue closes and drains, servicing invalidation broadcasts between
-/// batches.
+/// dispatcher closes and drains, servicing invalidation broadcasts
+/// between batches.
 pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
     // The template platform's meter carries registration-time costs;
     // each worker accounts only its own execution.
     ctx.platform.cpu_mut().meter_mut().reset();
-    let mut unit = WorldCallUnit::new();
+    let mut unit = WorldCallUnit::with_geometry(ctx.wtc_geometry);
     let mut outcomes = Vec::new();
     let mut batches = 0u64;
+    let mut backlog: VecDeque<Queued> = VecDeque::new();
+    let mut stolen = 0u64;
+    let mut queue_wait_cycles = 0u64;
     loop {
         pace(&ctx.clocks, ctx.index, ctx.platform.cpu().meter().cycles());
-        let batch = ctx
-            .queue
-            .pop_batch(ctx.batch_max, |r: &CallRequest| r.callee);
+        let mut first_stolen = false;
+        let batch = next_batch(
+            &ctx.dispatcher,
+            ctx.index,
+            ctx.batch_max,
+            &mut backlog,
+            &mut first_stolen,
+        );
         if batch.is_empty() {
             break; // closed and drained
         }
         batches += 1;
+        if first_stolen {
+            stolen += 1;
+        }
         // Concurrent manage_wtc: purge every world deleted since the
         // last batch from this worker's private caches.
         for wid in ctx.bus.drain(ctx.index) {
             unit.manage_wtc_invalidate(&mut ctx.platform, wid);
         }
-        for req in batch {
-            let (verdict, latency_cycles) = execute(&mut ctx.platform, &mut unit, &ctx.table, &req);
+        for (i, queued) in batch.into_iter().enumerate() {
+            let wait = ctx
+                .platform
+                .cpu()
+                .meter()
+                .cycles()
+                .saturating_sub(queued.stamped_at);
+            queue_wait_cycles += wait;
+            let (verdict, latency_cycles) = execute(
+                &mut ctx.platform,
+                &mut unit,
+                &ctx.table,
+                &ctx.memory,
+                &queued.req,
+            );
             outcomes.push(CallOutcome {
-                request: req,
+                request: queued.req,
                 verdict,
                 latency_cycles,
+                queue_wait_cycles: wait,
                 worker: ctx.index,
+                stolen: i == 0 && first_stolen,
             });
         }
     }
@@ -255,5 +371,8 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         batches,
         wt: unit.wt_stats(),
         iwt: unit.iwt_stats(),
+        tlb: ctx.platform.tlb_stats(),
+        queue_wait_cycles,
+        stolen,
     }
 }
