@@ -71,6 +71,7 @@ struct Point {
     iwt_hit_rate: f64,
     tlb_hit_rate: f64,
     queue_wait_cycles: u64,
+    queue_wait_mean_cycles: f64,
     stolen: u64,
 }
 
@@ -148,6 +149,7 @@ fn run_point(cfg: Config, workers: usize) -> Point {
         iwt_hit_rate: hit_rate(report.iwt.hits, report.iwt.misses),
         tlb_hit_rate: hit_rate(report.tlb.hits, report.tlb.misses),
         queue_wait_cycles: report.queue_wait_cycles,
+        queue_wait_mean_cycles: report.mean_queue_wait_cycles(),
         stolen: report.stolen,
     }
 }
@@ -167,6 +169,7 @@ fn write_point(out: &mut String, p: &Point) {
          \x20       \"iwt_hit_rate\": {:.4},\n\
          \x20       \"tlb_hit_rate\": {:.4},\n\
          \x20       \"queue_wait_cycles\": {},\n\
+         \x20       \"queue_wait_mean_cycles\": {:.1},\n\
          \x20       \"stolen\": {}\n\
          \x20     }}",
         p.workers,
@@ -180,6 +183,7 @@ fn write_point(out: &mut String, p: &Point) {
         p.iwt_hit_rate,
         p.tlb_hit_rate,
         p.queue_wait_cycles,
+        p.queue_wait_mean_cycles,
         p.stolen,
     );
 }
@@ -196,14 +200,14 @@ fn main() {
             let p = run_point(cfg, workers);
             eprintln!(
                 "{:>8} workers={:2}  {:>7.0} cyc/call  wt/iwt/tlb {:.2}/{:.2}/{:.2}  \
-                 wait {:>12} cyc  stolen {}",
+                 wait {:>7.0} cyc/call mean  stolen {}",
                 cfg.name,
                 p.workers,
                 p.cycles_per_call,
                 p.wt_hit_rate,
                 p.iwt_hit_rate,
                 p.tlb_hit_rate,
-                p.queue_wait_cycles,
+                p.queue_wait_mean_cycles,
                 p.stolen,
             );
             points.push(p);

@@ -27,6 +27,9 @@
 //!   defence against non-returning callees (§3.4).
 //! * [`binding`] — the §3.4 alternative design: a hardware-checked
 //!   caller/callee binding table (ablation).
+//! * [`switchless`] — shared-memory call channels priced as guest-memory
+//!   accesses: the substrate for coalescing many calls into one world
+//!   transition pair (amortized transitions/call < 1 on hot pairs).
 //! * [`plan`] — the hop planner behind Table 3 and Table 1: minimal
 //!   transition counts between any two worlds under each mechanism.
 //!
@@ -69,6 +72,7 @@ pub mod manager;
 pub mod plan;
 pub mod prefetch;
 pub mod service;
+pub mod switchless;
 pub mod table;
 pub mod world;
 pub mod wtc;
@@ -76,6 +80,7 @@ pub mod wtc;
 pub use call::WorldCallUnit;
 pub use manager::{AuthPolicy, CallToken, WorldManager};
 pub use plan::{HopPlanner, Mechanism, WorldCoord};
+pub use switchless::{ChannelSegment, DrainStats};
 pub use table::{WorldLookup, WorldTable};
 pub use world::{Wid, WorldContext, WorldDescriptor};
 

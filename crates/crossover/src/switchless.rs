@@ -1,0 +1,355 @@
+//! Switchless call channels: priced shared-memory request/response rings.
+//!
+//! The classic `world_call` path charges every call a full caller→callee
+//! →caller transition pair plus state save/restore, even when thousands
+//! of calls target the same callee back to back. The switchless layer
+//! amortizes that: callers deposit requests in a shared-memory ring and
+//! a *callee-resident dispatcher* drains a whole batch per transition
+//! pair, so the amortized transitions/call on a hot pair drops below
+//! one (the same cost structure ZC-switchless exploits for SGX
+//! ecalls — see PAPERS.md).
+//!
+//! The simulation stays honest by pricing the ring as what it is:
+//! guest memory. A [`ChannelSegment`] is a real allocated guest-memory
+//! region mapped into the callee's address space; every request-slot
+//! read and response-slot write the resident dispatcher performs is a
+//! [`hypervisor::platform::Platform::access_gva`] through the worker's
+//! unified TLB — a warm slot costs one cycle, a cold one pays the full
+//! two-stage walk. Nothing about the channel is free.
+//!
+//! Layout: one segment per callee world, one *lane* (page) per caller
+//! hash, so each (caller-world, callee-world) pair owns a private ring
+//! of [`SLOTS_PER_LANE`] cache-line-sized slots and two pairs never
+//! false-share a line. Channel admission is the callee's business, as
+//! all CrossOver authorization is (§3.4): a segment can carry a
+//! [`crate::service::ServiceRegistry`] and callers it would refuse are
+//! simply denied a channel — they fall back to the classic per-call
+//! path, they are not refused service.
+//!
+//! The *dispatcher policy* — how long a worker stays resident in the
+//! callee world, when it spins versus returns — lives in the runtime
+//! crate; this module is the hardware/memory substrate plus the cost
+//! bookkeeping both sides share.
+
+#![deny(missing_docs)]
+
+use hypervisor::platform::Platform;
+use hypervisor::HvError;
+use machine::trace::TransitionKind;
+use mmu::addr::{Gva, PAGE_SIZE};
+use mmu::pagetable::PageTable;
+use mmu::perms::Perms;
+
+use crate::manager::{RESTORE_STATE_CYCLES, SAVE_STATE_CYCLES};
+use crate::service::ServiceRegistry;
+use crate::world::Wid;
+
+/// Bytes per ring slot: one cache line carries the marshalled request
+/// (or response) header, matching how real switchless runtimes size
+/// their entries to avoid false sharing.
+pub const SLOT_BYTES: u64 = 64;
+
+/// Slots per lane: one page of cache-line slots.
+pub const SLOTS_PER_LANE: u64 = PAGE_SIZE / SLOT_BYTES;
+
+/// SplitMix64 finalizer — the same mixer the WT-cache index uses, so
+/// adjacent WIDs spread across lanes instead of clustering.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One callee world's shared request/response segment: `lanes` pages of
+/// guest memory mapped rw into the callee's address space, each lane a
+/// private ring for one caller-hash.
+///
+/// The segment is allocated before the worker pool starts (like a
+/// working set: the pages must exist in the EPT every worker clones)
+/// and is immutable afterwards; per-worker slot cursors and statistics
+/// live with the worker, so segments can be shared read-only across the
+/// pool.
+#[derive(Debug, Clone)]
+pub struct ChannelSegment {
+    pt: PageTable,
+    base: Gva,
+    lanes: u64,
+    grants: Option<ServiceRegistry>,
+}
+
+impl ChannelSegment {
+    /// Wraps an allocated, mapped region as a channel segment.
+    ///
+    /// `pt` must be rooted at the callee world's PTP and map `lanes`
+    /// consecutive rw pages at `base` (the runtime service does the
+    /// allocation and mapping, exactly as it does for working sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(pt: PageTable, base: Gva, lanes: u64) -> ChannelSegment {
+        assert!(lanes > 0, "a channel segment needs at least one lane");
+        ChannelSegment {
+            pt,
+            base,
+            lanes,
+            grants: None,
+        }
+    }
+
+    /// Attaches a callee-side admission policy: callers the registry
+    /// would refuse get no channel (and must use the classic path).
+    pub fn with_grants(mut self, grants: ServiceRegistry) -> ChannelSegment {
+        self.grants = Some(grants);
+        self
+    }
+
+    /// Number of lanes (pages) in the segment.
+    pub fn lanes(&self) -> u64 {
+        self.lanes
+    }
+
+    /// First mapped guest-virtual address.
+    pub fn base(&self) -> Gva {
+        self.base
+    }
+
+    /// The lane `caller`'s requests ride in.
+    pub fn lane_of(&self, caller: Wid) -> u64 {
+        mix64(caller.raw()) % self.lanes
+    }
+
+    /// Whether `caller` is granted a channel. Without an attached
+    /// registry every caller is admitted; with one, only callers the
+    /// registry would serve (at any tier) are. The check is
+    /// side-effect-free — the throttle window is the *service*'s
+    /// accounting, not the channel's.
+    pub fn admits(&self, caller: Wid) -> bool {
+        match &self.grants {
+            None => true,
+            Some(r) => r.would_serve(caller),
+        }
+    }
+
+    /// Guest-virtual address of slot `seq` in `lane`.
+    fn slot_gva(&self, lane: u64, seq: u64) -> Gva {
+        debug_assert!(lane < self.lanes);
+        self.base + lane * PAGE_SIZE + (seq % SLOTS_PER_LANE) * SLOT_BYTES
+    }
+
+    /// The resident dispatcher reads one request slot: a priced guest
+    /// memory access through the platform's current (CR3, EPTP) tags —
+    /// i.e. through the *callee's* mapping, since the dispatcher runs
+    /// resident in the callee world. Returns the cycles charged (one on
+    /// a TLB hit, a full walk on a miss).
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Mmu`] if the segment does not translate (the service
+    /// mapped it before start, so this indicates a torn-down EPT).
+    pub fn read_request(
+        &self,
+        platform: &mut Platform,
+        lane: u64,
+        seq: u64,
+    ) -> Result<u64, HvError> {
+        self.priced_access(platform, lane, seq)
+    }
+
+    /// The resident dispatcher writes one response slot (same pricing
+    /// as [`ChannelSegment::read_request`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Mmu`] on translation failure.
+    pub fn write_response(
+        &self,
+        platform: &mut Platform,
+        lane: u64,
+        seq: u64,
+    ) -> Result<u64, HvError> {
+        self.priced_access(platform, lane, seq)
+    }
+
+    fn priced_access(&self, platform: &mut Platform, lane: u64, seq: u64) -> Result<u64, HvError> {
+        let before = platform.cpu().meter().cycles();
+        // rw: request and response share the slot's line, and a single
+        // perms tag avoids spurious permission-upgrade re-walks.
+        platform.access_gva(&self.pt, self.slot_gva(lane, seq), Perms::rw())?;
+        Ok(platform.cpu().meter().cycles() - before)
+    }
+}
+
+/// Cycles one *classic* call spends on pure switching that a coalesced
+/// batch amortizes across its members: caller state save, `world_call`,
+/// `world_call` return and state restore. The callee body, ring slot
+/// traffic and any WTC/TLB misses are *not* in here — those are paid
+/// per call on both paths.
+pub fn transition_pair_cycles(platform: &Platform) -> u64 {
+    let model = platform.cpu().cost_model();
+    SAVE_STATE_CYCLES
+        + RESTORE_STATE_CYCLES
+        + model.price(TransitionKind::WorldCall).cycles
+        + model.price(TransitionKind::WorldReturn).cycles
+}
+
+/// Per-pair drain accounting a resident dispatcher accumulates; the
+/// runtime sums these into its service report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Calls serviced through a channel (coalesced).
+    pub coalesced_calls: u64,
+    /// Caller→callee→caller transition pairs paid for those calls.
+    pub transition_pairs: u64,
+    /// Cycles charged for request/response slot accesses.
+    pub slot_cycles: u64,
+    /// Virtual-time cycles charged to spin-then-block waits.
+    pub spin_cycles: u64,
+    /// Residencies that ended because the ring ran dry before the
+    /// budget was spent (the controller's shrink signal).
+    pub dry_exits: u64,
+    /// Residencies that ended with budget exhausted and work possibly
+    /// left (the controller's grow signal).
+    pub saturated_exits: u64,
+    /// Residencies aborted by the §3.4 timeout machinery.
+    pub timeout_aborts: u64,
+    /// Groups that fell back to the classic path mid-flight (callee
+    /// vanished, control-flow violation).
+    pub fallback_groups: u64,
+    /// Returns the hypervisor had to force because the caller world was
+    /// deleted while the dispatcher was resident.
+    pub forced_returns: u64,
+}
+
+impl DrainStats {
+    /// Folds `other` into `self`.
+    pub fn absorb(&mut self, other: &DrainStats) {
+        self.coalesced_calls += other.coalesced_calls;
+        self.transition_pairs += other.transition_pairs;
+        self.slot_cycles += other.slot_cycles;
+        self.spin_cycles += other.spin_cycles;
+        self.dry_exits += other.dry_exits;
+        self.saturated_exits += other.saturated_exits;
+        self.timeout_aborts += other.timeout_aborts;
+        self.fallback_groups += other.fallback_groups;
+        self.forced_returns += other.forced_returns;
+    }
+
+    /// Amortized world transitions per coalesced call (2 per pair); the
+    /// switchless claim is that this is `< 1.0` on hot pairs. Returns
+    /// `f64::NAN` when no calls were coalesced.
+    pub fn transitions_per_call(&self) -> f64 {
+        if self.coalesced_calls == 0 {
+            return f64::NAN;
+        }
+        (self.transition_pairs * 2) as f64 / self.coalesced_calls as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceTier;
+    use hypervisor::vm::VmConfig;
+
+    fn mapped_segment(platform: &mut Platform, lanes: u64) -> (ChannelSegment, u64) {
+        let vm = platform.create_vm(VmConfig::named("seg")).unwrap();
+        let gpa = platform.alloc_guest_pages(vm, lanes).unwrap();
+        let base = Gva(0x5000_0000);
+        let mut pt = PageTable::new(0xAB00_0000);
+        for i in 0..lanes {
+            pt.map(base + i * PAGE_SIZE, gpa + i * PAGE_SIZE, Perms::rw())
+                .unwrap();
+        }
+        let eptp = platform.eptp_of(vm).unwrap();
+        platform.vmentry(vm).unwrap();
+        platform.cpu_mut().force_cr3(0xAB00_0000);
+        (ChannelSegment::new(pt, base, lanes), eptp)
+    }
+
+    #[test]
+    fn slot_accesses_are_priced_through_the_tlb() {
+        let mut p = Platform::new_default();
+        let (seg, _) = mapped_segment(&mut p, 2);
+        // Cold slot: full two-stage walk. Warm slot in the same lane
+        // (same page): one-cycle TLB hit.
+        let cold = seg.read_request(&mut p, 0, 0).unwrap();
+        let warm = seg.write_response(&mut p, 0, 0).unwrap();
+        assert!(cold > warm, "cold {cold} must out-cost warm {warm}");
+        assert_eq!(warm, 1, "warm slot access is one cycle (TLB hit)");
+        // A different lane is a different page: cold again.
+        let other = seg.read_request(&mut p, 1, 0).unwrap();
+        assert_eq!(other, cold, "each lane pays its own first walk");
+    }
+
+    #[test]
+    fn sequential_slots_wrap_within_the_lane() {
+        let mut p = Platform::new_default();
+        let (seg, _) = mapped_segment(&mut p, 1);
+        assert_eq!(seg.slot_gva(0, 0), seg.slot_gva(0, SLOTS_PER_LANE));
+        assert_ne!(seg.slot_gva(0, 0), seg.slot_gva(0, 1));
+        // Wrapping never leaves the mapped page.
+        for seq in 0..3 * SLOTS_PER_LANE {
+            seg.read_request(&mut p, 0, seq).unwrap();
+        }
+    }
+
+    #[test]
+    fn lanes_spread_callers() {
+        let pt = PageTable::new(0x1000);
+        let seg = ChannelSegment::new(pt, Gva(0x9000_0000), 8);
+        let mut seen = std::collections::HashSet::new();
+        for raw in 1..64u64 {
+            let lane = seg.lane_of(Wid::from_raw(raw));
+            assert!(lane < 8);
+            seen.insert(lane);
+        }
+        assert!(seen.len() > 4, "mixer should use most lanes, got {seen:?}");
+    }
+
+    #[test]
+    fn grants_gate_channel_admission_without_side_effects() {
+        let (a, b) = crate::binding::test_wids();
+        let mut reg = ServiceRegistry::new();
+        reg.grant(a, ServiceTier::Full);
+        let seg = ChannelSegment::new(PageTable::new(0x1000), Gva(0x9000_0000), 1)
+            .with_grants(reg.clone());
+        assert!(seg.admits(a));
+        assert!(!seg.admits(b), "unknown caller gets no channel");
+        // Ungated segments admit everyone.
+        let open = ChannelSegment::new(PageTable::new(0x1000), Gva(0x9000_0000), 1);
+        assert!(open.admits(b));
+        // Admission checks must not consume served/refused counters.
+        assert_eq!(reg.served(), 0);
+        assert_eq!(reg.refused(), 0);
+    }
+
+    #[test]
+    fn transition_pair_cycles_matches_the_cost_model() {
+        let p = Platform::new_default();
+        // 30 save + 30 restore + 200 call + 200 return with the default
+        // Haswell-derived model.
+        assert_eq!(transition_pair_cycles(&p), 460);
+    }
+
+    #[test]
+    fn drain_stats_absorb_and_amortize() {
+        let mut a = DrainStats {
+            coalesced_calls: 12,
+            transition_pairs: 2,
+            ..DrainStats::default()
+        };
+        let b = DrainStats {
+            coalesced_calls: 4,
+            transition_pairs: 2,
+            slot_cycles: 9,
+            ..DrainStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.coalesced_calls, 16);
+        assert_eq!(a.transition_pairs, 4);
+        assert_eq!(a.slot_cycles, 9);
+        assert!((a.transitions_per_call() - 0.5).abs() < 1e-12);
+        assert!(DrainStats::default().transitions_per_call().is_nan());
+    }
+}

@@ -71,6 +71,66 @@ impl SplitMix64 {
     }
 }
 
+/// Zipf(s) sampler over ranks `0..n` via a precomputed CDF.
+///
+/// Rank 0 is the most popular element; rank `k` has weight
+/// `1 / (k + 1)^s`. Benchmarks use it to draw skewed callee
+/// distributions (a few hot service worlds, a long cold tail), the
+/// shape the switchless controller is designed around. Sampling is one
+/// uniform draw plus a binary search — O(log n) and allocation-free
+/// after construction.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[k]` = P(rank <= k); the last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF for `n` ranks with exponent `s`.
+    ///
+    /// `s == 0.0` degenerates to the uniform distribution; `s` around
+    /// 1.0 is the classic Zipf shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        cdf[n - 1] = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (sampling always returns 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `[0, n)` using `rng` for the uniform variate.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +175,61 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn zero_bound_panics() {
         SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(16, 1.0);
+        let mut r = SplitMix64::new(0xD15C);
+        let mut counts = [0u64; 16];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Rank 0 carries weight 1 / H_16 ~ 0.296; rank 15 ~ 0.0185.
+        assert!(counts[0] > 25_000, "rank 0 undersampled: {}", counts[0]);
+        assert!(counts[0] > 10 * counts[15], "tail not suppressed");
+        // Monotone-ish head: the first rank strictly dominates the next.
+        assert!(counts[0] > counts[1] && counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut r = SplitMix64::new(9);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            // Each rank expects 10_000; allow a generous 15% band.
+            assert!((8_500..=11_500).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut r = SplitMix64::new(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let z = Zipf::new(32, 0.9);
+        let mut a = SplitMix64::new(77);
+        let mut b = SplitMix64::new(77);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        Zipf::new(0, 1.0);
     }
 }

@@ -144,6 +144,7 @@ fn run_point(workers: usize) -> BenchPoint {
         iwt_hit_rate: hit_rate(report.iwt.hits, report.iwt.misses),
         tlb_hit_rate: hit_rate(report.tlb.hits, report.tlb.misses),
         queue_wait_cycles: report.queue_wait_cycles,
+        queue_wait_mean_cycles: report.mean_queue_wait_cycles(),
         stolen: report.stolen,
         shard_contended: report.contention.shard_contended,
         index_contended: report.contention.index_contended,

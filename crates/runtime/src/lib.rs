@@ -38,6 +38,17 @@
 //!   carries its virtual-time queue wait. On drain the per-worker
 //!   meters merge into an [`hypervisor::smp::SmpMachine`], one core per
 //!   worker, alongside summed WT/IWT/TLB statistics.
+//! * [`switchless`] — the switchless fast path's policy layer. Callees
+//!   with an attached [`crossover::switchless::ChannelSegment`] (priced
+//!   shared guest memory) are serviced by *resident dispatchers*: one
+//!   save/`world_call`/return/restore transition pair amortized over a
+//!   coalesced same-(caller, callee) batch, every request/response slot
+//!   access priced through the worker TLB. The configless
+//!   [`switchless::Controller`] tunes the per-callee resident budget
+//!   each virtual-time epoch from dry/saturated residency exits and
+//!   ring occupancy, shrinking idle channels back to the classic
+//!   per-call path ([`switchless::SwitchlessMode::Off`] keeps PR-2
+//!   behavior bit for bit).
 //! * `serve_bench` (the crate's binary) — sweeps the worker count and
 //!   emits `BENCH_runtime.json`: simulated calls/sec (derived from the
 //!   makespan, so it is host-independent), p50/p99 service latency,
@@ -55,14 +66,19 @@ pub mod ring;
 pub mod router;
 pub mod service;
 pub mod shard;
+pub mod switchless;
 mod worker;
 
 pub use queue::{PushError, Queue};
 pub use ring::{Ring, RingSet};
 pub use router::{CallOutcome, CallRequest, CallVerdict};
 pub use service::{
-    DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError, WorldCallService,
-    WorldMemory,
+    DeadlinePolicy, DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError,
+    WorldCallService, WorldMemory,
 };
 pub use shard::{ContentionSnapshot, ShardedWorldTable};
+pub use switchless::{
+    converged, Controller, EpochSnapshot, PairTraffic, SwitchlessConfig, SwitchlessMode,
+    SwitchlessSummary, SwitchlessWorkerStats,
+};
 pub use worker::WorkerReport;

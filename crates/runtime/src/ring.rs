@@ -233,6 +233,13 @@ impl<T: Send> RingSet<T> {
         self.len() == 0
     }
 
+    /// Queued items in `home`'s ring alone (approximate under
+    /// concurrency, like [`RingSet::len`]). The switchless controller
+    /// samples this as its ring-occupancy signal.
+    pub fn len_of(&self, home: usize) -> usize {
+        self.rings[home].len()
+    }
+
     /// Closes the dispatcher: pending items remain poppable, new pushes
     /// fail, and blocked poppers return `None` once everything drains.
     pub fn close(&self) {

@@ -101,6 +101,10 @@ pub struct CallOutcome {
     /// Whether the executing worker stole the request from a peer's ring
     /// (always `false` under the mutex-queue dispatcher).
     pub stolen: bool,
+    /// Whether the call was serviced through a switchless channel (its
+    /// world transitions amortized across a coalesced batch) rather
+    /// than the classic per-call path.
+    pub coalesced: bool,
 }
 
 #[cfg(test)]

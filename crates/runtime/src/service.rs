@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crossover::service::ServiceRegistry;
+use crossover::switchless::ChannelSegment;
 use crossover::table::DEFAULT_WORLD_QUOTA;
 use crossover::world::{Wid, WorldDescriptor};
 use crossover::wtc::{CacheGeometry, CacheStats};
@@ -33,6 +35,7 @@ use crate::queue::{PushError, Queue};
 use crate::ring::RingSet;
 use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::shard::{ContentionSnapshot, ShardedWorldTable, DEFAULT_SHARDS};
+use crate::switchless::{Controller, PairTraffic, SwitchlessConfig, SwitchlessSummary};
 use crate::worker::{self, WorkerContext, WorkerReport};
 
 /// Which dispatch structure carries requests from submitters to workers.
@@ -45,6 +48,22 @@ pub enum DispatchMode {
     /// The single `Mutex<VecDeque>` MPMC queue — kept as the ablation
     /// baseline the rings are measured against.
     MutexQueue,
+}
+
+/// What a [`CallRequest`]'s cycle budget bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlinePolicy {
+    /// On-CPU service time only (the documented §3.4 semantics: the
+    /// timer arms when the callee starts running). A call's timeout
+    /// verdict is then independent of queue depth, which is what keeps
+    /// the bench's `timed_out` count constant across worker counts.
+    #[default]
+    OnCpu,
+    /// End-to-end: the budget also covers the request's virtual-time
+    /// queue wait, so deadlines bound what a tenant actually observes.
+    /// Opt-in, because a backlogged service then cancels work the
+    /// on-CPU policy would happily finish.
+    IncludeQueueWait,
 }
 
 /// Pool and table sizing.
@@ -70,6 +89,11 @@ pub struct RuntimeConfig {
     pub unified_tlb: bool,
     /// Shape of each worker's private WT/IWT caches.
     pub wtc_geometry: CacheGeometry,
+    /// Switchless fast path (off by default: classic per-call behavior,
+    /// bit for bit).
+    pub switchless: SwitchlessConfig,
+    /// What per-call cycle budgets bound (on-CPU time by default).
+    pub deadline_policy: DeadlinePolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -83,6 +107,8 @@ impl Default for RuntimeConfig {
             dispatch: DispatchMode::default(),
             unified_tlb: true,
             wtc_geometry: CacheGeometry::default(),
+            switchless: SwitchlessConfig::default(),
+            deadline_policy: DeadlinePolicy::default(),
         }
     }
 }
@@ -133,6 +159,15 @@ impl Dispatcher {
         match self {
             Dispatcher::Rings(r) => r.close(),
             Dispatcher::Mutex(q) => q.close(),
+        }
+    }
+
+    /// Approximate occupancy of `home`'s inbox (the whole queue under
+    /// the mutex dispatcher) — the controller's ring-occupancy signal.
+    pub(crate) fn occupancy(&self, home: usize) -> usize {
+        match self {
+            Dispatcher::Rings(r) => r.len_of(home),
+            Dispatcher::Mutex(q) => q.len(),
         }
     }
 }
@@ -205,11 +240,18 @@ pub struct ServiceReport {
     /// Summed unified-TLB statistics across worker platforms.
     pub tlb: TlbStats,
     /// Summed virtual-time dispatch delay (cycles) across all requests.
+    /// This is a *sum over calls* — with a deep backlog it legitimately
+    /// dwarfs the makespan (n calls each waiting ~makespan/2 sums to
+    /// ~n·makespan/2); compare [`ServiceReport::mean_queue_wait_cycles`]
+    /// against the makespan instead.
     pub queue_wait_cycles: u64,
     /// Batches whose leading request was stolen from a peer's ring.
     pub stolen: u64,
     /// World-table lock contention counters.
     pub contention: ContentionSnapshot,
+    /// Switchless-path accounting (all zero / empty when the layer is
+    /// off).
+    pub switchless: SwitchlessSummary,
 }
 
 impl ServiceReport {
@@ -218,6 +260,16 @@ impl ServiceReport {
         let mut l: Vec<u64> = self.outcomes.iter().map(|o| o.latency_cycles).collect();
         l.sort_unstable();
         l
+    }
+
+    /// Mean per-call queue wait (cycles). Unlike the summed
+    /// [`ServiceReport::queue_wait_cycles`], this is bounded by the
+    /// makespan: no single call can wait longer than the whole run.
+    pub fn mean_queue_wait_cycles(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.queue_wait_cycles as f64 / self.outcomes.len() as f64
     }
 
     /// Simulated throughput: completed calls per simulated second, with
@@ -258,6 +310,10 @@ pub struct WorldCallService {
     clocks: Arc<Vec<AtomicU64>>,
     /// Attached per-world working sets, keyed by raw WID.
     memory: HashMap<u64, WorldMemory>,
+    /// Attached per-callee switchless channel segments, keyed by raw WID.
+    segments: HashMap<u64, ChannelSegment>,
+    /// The shared budget controller (present when switchless is on).
+    controller: Option<Arc<Controller>>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
 }
@@ -284,6 +340,11 @@ impl WorldCallService {
             bus: Arc::new(InvalidationBus::new(config.workers)),
             clocks: Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect()),
             memory: HashMap::new(),
+            segments: HashMap::new(),
+            controller: config
+                .switchless
+                .enabled()
+                .then(|| Arc::new(Controller::new(config.switchless))),
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
         }
@@ -410,6 +471,80 @@ impl WorldCallService {
         self.memory.get(&wid.raw())
     }
 
+    /// Attaches a switchless channel segment to the registered callee
+    /// world `wid`: allocates [`SwitchlessConfig::segment_lanes`] backed
+    /// guest pages in `vm`, maps them rw in a page table rooted at the
+    /// world's PTP, and records the [`ChannelSegment`]. Workers then
+    /// service same-(caller, callee) batches into `wid` through the
+    /// channel — when [`RuntimeConfig::switchless`] is enabled — paying
+    /// one transition pair per coalesced batch plus priced slot
+    /// accesses, instead of a pair per call.
+    ///
+    /// Callees without a channel (notably host worlds, which have no VM
+    /// to allocate from) always use the classic path; attaching while
+    /// switchless is `Off` is allowed and simply stays dormant.
+    ///
+    /// Must precede [`WorldCallService::start`] (workers clone the
+    /// template's EPTs, which this extends).
+    ///
+    /// # Errors
+    ///
+    /// * [`HvError::NoSuchVm`] for an unknown VM.
+    /// * [`HvError::Mmu`] on mapping conflicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already started or `wid` is not a registered
+    /// world.
+    pub fn attach_channel(&mut self, wid: Wid, vm: VmId) -> Result<(), HvError> {
+        assert!(
+            self.handles.is_empty(),
+            "attach channels before starting the pool"
+        );
+        let entry = self
+            .table
+            .lookup(wid)
+            .expect("attach_channel requires a registered world");
+        let lanes = self.config.switchless.segment_lanes.max(1);
+        let gpa_base = self.template.alloc_guest_pages(vm, lanes)?;
+        // Disjoint from the 0x10_... working-set range, per-world offset
+        // for the same reason.
+        let base = Gva(0x20_0000_0000 + wid.raw() * 0x1000_0000);
+        let mut pt = PageTable::new(entry.context.ptp);
+        for i in 0..lanes {
+            pt.map(base + i * PAGE_SIZE, gpa_base + i * PAGE_SIZE, Perms::rw())?;
+        }
+        self.segments
+            .insert(wid.raw(), ChannelSegment::new(pt, base, lanes));
+        Ok(())
+    }
+
+    /// Replaces the channel admission policy of `wid`'s segment with
+    /// `grants` (see [`ChannelSegment::admits`]): callers the registry
+    /// would refuse fall back to the classic path. Without this call,
+    /// an attached channel admits every caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already started or `wid` has no attached
+    /// channel.
+    pub fn set_channel_grants(&mut self, wid: Wid, grants: ServiceRegistry) {
+        assert!(
+            self.handles.is_empty(),
+            "set channel grants before starting the pool"
+        );
+        let seg = self
+            .segments
+            .remove(&wid.raw())
+            .expect("set_channel_grants requires an attached channel");
+        self.segments.insert(wid.raw(), seg.with_grants(grants));
+    }
+
+    /// The attached channel segment of `wid`, if any.
+    pub fn channel(&self, wid: Wid) -> Option<&ChannelSegment> {
+        self.segments.get(&wid.raw())
+    }
+
     /// Spawns the worker pool.
     ///
     /// # Panics
@@ -418,6 +553,7 @@ impl WorldCallService {
     pub fn start(&mut self) {
         assert!(self.handles.is_empty(), "pool already started");
         let memory = Arc::new(self.memory.clone());
+        let segments = Arc::new(self.segments.clone());
         for index in 0..self.config.workers {
             let mut platform = self.template.clone();
             platform.set_tlb_enabled(self.config.unified_tlb);
@@ -431,6 +567,10 @@ impl WorldCallService {
                 clocks: Arc::clone(&self.clocks),
                 memory: Arc::clone(&memory),
                 wtc_geometry: self.config.wtc_geometry,
+                switchless: self.config.switchless,
+                controller: self.controller.clone(),
+                segments: Arc::clone(&segments),
+                deadline_policy: self.config.deadline_policy,
             };
             self.handles.push(
                 std::thread::Builder::new()
@@ -520,6 +660,8 @@ impl WorldCallService {
         let mut iwt = CacheStats::default();
         let mut tlb = TlbStats::default();
         let mut stolen = 0;
+        let mut switchless = SwitchlessSummary::default();
+        let mut per_callee: HashMap<u64, (u64, u64)> = HashMap::new();
         for r in &reports {
             smp.core_mut(CoreId(r.index as u32))
                 .expect("one core per worker")
@@ -530,6 +672,27 @@ impl WorldCallService {
             iwt = add_stats(iwt, r.iwt);
             tlb.absorb(&r.tlb);
             stolen += r.stolen;
+            switchless.drain.absorb(&r.switchless.drain);
+            switchless.classic_calls += r.switchless.classic_calls;
+            switchless.world_calls += r.world_calls;
+            switchless.world_returns += r.world_returns;
+            for (&callee, &(coalesced, pairs)) in &r.switchless.per_callee {
+                let slot = per_callee.entry(callee).or_insert((0, 0));
+                slot.0 += coalesced;
+                slot.1 += pairs;
+            }
+        }
+        switchless.per_callee = per_callee
+            .into_iter()
+            .map(|(callee, (coalesced, pairs))| PairTraffic {
+                callee,
+                coalesced,
+                pairs,
+            })
+            .collect();
+        switchless.per_callee.sort_unstable_by_key(|p| p.callee);
+        if let Some(ctl) = &self.controller {
+            switchless.epochs = ctl.history();
         }
         for r in reports {
             outcomes.extend(r.outcomes);
@@ -557,6 +720,7 @@ impl WorldCallService {
             queue_wait_cycles,
             stolen,
             contention: self.table.contention(),
+            switchless,
             outcomes,
         }
     }
@@ -565,6 +729,7 @@ impl WorldCallService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossover::service::ServiceTier;
 
     fn two_world_service(workers: usize) -> (WorldCallService, Wid, Wid) {
         let mut svc = WorldCallService::new(RuntimeConfig {
@@ -787,6 +952,253 @@ mod tests {
             report.stolen > 0,
             "a single hot ring must shed work to thieves"
         );
+    }
+
+    /// A single-worker service with a channel-equipped callee and a
+    /// prefilled same-pair backlog — the deterministic switchless rig.
+    fn switchless_service(
+        workers: usize,
+        switchless: SwitchlessConfig,
+    ) -> (WorldCallService, Wid, Wid) {
+        let mut svc = WorldCallService::new(RuntimeConfig {
+            workers,
+            switchless,
+            queue_capacity: 4096,
+            ..RuntimeConfig::default()
+        });
+        let vm1 = svc.create_vm(VmConfig::named("sw-a")).unwrap();
+        let vm2 = svc.create_vm(VmConfig::named("sw-b")).unwrap();
+        let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+        let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+        svc.attach_channel(callee, vm2).unwrap();
+        (svc, caller, callee)
+    }
+
+    #[test]
+    fn switchless_amortizes_transitions_below_one_per_call() {
+        let (mut svc, caller, callee) = switchless_service(1, SwitchlessConfig::fixed(16));
+        for _ in 0..128 {
+            svc.submit(CallRequest::new(caller, callee, 500, 100))
+                .unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 128);
+        let sw = &report.switchless;
+        assert!(sw.drain.coalesced_calls > 0, "channel saw traffic");
+        assert!(
+            sw.drain.transitions_per_call() < 1.0,
+            "hot pair amortizes: {} pairs over {} calls",
+            sw.drain.transition_pairs,
+            sw.drain.coalesced_calls
+        );
+        assert!(sw.drain.slot_cycles > 0, "slot traffic is priced");
+        let hot = sw.hottest_pair().expect("one hot pair");
+        assert_eq!(hot.callee, callee.raw());
+        assert!(hot.transitions_per_call() < 1.0);
+    }
+
+    #[test]
+    fn switchless_beats_classic_on_a_hot_pair() {
+        let run = |switchless: SwitchlessConfig| {
+            let (mut svc, caller, callee) = switchless_service(1, switchless);
+            for _ in 0..128 {
+                svc.submit(CallRequest::new(caller, callee, 300, 50))
+                    .unwrap();
+            }
+            svc.start();
+            let report = svc.drain();
+            assert_eq!(report.completed, 128);
+            report.smp.total_cycles()
+        };
+        let classic = run(SwitchlessConfig::default());
+        let coalesced = run(SwitchlessConfig::fixed(16));
+        assert!(
+            coalesced < classic,
+            "coalesced {coalesced} must undercut classic {classic}"
+        );
+    }
+
+    #[test]
+    fn channel_grants_gate_coalescing_back_to_classic() {
+        let (mut svc, caller, callee) = switchless_service(1, SwitchlessConfig::fixed(16));
+        // A registry that serves some *other* world only: our caller is
+        // denied a channel, not denied service.
+        let mut grants = ServiceRegistry::new();
+        grants.grant(Wid::from_raw(0xDEAD), ServiceTier::Full);
+        svc.set_channel_grants(callee, grants);
+        for _ in 0..32 {
+            svc.submit(CallRequest::new(caller, callee, 500, 100))
+                .unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 32, "denied a channel, still served");
+        assert_eq!(report.switchless.drain.coalesced_calls, 0);
+        assert_eq!(report.switchless.classic_calls, 32);
+        assert!(report.outcomes.iter().all(|o| !o.coalesced));
+    }
+
+    #[test]
+    fn timeout_aborts_residency_and_rest_of_chunk_goes_classic() {
+        let (mut svc, caller, callee) = switchless_service(1, SwitchlessConfig::fixed(16));
+        // Two sane calls, one budget-buster, then more sane calls — all
+        // one (caller, callee) pair, so they coalesce into one chunk.
+        for i in 0..16u64 {
+            let req = CallRequest::new(caller, callee, 400, 40);
+            let req = if i == 2 {
+                CallRequest::new(caller, callee, 50_000, 40).with_budget(1_000)
+            } else {
+                req
+            };
+            svc.submit(req).unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.timed_out, 1, "only the buster times out");
+        assert_eq!(report.completed, 15);
+        assert_eq!(report.switchless.drain.timeout_aborts, 1);
+        assert!(
+            report.switchless.classic_calls > 0,
+            "the aborted residency's leftovers fall back to classic"
+        );
+        let buster = report
+            .outcomes
+            .iter()
+            .find(|o| o.verdict == CallVerdict::TimedOut)
+            .unwrap();
+        assert!(buster.coalesced, "the buster died inside the residency");
+    }
+
+    #[test]
+    fn adaptive_controller_records_epochs_while_serving() {
+        let (mut svc, caller, callee) = switchless_service(
+            1,
+            SwitchlessConfig {
+                epoch_cycles: 50_000,
+                ..SwitchlessConfig::adaptive()
+            },
+        );
+        for _ in 0..512 {
+            svc.submit(CallRequest::new(caller, callee, 500, 100))
+                .unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 512);
+        assert!(
+            !report.switchless.epochs.is_empty(),
+            "the controller ticked at least once"
+        );
+    }
+
+    #[test]
+    fn deadline_policy_include_queue_wait_bounds_end_to_end() {
+        // Work of 2k cycles against a 20k budget: never times out
+        // on-CPU. A 64-deep single-worker backlog means tail requests
+        // wait far beyond 20k, so the end-to-end policy cancels them.
+        let run = |policy: DeadlinePolicy| {
+            let mut svc = WorldCallService::new(RuntimeConfig {
+                workers: 1,
+                deadline_policy: policy,
+                ..RuntimeConfig::default()
+            });
+            let vm1 = svc.create_vm(VmConfig::named("dp-a")).unwrap();
+            let vm2 = svc.create_vm(VmConfig::named("dp-b")).unwrap();
+            let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+            let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+            for _ in 0..64 {
+                svc.submit(CallRequest::new(caller, callee, 2_000, 200).with_budget(20_000))
+                    .unwrap();
+            }
+            svc.start();
+            svc.drain()
+        };
+        let on_cpu = run(DeadlinePolicy::OnCpu);
+        assert_eq!(on_cpu.timed_out, 0, "on-CPU budget is never exceeded");
+        assert_eq!(on_cpu.completed, 64);
+        let end_to_end = run(DeadlinePolicy::IncludeQueueWait);
+        assert!(
+            end_to_end.timed_out > 0,
+            "queue wait now counts against the budget"
+        );
+        assert_eq!(end_to_end.timed_out + end_to_end.completed, 64);
+    }
+
+    #[test]
+    fn default_policy_keeps_timed_out_constant_across_worker_counts() {
+        // The documented §3.4 semantics: a budget bounds on-CPU service
+        // time, so which calls time out is a property of the request,
+        // not of pool sizing. 10 abusive calls must time out whether 1
+        // or 4 workers drain the backlog.
+        let run = |workers: usize| {
+            let mut svc = WorldCallService::new(RuntimeConfig {
+                workers,
+                queue_capacity: 4096,
+                ..RuntimeConfig::default()
+            });
+            let vm1 = svc.create_vm(VmConfig::named("ct-a")).unwrap();
+            let vm2 = svc.create_vm(VmConfig::named("ct-b")).unwrap();
+            let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+            let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+            for i in 0..100u64 {
+                let req = if i % 10 == 3 {
+                    CallRequest::new(caller, callee, 50_000, 100).with_budget(1_000)
+                } else {
+                    CallRequest::new(caller, callee, 800, 100).with_budget(1_000_000)
+                };
+                svc.submit(req).unwrap();
+            }
+            svc.start();
+            svc.drain().timed_out
+        };
+        assert_eq!(run(1), 10);
+        assert_eq!(run(4), 10);
+    }
+
+    #[test]
+    fn mean_queue_wait_is_bounded_by_makespan() {
+        // The satellite fix: summed queue wait over a deep backlog
+        // legitimately exceeds the makespan (it is a sum over calls);
+        // the *mean* per-call wait cannot — no call waits longer than
+        // the run.
+        let (mut svc, caller, callee) = two_world_service(1);
+        for _ in 0..256 {
+            svc.submit(CallRequest::new(caller, callee, 2_000, 200))
+                .unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 256);
+        let makespan = report.smp.makespan_cycles();
+        assert!(
+            report.queue_wait_cycles > makespan,
+            "the sum dwarfs the makespan on a deep backlog (that is not a bug)"
+        );
+        assert!(
+            report.mean_queue_wait_cycles() <= makespan as f64,
+            "mean wait {} must be bounded by makespan {}",
+            report.mean_queue_wait_cycles(),
+            makespan
+        );
+    }
+
+    #[test]
+    fn prefetch_register_is_opt_in_and_functional() {
+        let (mut svc, caller, callee) = switchless_service(
+            1,
+            SwitchlessConfig {
+                prefetch_register: true,
+                ..SwitchlessConfig::fixed(8)
+            },
+        );
+        for _ in 0..32 {
+            svc.submit(CallRequest::new(caller, callee, 500, 100))
+                .unwrap();
+        }
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.completed, 32);
     }
 
     #[test]

@@ -11,6 +11,21 @@
 //! `manage_wtc` invalidate: deletes are broadcast and each worker purges
 //! its caches before its next batch).
 //!
+//! Two execution paths service a popped batch:
+//!
+//! * **classic** — one full transition pair per call (save → world_call
+//!   → body → return → restore), exactly the PR-2 behavior;
+//! * **coalesced** — when the callee has an attached
+//!   [`ChannelSegment`], the batch's same-(caller, callee) runs are
+//!   drained *resident*: one save + `world_call` opens the residency,
+//!   then up to the controller's budget of requests are serviced back
+//!   to back (each paying priced request-read and response-write slot
+//!   accesses through the worker TLB), then one return + restore closes
+//!   it. A residency that drains the ring dry spins briefly
+//!   (spin-then-block in virtual time) before returning; the §3.4
+//!   timeout machinery can abort a residency mid-batch, in which case
+//!   the remaining requests fall back to the classic path.
+//!
 //! Metering is lock-free on the hot path: every charge lands on the
 //! worker's private CPU meter; the service merges the meters into an
 //! [`hypervisor::smp::SmpMachine`] when the pool drains. Under the
@@ -27,7 +42,8 @@ use crossover::manager::{
     CallToken, RESTORE_STATE_CYCLES, RESTORE_STATE_INSTRUCTIONS, SAVE_STATE_CYCLES,
     SAVE_STATE_INSTRUCTIONS,
 };
-use crossover::world::WorldEntry;
+use crossover::switchless::ChannelSegment;
+use crossover::world::{Wid, WorldEntry};
 use crossover::wtc::{CacheGeometry, CacheStats};
 use crossover::WorldError;
 use hypervisor::platform::Platform;
@@ -39,8 +55,9 @@ use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
 
 use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
-use crate::service::{Dispatcher, InvalidationBus, WorldMemory};
+use crate::service::{DeadlinePolicy, Dispatcher, InvalidationBus, WorldMemory};
 use crate::shard::ShardedWorldTable;
+use crate::switchless::{Controller, SwitchlessConfig, SwitchlessWorkerStats};
 
 /// Everything a worker thread needs; built by the service at start.
 pub(crate) struct WorkerContext {
@@ -56,6 +73,14 @@ pub(crate) struct WorkerContext {
     pub memory: Arc<HashMap<u64, WorldMemory>>,
     /// Shape of this worker's private WT/IWT caches.
     pub wtc_geometry: CacheGeometry,
+    /// Switchless layer configuration.
+    pub switchless: SwitchlessConfig,
+    /// The shared budget controller (present when switchless is on).
+    pub controller: Option<Arc<Controller>>,
+    /// Attached per-callee channel segments, keyed by raw WID.
+    pub segments: Arc<HashMap<u64, ChannelSegment>>,
+    /// What the per-call deadline bounds.
+    pub deadline_policy: DeadlinePolicy,
 }
 
 /// How far (in simulated cycles) a worker may run ahead of the slowest
@@ -116,6 +141,12 @@ pub struct WorkerReport {
     pub queue_wait_cycles: u64,
     /// Requests this worker stole from peers' rings.
     pub stolen: u64,
+    /// Switchless-path accounting (all zero when the layer is off).
+    pub switchless: SwitchlessWorkerStats,
+    /// `world_call` transitions this worker's vCPU executed.
+    pub world_calls: u64,
+    /// `world_return` transitions this worker's vCPU executed.
+    pub world_returns: u64,
 }
 
 impl WorkerReport {
@@ -152,105 +183,346 @@ fn touch_working_set(platform: &mut Platform, memory: &WorldMemory, touches: u64
     }
 }
 
-/// Runs one request end to end, returning its verdict. The measured
-/// section (caller state save → caller state restore) is delimited by
-/// the caller's meter, mirroring `WorldManager::call`/`ret` but driven
-/// against the shared sharded table.
-fn execute(
-    platform: &mut Platform,
-    unit: &mut WorldCallUnit,
-    table: &ShardedWorldTable,
-    memory: &HashMap<u64, WorldMemory>,
-    req: &CallRequest,
-) -> (CallVerdict, u64) {
-    let caller_entry = match table.lookup(req.caller) {
-        Some(e) => e,
-        None => {
-            return (
-                CallVerdict::Failed(WorldError::InvalidWid { wid: req.caller }),
-                0,
-            )
+/// The per-worker execution engine: the platform/unit pair plus the
+/// accumulators both execution paths write. Bundling them keeps the
+/// classic and coalesced paths callable from each other (a residency
+/// aborted by a timeout falls back to classic for its leftovers)
+/// without threading a dozen arguments around.
+struct Engine<'a> {
+    platform: &'a mut Platform,
+    unit: &'a mut WorldCallUnit,
+    table: &'a ShardedWorldTable,
+    memory: &'a HashMap<u64, WorldMemory>,
+    clocks: &'a [AtomicU64],
+    index: usize,
+    policy: DeadlinePolicy,
+    spin_cycles: u64,
+    outcomes: Vec<CallOutcome>,
+    queue_wait_cycles: u64,
+    stats: SwitchlessWorkerStats,
+    /// Per-(callee, lane) slot cursors into channel segments.
+    cursors: HashMap<(u64, u64), u64>,
+}
+
+impl Engine<'_> {
+    fn now(&self) -> u64 {
+        self.platform.cpu().meter().cycles()
+    }
+
+    /// Publishes this worker's clock and computes the request's queue
+    /// wait. Publishing *per request* (not only at the batch-top pace
+    /// gate) keeps the min-live-clock submission stamp fresh during
+    /// long batches, so mid-run submissions aren't stamped with a stale
+    /// clock and over-credited with wait they never experienced.
+    fn stamp_wait(&mut self, queued: &Queued) -> u64 {
+        let now = self.now();
+        self.clocks[self.index].store(now, Ordering::Relaxed);
+        now.saturating_sub(queued.stamped_at)
+    }
+
+    /// The §3.4 deadline token for a call starting now. Under
+    /// [`DeadlinePolicy::IncludeQueueWait`] the token is back-dated by
+    /// the request's queue wait, so the budget bounds end-to-end
+    /// latency instead of on-CPU service time.
+    fn token(&self, req: &CallRequest, wait: u64) -> CallToken {
+        let now = self.now();
+        let started_at_cycles = match self.policy {
+            DeadlinePolicy::OnCpu => now,
+            DeadlinePolicy::IncludeQueueWait => now.saturating_sub(wait),
+        };
+        CallToken {
+            caller: req.caller,
+            callee: req.callee,
+            started_at_cycles,
+            budget_cycles: req.budget_cycles,
         }
-    };
-    schedule_in(platform, &caller_entry);
-    let start = platform.cpu().meter().cycles();
-    platform.cpu_mut().charge_work(
-        SAVE_STATE_CYCLES,
-        SAVE_STATE_INSTRUCTIONS,
-        "save caller state",
-    );
-    let verdict = match unit.world_call(platform, table, req.callee, Direction::Call) {
-        Err(e) => CallVerdict::Failed(e),
-        Ok(outcome) if outcome.from != req.caller => {
-            // Hardware-identified caller disagrees with the request's
-            // claimed identity: control-flow violation. Bounce back so
-            // the vCPU does not linger in the callee world.
-            let _ = unit.world_call(platform, table, req.caller, Direction::Return);
-            CallVerdict::Failed(WorldError::ControlFlowViolation {
-                expected: req.caller,
-                got: outcome.from,
-            })
-        }
-        Ok(_) => {
-            let token = CallToken {
-                caller: req.caller,
-                callee: req.callee,
-                started_at_cycles: platform.cpu().meter().cycles(),
-                budget_cycles: req.budget_cycles,
-            };
-            // The callee body: working-set memory accesses (priced via
-            // the unified TLB) plus abstract compute work. Both count
-            // against the §3.4 budget — the deadline bounds *service
-            // time*, not queue depth.
-            if req.touch_pages > 0 {
-                if let Some(mem) = memory.get(&req.callee.raw()) {
-                    touch_working_set(platform, mem, req.touch_pages);
-                }
+    }
+
+    /// Charges the callee body: working-set memory accesses (priced via
+    /// the unified TLB) plus abstract compute work. Both count against
+    /// the §3.4 budget.
+    fn run_body(&mut self, req: &CallRequest) {
+        if req.touch_pages > 0 {
+            if let Some(mem) = self.memory.get(&req.callee.raw()) {
+                touch_working_set(self.platform, mem, req.touch_pages);
             }
-            platform
-                .cpu_mut()
-                .charge_work(req.work_cycles, req.work_instructions, "callee body");
-            if token.expired(platform) {
-                // §3.4: the armed timer fires — a timer VMExit traps the
-                // callee (world_call left the platform's current-VM
-                // bookkeeping pointing at the callee, so this is safe),
-                // and the hypervisor forcibly restores the caller world.
-                if platform.cpu().mode().operation().is_guest() {
-                    platform
-                        .vmexit(ExitReason::ExternalInterrupt)
-                        .expect("guest mode implies a current VM");
+        }
+        self.platform
+            .cpu_mut()
+            .charge_work(req.work_cycles, req.work_instructions, "callee body");
+    }
+
+    /// §3.4: the armed timer fires — a timer VMExit traps the callee
+    /// (the platform's current-VM bookkeeping points at the callee, so
+    /// this is safe), and the hypervisor forcibly restores the caller
+    /// world.
+    fn hypervisor_cancel(&mut self, caller_entry: &WorldEntry, label: &'static str) {
+        if self.platform.cpu().mode().operation().is_guest() {
+            self.platform
+                .vmexit(ExitReason::ExternalInterrupt)
+                .expect("guest mode implies a current VM");
+        }
+        self.platform
+            .crossover_switch(
+                TransitionKind::WorldReturn,
+                caller_entry.context.mode(),
+                caller_entry.context.ptp,
+                caller_entry.context.eptp,
+            )
+            .expect("caller context was resolvable at call time");
+        self.platform.cpu_mut().charge_work(
+            RESTORE_STATE_CYCLES,
+            RESTORE_STATE_INSTRUCTIONS,
+            label,
+        );
+    }
+
+    /// Runs one request end to end on the classic path, returning its
+    /// verdict and on-CPU latency. The measured section (caller state
+    /// save → caller state restore) is delimited by the caller's meter,
+    /// mirroring `WorldManager::call`/`ret` but driven against the
+    /// shared sharded table.
+    fn execute(&mut self, req: &CallRequest, wait: u64) -> (CallVerdict, u64) {
+        let caller_entry = match self.table.lookup(req.caller) {
+            Some(e) => e,
+            None => {
+                return (
+                    CallVerdict::Failed(WorldError::InvalidWid { wid: req.caller }),
+                    0,
+                )
+            }
+        };
+        schedule_in(self.platform, &caller_entry);
+        self.unit.notify_context_switch(self.platform, self.table);
+        let start = self.now();
+        self.platform.cpu_mut().charge_work(
+            SAVE_STATE_CYCLES,
+            SAVE_STATE_INSTRUCTIONS,
+            "save caller state",
+        );
+        let verdict =
+            match self
+                .unit
+                .world_call(self.platform, self.table, req.callee, Direction::Call)
+            {
+                Err(e) => CallVerdict::Failed(e),
+                Ok(outcome) if outcome.from != req.caller => {
+                    // Hardware-identified caller disagrees with the request's
+                    // claimed identity: control-flow violation. Bounce back so
+                    // the vCPU does not linger in the callee world.
+                    let _ = self.unit.world_call(
+                        self.platform,
+                        self.table,
+                        req.caller,
+                        Direction::Return,
+                    );
+                    CallVerdict::Failed(WorldError::ControlFlowViolation {
+                        expected: req.caller,
+                        got: outcome.from,
+                    })
                 }
-                platform
-                    .crossover_switch(
-                        TransitionKind::WorldReturn,
-                        caller_entry.context.mode(),
-                        caller_entry.context.ptp,
-                        caller_entry.context.eptp,
-                    )
-                    .expect("caller context was resolvable at call time");
-                platform.cpu_mut().charge_work(
-                    RESTORE_STATE_CYCLES,
-                    RESTORE_STATE_INSTRUCTIONS,
-                    "restore caller state (timeout)",
-                );
+                Ok(_) => {
+                    let token = self.token(req, wait);
+                    self.run_body(req);
+                    if token.expired(self.platform) {
+                        self.hypervisor_cancel(&caller_entry, "restore caller state (timeout)");
+                        CallVerdict::TimedOut
+                    } else {
+                        match self.unit.world_call(
+                            self.platform,
+                            self.table,
+                            req.caller,
+                            Direction::Return,
+                        ) {
+                            Ok(_) => {
+                                self.platform.cpu_mut().charge_work(
+                                    RESTORE_STATE_CYCLES,
+                                    RESTORE_STATE_INSTRUCTIONS,
+                                    "restore caller state",
+                                );
+                                CallVerdict::Completed
+                            }
+                            Err(e) => CallVerdict::Failed(e),
+                        }
+                    }
+                }
+            };
+        let latency = self.now() - start;
+        (verdict, latency)
+    }
+
+    /// Services one request on the classic path and records its outcome.
+    fn classic(&mut self, queued: &Queued, was_stolen: bool) {
+        let wait = self.stamp_wait(queued);
+        self.queue_wait_cycles += wait;
+        let (verdict, latency_cycles) = self.execute(&queued.req, wait);
+        self.stats.classic_calls += 1;
+        self.outcomes.push(CallOutcome {
+            request: queued.req,
+            verdict,
+            latency_cycles,
+            queue_wait_cycles: wait,
+            worker: self.index,
+            stolen: was_stolen,
+            coalesced: false,
+        });
+    }
+
+    /// Services a same-(caller, callee) chunk through the callee's
+    /// channel segment as one resident drain: a single transition pair
+    /// amortized over every request in the chunk. `dry` says the home
+    /// ring ran out before the budget was spent (the residency will
+    /// spin-then-block before returning).
+    ///
+    /// Fallback ladder, so no request is ever lost: a failed or
+    /// misdirected `world_call` re-runs the whole chunk classically
+    /// (each request then fails or succeeds exactly as it would have);
+    /// a timeout aborts the residency via the hypervisor and the
+    /// chunk's remaining requests go classic; a caller world deleted
+    /// mid-residency gets its return forced by the hypervisor.
+    fn coalesced(
+        &mut self,
+        seg: &ChannelSegment,
+        caller: Wid,
+        callee: Wid,
+        chunk: &[(Queued, bool)],
+        dry: bool,
+    ) {
+        let caller_entry = match self.table.lookup(caller) {
+            Some(e) => e,
+            None => {
+                // Same verdict (and zero latency) the classic path gives
+                // an unregistered caller, without opening a residency.
+                for (queued, was_stolen) in chunk {
+                    self.classic(queued, *was_stolen);
+                }
+                return;
+            }
+        };
+        schedule_in(self.platform, &caller_entry);
+        self.unit.notify_context_switch(self.platform, self.table);
+        self.platform.cpu_mut().charge_work(
+            SAVE_STATE_CYCLES,
+            SAVE_STATE_INSTRUCTIONS,
+            "save caller state",
+        );
+        let open = self
+            .unit
+            .world_call(self.platform, self.table, callee, Direction::Call);
+        match open {
+            Err(_) => {
+                // The callee is gone (or never existed): no residency to
+                // open. Re-run the chunk classically so every request
+                // reports the exact per-call verdict and charge.
+                self.stats.drain.fallback_groups += 1;
+                for (queued, was_stolen) in chunk {
+                    self.classic(queued, *was_stolen);
+                }
+                return;
+            }
+            Ok(outcome) if outcome.from != caller => {
+                // Misidentified caller: bounce out, then per-call
+                // verdicts via the classic path (each will report its
+                // own control-flow violation).
+                let _ = self
+                    .unit
+                    .world_call(self.platform, self.table, caller, Direction::Return);
+                self.stats.drain.fallback_groups += 1;
+                for (queued, was_stolen) in chunk {
+                    self.classic(queued, *was_stolen);
+                }
+                return;
+            }
+            Ok(_) => {}
+        }
+        self.stats.drain.transition_pairs += 1;
+        let lane = seg.lane_of(caller);
+        let mut serviced = 0usize;
+        let mut aborted = false;
+        for (queued, was_stolen) in chunk {
+            let wait = self.stamp_wait(queued);
+            self.queue_wait_cycles += wait;
+            let slice_start = self.now();
+            let token = self.token(&queued.req, wait);
+            let cursor = self.cursors.entry((callee.raw(), lane)).or_insert(0);
+            let seq = *cursor;
+            *cursor += 1;
+            self.stats.drain.slot_cycles += seg
+                .read_request(self.platform, lane, seq)
+                .expect("channel segment mapped before start");
+            self.run_body(&queued.req);
+            let verdict = if token.expired(self.platform) {
+                self.hypervisor_cancel(&caller_entry, "restore caller state (timeout)");
+                self.stats.drain.timeout_aborts += 1;
+                aborted = true;
                 CallVerdict::TimedOut
             } else {
-                match unit.world_call(platform, table, req.caller, Direction::Return) {
-                    Ok(_) => {
-                        platform.cpu_mut().charge_work(
-                            RESTORE_STATE_CYCLES,
-                            RESTORE_STATE_INSTRUCTIONS,
-                            "restore caller state",
-                        );
-                        CallVerdict::Completed
-                    }
-                    Err(e) => CallVerdict::Failed(e),
-                }
+                self.stats.drain.slot_cycles += seg
+                    .write_response(self.platform, lane, seq)
+                    .expect("channel segment mapped before start");
+                CallVerdict::Completed
+            };
+            serviced += 1;
+            self.stats.drain.coalesced_calls += 1;
+            self.outcomes.push(CallOutcome {
+                request: queued.req,
+                verdict,
+                latency_cycles: self.now() - slice_start,
+                queue_wait_cycles: wait,
+                worker: self.index,
+                stolen: *was_stolen,
+                coalesced: true,
+            });
+            if aborted {
+                break;
             }
         }
-    };
-    let latency = platform.cpu().meter().cycles() - start;
-    (verdict, latency)
+        let pair = self.stats.per_callee.entry(callee.raw()).or_insert((0, 0));
+        pair.0 += serviced as u64;
+        pair.1 += 1;
+        if aborted {
+            // The hypervisor already put us back in the caller world;
+            // whatever the residency didn't reach goes classic.
+            for (queued, was_stolen) in &chunk[serviced..] {
+                self.classic(queued, *was_stolen);
+            }
+            return;
+        }
+        if dry {
+            // Spin-then-block: the resident dispatcher polls the dry
+            // ring a little longer before paying the return transition,
+            // in case another request lands (in virtual time the poll
+            // itself is the cost; arrivals are decided by the next
+            // batch).
+            self.stats.drain.dry_exits += 1;
+            self.stats.drain.spin_cycles += self.spin_cycles;
+            self.platform
+                .cpu_mut()
+                .charge_work(self.spin_cycles, 0, "switchless dry spin");
+        } else {
+            self.stats.drain.saturated_exits += 1;
+        }
+        match self
+            .unit
+            .world_call(self.platform, self.table, caller, Direction::Return)
+        {
+            Ok(_) => {
+                self.platform.cpu_mut().charge_work(
+                    RESTORE_STATE_CYCLES,
+                    RESTORE_STATE_INSTRUCTIONS,
+                    "restore caller state",
+                );
+            }
+            Err(_) => {
+                // The caller world vanished mid-residency (deleted by a
+                // tenant). Its EPT registration outlives the table
+                // entry, so the hypervisor can still force the switch
+                // home — the coalesced analogue of the timeout restore.
+                self.stats.drain.forced_returns += 1;
+                self.hypervisor_cancel(&caller_entry, "restore caller state (forced)");
+            }
+        }
+    }
 }
 
 /// Takes the next destination-affine batch from the dispatcher. Under
@@ -302,21 +574,64 @@ fn next_batch(
     }
 }
 
+/// Splits a same-callee batch into same-caller runs, preserving
+/// first-seen caller order and within-caller request order, and tagging
+/// each request with whether it was the batch's stolen head.
+fn split_by_caller(batch: Vec<Queued>, first_stolen: bool) -> Vec<(Wid, Vec<(Queued, bool)>)> {
+    let mut groups: Vec<(Wid, Vec<(Queued, bool)>)> = Vec::new();
+    for (i, q) in batch.into_iter().enumerate() {
+        let caller = q.req.caller;
+        let tagged = (q, i == 0 && first_stolen);
+        match groups.iter_mut().find(|(c, _)| *c == caller) {
+            Some((_, v)) => v.push(tagged),
+            None => groups.push((caller, vec![tagged])),
+        }
+    }
+    groups
+}
+
 /// The worker thread body: pop destination-batched requests until the
 /// dispatcher closes and drains, servicing invalidation broadcasts
 /// between batches.
 pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
     // The template platform's meter carries registration-time costs;
-    // each worker accounts only its own execution.
+    // each worker accounts only its own execution. Trace counts are
+    // snapshotted instead (the trace survives the reset), so transition
+    // totals below are this worker's own.
     ctx.platform.cpu_mut().meter_mut().reset();
+    let calls_before = ctx.platform.cpu().trace().count(TransitionKind::WorldCall);
+    let returns_before = ctx
+        .platform
+        .cpu()
+        .trace()
+        .count(TransitionKind::WorldReturn);
     let mut unit = WorldCallUnit::with_geometry(ctx.wtc_geometry);
-    let mut outcomes = Vec::new();
+    if ctx.switchless.prefetch_register {
+        unit.enable_prefetch();
+    }
     let mut batches = 0u64;
     let mut backlog: VecDeque<Queued> = VecDeque::new();
     let mut stolen = 0u64;
-    let mut queue_wait_cycles = 0u64;
+    let mut engine = Engine {
+        platform: &mut ctx.platform,
+        unit: &mut unit,
+        table: &ctx.table,
+        memory: &ctx.memory,
+        clocks: &ctx.clocks,
+        index: ctx.index,
+        policy: ctx.deadline_policy,
+        spin_cycles: ctx.switchless.spin_cycles,
+        outcomes: Vec::new(),
+        queue_wait_cycles: 0,
+        stats: SwitchlessWorkerStats::default(),
+        cursors: HashMap::new(),
+    };
     loop {
-        pace(&ctx.clocks, ctx.index, ctx.platform.cpu().meter().cycles());
+        pace(
+            &ctx.clocks,
+            ctx.index,
+            engine.platform.cpu().meter().cycles(),
+        );
         let mut first_stolen = false;
         let batch = next_batch(
             &ctx.dispatcher,
@@ -335,33 +650,46 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         // Concurrent manage_wtc: purge every world deleted since the
         // last batch from this worker's private caches.
         for wid in ctx.bus.drain(ctx.index) {
-            unit.manage_wtc_invalidate(&mut ctx.platform, wid);
+            engine.unit.manage_wtc_invalidate(engine.platform, wid);
         }
-        for (i, queued) in batch.into_iter().enumerate() {
-            let wait = ctx
-                .platform
-                .cpu()
-                .meter()
-                .cycles()
-                .saturating_sub(queued.stamped_at);
-            queue_wait_cycles += wait;
-            let (verdict, latency_cycles) = execute(
-                &mut ctx.platform,
-                &mut unit,
-                &ctx.table,
-                &ctx.memory,
-                &queued.req,
-            );
-            outcomes.push(CallOutcome {
-                request: queued.req,
-                verdict,
-                latency_cycles,
-                queue_wait_cycles: wait,
-                worker: ctx.index,
-                stolen: i == 0 && first_stolen,
-            });
+        let callee = batch[0].req.callee;
+        let occupancy = ctx.dispatcher.occupancy(ctx.index) as u64 + backlog.len() as u64;
+        let budget = match (&ctx.controller, ctx.switchless.enabled()) {
+            (Some(c), true) => c.budget_for(callee),
+            _ => 0,
+        };
+        let segment = if budget >= 2 {
+            ctx.segments.get(&callee.raw())
+        } else {
+            None
+        };
+        for (caller, group) in split_by_caller(batch, first_stolen) {
+            match segment {
+                Some(seg) if seg.admits(caller) && group.len() >= 2 => {
+                    for chunk in group.chunks(budget) {
+                        // The residency ends with the ring (well, run)
+                        // dry unless it used its whole budget.
+                        let dry = chunk.len() < budget;
+                        engine.coalesced(seg, caller, callee, chunk, dry);
+                        if let Some(c) = &ctx.controller {
+                            c.observe(callee, chunk.len() as u64, dry, !dry, occupancy);
+                        }
+                    }
+                }
+                _ => {
+                    for (queued, was_stolen) in &group {
+                        engine.classic(queued, *was_stolen);
+                    }
+                }
+            }
+        }
+        if let Some(c) = &ctx.controller {
+            c.tick(engine.platform.cpu().meter().cycles());
         }
     }
+    let outcomes = std::mem::take(&mut engine.outcomes);
+    let queue_wait_cycles = engine.queue_wait_cycles;
+    let switchless = std::mem::take(&mut engine.stats);
     // Park the clock so remaining workers stop pacing against us.
     ctx.clocks[ctx.index].store(u64::MAX, Ordering::Relaxed);
     WorkerReport {
@@ -374,5 +702,13 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         tlb: ctx.platform.tlb_stats(),
         queue_wait_cycles,
         stolen,
+        switchless,
+        world_calls: ctx.platform.cpu().trace().count(TransitionKind::WorldCall) - calls_before,
+        world_returns: ctx
+            .platform
+            .cpu()
+            .trace()
+            .count(TransitionKind::WorldReturn)
+            - returns_before,
     }
 }
