@@ -171,12 +171,86 @@ impl ChannelSegment {
         self.priced_access(platform, lane, seq)
     }
 
+    /// The integrity tag a well-formed slot carries: a mix of the
+    /// segment base, lane and sequence number, so a slot overwritten by
+    /// a misbehaving caller (or an injected fault) cannot replay a tag
+    /// from another slot. Both sides can compute it without sharing
+    /// secrets — this is corruption *detection* for self-healing, not
+    /// authentication (§3.4 leaves that to the callee's checks).
+    pub fn slot_checksum(&self, lane: u64, seq: u64) -> u64 {
+        mix64(self.base.0 ^ lane.rotate_left(48) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Reads one request slot *and* verifies its header: the priced
+    /// access of [`ChannelSegment::read_request`] plus a seqno/checksum
+    /// comparison against the expected tag. Verification reads only the
+    /// slot's own cache line, so it adds no cycles beyond the slot
+    /// access itself. `corrupted` is the fault-injection hook: when set,
+    /// the slot reads back as if a misbehaving caller scribbled on it.
+    ///
+    /// # Errors
+    ///
+    /// [`HvError::Mmu`] if the slot page no longer translates (EPT
+    /// permission fault / torn-down mapping).
+    pub fn read_request_verified(
+        &self,
+        platform: &mut Platform,
+        lane: u64,
+        seq: u64,
+        corrupted: bool,
+    ) -> Result<SlotRead, HvError> {
+        let cycles = self.priced_access(platform, lane, seq)?;
+        let expected_checksum = self.slot_checksum(lane, seq);
+        Ok(SlotRead {
+            cycles,
+            expected_seqno: seq,
+            seqno: if corrupted {
+                seq ^ 0x8000_0000_0000_0001
+            } else {
+                seq
+            },
+            expected_checksum,
+            checksum: if corrupted {
+                expected_checksum ^ 0xDEAD_BEEF_0BAD_F00D
+            } else {
+                expected_checksum
+            },
+        })
+    }
+
     fn priced_access(&self, platform: &mut Platform, lane: u64, seq: u64) -> Result<u64, HvError> {
         let before = platform.cpu().meter().cycles();
         // rw: request and response share the slot's line, and a single
         // perms tag avoids spurious permission-upgrade re-walks.
         platform.access_gva(&self.pt, self.slot_gva(lane, seq), Perms::rw())?;
         Ok(platform.cpu().meter().cycles() - before)
+    }
+}
+
+/// One verified request-slot read: the cycles the access cost plus the
+/// header fields a corruption check compares. Produced by
+/// [`ChannelSegment::read_request_verified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRead {
+    /// Cycles charged for the slot access (TLB hit or walk).
+    pub cycles: u64,
+    /// Sequence number the slot header carried.
+    pub seqno: u64,
+    /// Sequence number the dispatcher expected.
+    pub expected_seqno: u64,
+    /// Integrity tag the slot header carried.
+    pub checksum: u64,
+    /// Integrity tag recomputed from (segment, lane, seq).
+    pub expected_checksum: u64,
+}
+
+impl SlotRead {
+    /// Whether the slot header survived intact (seqno and checksum both
+    /// match). A failed check means the channel contents cannot be
+    /// trusted — the dispatcher must fall back and quarantine the
+    /// channel, never service the slot.
+    pub fn intact(&self) -> bool {
+        self.seqno == self.expected_seqno && self.checksum == self.expected_checksum
     }
 }
 
@@ -322,6 +396,33 @@ mod tests {
         // Admission checks must not consume served/refused counters.
         assert_eq!(reg.served(), 0);
         assert_eq!(reg.refused(), 0);
+    }
+
+    #[test]
+    fn verified_reads_cost_the_same_as_plain_reads() {
+        let mut p = Platform::new_default();
+        let (seg, _) = mapped_segment(&mut p, 1);
+        let plain = seg.read_request(&mut p, 0, 0).unwrap();
+        let mut q = Platform::new_default();
+        let (seg2, _) = mapped_segment(&mut q, 1);
+        let verified = seg2.read_request_verified(&mut q, 0, 0, false).unwrap();
+        // Verification rides in the slot's own cache line: zero extra
+        // cycles, identical pricing (the empty-plan parity depends on it).
+        assert_eq!(verified.cycles, plain);
+        assert!(verified.intact());
+    }
+
+    #[test]
+    fn corrupted_slots_are_detected_not_serviced() {
+        let mut p = Platform::new_default();
+        let (seg, _) = mapped_segment(&mut p, 2);
+        let bad = seg.read_request_verified(&mut p, 1, 3, true).unwrap();
+        assert!(!bad.intact());
+        assert_ne!(bad.checksum, bad.expected_checksum);
+        assert_ne!(bad.seqno, bad.expected_seqno);
+        // The tag binds lane and sequence: different slots, different tags.
+        assert_ne!(seg.slot_checksum(0, 0), seg.slot_checksum(1, 0));
+        assert_ne!(seg.slot_checksum(0, 0), seg.slot_checksum(0, 1));
     }
 
     #[test]

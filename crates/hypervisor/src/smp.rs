@@ -11,10 +11,12 @@
 
 use machine::cost::CostModel;
 use machine::cpu::Cpu;
+use machine::fault::{FaultKind, FaultPlan, FaultSite};
 use machine::mode::CpuMode;
 use machine::trace::TransitionKind;
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Identifier of a core in an [`SmpMachine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +56,14 @@ pub const MAX_PENDING_IPIS: usize = 1024;
 pub struct SmpMachine {
     cores: Vec<Cpu>,
     ipi_queues: Vec<VecDeque<Ipi>>,
+    // Extra delivery latency for the queued IPI at the same position in
+    // `ipi_queues` (normally 0; fault injection can raise it).
+    ipi_delays: Vec<VecDeque<u64>>,
+    // Per-core count of IPIs that never reached the target's queue:
+    // bounded-queue overflow plus injected wire loss. Surfaced in merged
+    // meter reports rather than silently dropped.
+    ipi_dropped: Vec<u64>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 /// Errors from SMP operations.
@@ -127,10 +137,27 @@ impl SmpMachine {
             })
             .collect();
         let queues = cores.iter().map(|_| VecDeque::new()).collect();
+        let delays = cores.iter().map(|_| VecDeque::new()).collect();
+        let dropped = vec![0; cores.len()];
         Ok(SmpMachine {
             cores,
             ipi_queues: queues,
+            ipi_delays: delays,
+            ipi_dropped: dropped,
+            faults: None,
         })
+    }
+
+    /// Arms a fault plan: subsequent [`SmpMachine::send_ipi`] calls
+    /// consult [`FaultSite::IpiLoss`] and [`FaultSite::IpiDelay`] with
+    /// the *sender's* virtual clock. An empty plan changes nothing.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
     }
 
     /// Number of cores.
@@ -170,7 +197,13 @@ impl SmpMachine {
     /// * [`SmpError::SelfIpi`] for self-IPIs (modelled as disallowed).
     /// * [`SmpError::IpiQueueFull`] when the target already has
     ///   [`MAX_PENDING_IPIS`] undelivered interrupts; no send cost is
-    ///   charged for a refused send.
+    ///   charged for a refused send, but the drop is counted against
+    ///   the target in [`SmpMachine::ipi_dropped`].
+    ///
+    /// With a fault plan armed, an `IpiLoss` event eats the interrupt
+    /// on the wire (the sender pays and sees `Ok`, the target counts a
+    /// drop) and an `IpiDelay` event adds delivery latency charged when
+    /// the target takes the interrupt.
     pub fn send_ipi(&mut self, from: CoreId, to: CoreId, vector: u8) -> Result<(), SmpError> {
         if from == to {
             return Err(SmpError::SelfIpi { core: from });
@@ -179,10 +212,26 @@ impl SmpMachine {
             return Err(SmpError::NoSuchCore { core: to });
         }
         if self.ipi_queues[to.0 as usize].len() >= MAX_PENDING_IPIS {
+            self.ipi_dropped[to.0 as usize] += 1;
             return Err(SmpError::IpiQueueFull { core: to });
+        }
+        let mut delay = 0;
+        if let (Some(plan), Some(sender)) = (self.faults.clone(), self.cores.get(from.0 as usize)) {
+            let now = sender.meter().cycles();
+            if plan.fire(FaultSite::IpiLoss, now).is_some() {
+                // Lost on the wire: the sender pays for a send it
+                // believes succeeded; the target never sees it.
+                self.core_mut(from)?.touch(TransitionKind::IpiSend);
+                self.ipi_dropped[to.0 as usize] += 1;
+                return Ok(());
+            }
+            if let Some(FaultKind::Delay { cycles }) = plan.fire(FaultSite::IpiDelay, now) {
+                delay = cycles;
+            }
         }
         self.core_mut(from)?.touch(TransitionKind::IpiSend);
         self.ipi_queues[to.0 as usize].push_back(Ipi { from, vector });
+        self.ipi_delays[to.0 as usize].push_back(delay);
         Ok(())
     }
 
@@ -198,11 +247,34 @@ impl SmpMachine {
         }
         match self.ipi_queues[core.0 as usize].pop_front() {
             Some(ipi) => {
-                self.core_mut(core)?.touch(TransitionKind::IpiReceive);
+                let delay = self.ipi_delays[core.0 as usize].pop_front().unwrap_or(0);
+                let cpu = self.core_mut(core)?;
+                if delay > 0 {
+                    cpu.charge_work(delay, 0, "ipi delivery delay");
+                }
+                cpu.touch(TransitionKind::IpiReceive);
                 Ok(Some(ipi))
             }
             None => Ok(None),
         }
+    }
+
+    /// IPIs destined for `core` that were never delivered: bounded-queue
+    /// overflow plus injected wire loss.
+    ///
+    /// # Errors
+    ///
+    /// [`SmpError::NoSuchCore`] for an unknown core.
+    pub fn ipi_dropped(&self, core: CoreId) -> Result<u64, SmpError> {
+        self.ipi_dropped
+            .get(core.0 as usize)
+            .copied()
+            .ok_or(SmpError::NoSuchCore { core })
+    }
+
+    /// Undelivered IPIs summed over all cores.
+    pub fn total_ipi_dropped(&self) -> u64 {
+        self.ipi_dropped.iter().sum()
     }
 
     /// Pending IPI count on `core`.
@@ -331,6 +403,71 @@ mod tests {
         );
         assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), 0);
         assert_eq!(smp.core(CoreId(1)).unwrap().meter().cycles(), 0);
+    }
+
+    #[test]
+    fn queue_overflow_counts_dropped_ipis() {
+        let mut smp = SmpMachine::new(2);
+        for _ in 0..MAX_PENDING_IPIS {
+            smp.send_ipi(CoreId(0), CoreId(1), 0x20).unwrap();
+        }
+        assert_eq!(smp.ipi_dropped(CoreId(1)).unwrap(), 0);
+        for _ in 0..3 {
+            assert!(smp.send_ipi(CoreId(0), CoreId(1), 0x20).is_err());
+        }
+        assert_eq!(smp.ipi_dropped(CoreId(1)).unwrap(), 3);
+        assert_eq!(smp.ipi_dropped(CoreId(0)).unwrap(), 0);
+        assert_eq!(smp.total_ipi_dropped(), 3);
+        assert!(smp.ipi_dropped(CoreId(9)).is_err());
+    }
+
+    #[test]
+    fn injected_loss_charges_sender_but_never_delivers() {
+        let mut smp = SmpMachine::new(2);
+        let plan = Arc::new(FaultPlan::new());
+        plan.schedule(0, FaultSite::IpiLoss, FaultKind::Drop);
+        smp.set_fault_plan(plan.clone());
+        // First send is eaten by the wire; sender still pays and sees Ok.
+        smp.send_ipi(CoreId(0), CoreId(1), 0xAB).unwrap();
+        let paid = smp.core(CoreId(0)).unwrap().meter().cycles();
+        assert!(paid > 0);
+        assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), 0);
+        assert_eq!(smp.ipi_dropped(CoreId(1)).unwrap(), 1);
+        assert_eq!(plan.fired_count(FaultSite::IpiLoss), 1);
+        // The plan is exhausted: the next send goes through.
+        smp.send_ipi(CoreId(0), CoreId(1), 0xAB).unwrap();
+        assert_eq!(smp.pending_ipis(CoreId(1)).unwrap(), 1);
+    }
+
+    #[test]
+    fn injected_delay_charges_receiver_on_take() {
+        let mut smp = SmpMachine::new(2);
+        let plan = Arc::new(FaultPlan::new());
+        plan.schedule(0, FaultSite::IpiDelay, FaultKind::Delay { cycles: 777 });
+        smp.set_fault_plan(plan);
+        smp.send_ipi(CoreId(0), CoreId(1), 0x33).unwrap();
+
+        let mut clean = SmpMachine::new(2);
+        clean.send_ipi(CoreId(0), CoreId(1), 0x33).unwrap();
+
+        smp.take_ipi(CoreId(1)).unwrap().unwrap();
+        clean.take_ipi(CoreId(1)).unwrap().unwrap();
+        let delayed = smp.core(CoreId(1)).unwrap().meter().cycles();
+        let prompt = clean.core(CoreId(1)).unwrap().meter().cycles();
+        assert_eq!(delayed, prompt + 777);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_no_op() {
+        let mut faulty = SmpMachine::new(2);
+        faulty.set_fault_plan(Arc::new(FaultPlan::new()));
+        let mut clean = SmpMachine::new(2);
+        for (smp, _) in [(&mut faulty, 0), (&mut clean, 1)] {
+            smp.send_ipi(CoreId(0), CoreId(1), 0x11).unwrap();
+            smp.take_ipi(CoreId(1)).unwrap().unwrap();
+        }
+        assert_eq!(faulty.total_cycles(), clean.total_cycles());
+        assert_eq!(faulty.total_ipi_dropped(), 0);
     }
 
     #[test]

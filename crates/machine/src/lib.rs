@@ -36,6 +36,7 @@
 pub mod account;
 pub mod cost;
 pub mod cpu;
+pub mod fault;
 pub mod mode;
 pub mod rng;
 pub mod trace;

@@ -133,6 +133,7 @@ fn run_point(workers: usize) -> BenchPoint {
         completed: report.completed,
         timed_out: report.timed_out,
         failed: report.failed,
+        dead_lettered: report.dead_lettered,
         rejected_busy: report.rejected_busy,
         batches: report.batches,
         makespan_cycles: report.smp.makespan_cycles(),
@@ -148,6 +149,7 @@ fn run_point(workers: usize) -> BenchPoint {
         stolen: report.stolen,
         shard_contended: report.contention.shard_contended,
         index_contended: report.contention.index_contended,
+        ipi_dropped: report.smp.total_ipi_dropped(),
         host_wall_ms,
     }
 }

@@ -66,17 +66,21 @@ pub mod ring;
 pub mod router;
 pub mod service;
 pub mod shard;
+pub mod supervisor;
 pub mod switchless;
 mod worker;
 
 pub use queue::{PushError, Queue};
 pub use ring::{Ring, RingSet};
-pub use router::{CallOutcome, CallRequest, CallVerdict};
+pub use router::{CallError, CallOutcome, CallRequest, CallVerdict};
 pub use service::{
     DeadlinePolicy, DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError,
     WorldCallService, WorldMemory,
 };
 pub use shard::{ContentionSnapshot, ShardedWorldTable};
+pub use supervisor::{
+    DegradeLevel, HealthState, Supervisor, SupervisorConfig, SupervisorReport, SupervisorSummary,
+};
 pub use switchless::{
     converged, Controller, EpochSnapshot, PairTraffic, SwitchlessConfig, SwitchlessMode,
     SwitchlessSummary, SwitchlessWorkerStats,

@@ -66,7 +66,11 @@ impl<T> Queue<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
     }
 
     /// Whether the queue is currently empty.
@@ -77,7 +81,7 @@ impl<T> Queue<T> {
     /// Closes the queue: pending items remain poppable, new pushes fail,
     /// and blocked poppers wake up once the backlog drains.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -86,7 +90,7 @@ impl<T> Queue<T> {
 
     /// Whether [`Queue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue lock poisoned").closed
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed
     }
 
     /// Non-blocking push.
@@ -96,7 +100,7 @@ impl<T> Queue<T> {
     /// * [`PushError::Busy`] — at capacity (the item is handed back).
     /// * [`PushError::Closed`] — the queue is closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -115,9 +119,9 @@ impl<T> Queue<T> {
     ///
     /// Returns the item back if the queue is (or becomes) closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         while inner.items.len() >= self.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).expect("queue lock poisoned");
+            inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
         if inner.closed {
             return Err(item);
@@ -131,7 +135,7 @@ impl<T> Queue<T> {
     /// Blocking pop: waits for an item; `None` once the queue is closed
     /// *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -141,7 +145,10 @@ impl<T> Queue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -156,7 +163,7 @@ impl<T> Queue<T> {
         K: PartialEq,
     {
         assert!(max > 0, "batch size must be positive");
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let first = loop {
             if let Some(item) = inner.items.pop_front() {
                 break item;
@@ -164,7 +171,10 @@ impl<T> Queue<T> {
             if inner.closed {
                 return Vec::new();
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         };
         let k = key(&first);
         let mut batch = vec![first];

@@ -39,6 +39,10 @@ pub struct BenchPoint {
     pub timed_out: u64,
     /// Requests that failed outright.
     pub failed: u64,
+    /// Requests the runtime gave up on after exhausting its healing
+    /// policy (typed [`crate::CallError`] verdicts, zero without an
+    /// active fault plan).
+    pub dead_lettered: u64,
     /// Backpressure rejections.
     pub rejected_busy: u64,
     /// Batches popped (destination affinity: submitted / batches is the
@@ -75,6 +79,9 @@ pub struct BenchPoint {
     pub shard_contended: u64,
     /// Index-stripe acquisitions that had to block.
     pub index_contended: u64,
+    /// IPIs dropped across all cores of the merged SMP machine (queue
+    /// overflow or injected loss).
+    pub ipi_dropped: u64,
     /// Host wall-clock for the sweep point, milliseconds (informational;
     /// machine-dependent, unlike the simulated numbers).
     pub host_wall_ms: f64,
@@ -90,6 +97,7 @@ impl BenchPoint {
              {indent}  \"completed\": {},\n\
              {indent}  \"timed_out\": {},\n\
              {indent}  \"failed\": {},\n\
+             {indent}  \"dead_lettered\": {},\n\
              {indent}  \"rejected_busy\": {},\n\
              {indent}  \"batches\": {},\n\
              {indent}  \"makespan_cycles\": {},\n\
@@ -105,6 +113,7 @@ impl BenchPoint {
              {indent}  \"stolen\": {},\n\
              {indent}  \"shard_contended\": {},\n\
              {indent}  \"index_contended\": {},\n\
+             {indent}  \"ipi_dropped\": {},\n\
              {indent}  \"host_wall_ms\": {:.2}\n\
              {indent}}}",
             self.workers,
@@ -112,6 +121,7 @@ impl BenchPoint {
             self.completed,
             self.timed_out,
             self.failed,
+            self.dead_lettered,
             self.rejected_busy,
             self.batches,
             self.makespan_cycles,
@@ -127,6 +137,7 @@ impl BenchPoint {
             self.stolen,
             self.shard_contended,
             self.index_contended,
+            self.ipi_dropped,
             self.host_wall_ms,
         );
     }
@@ -174,6 +185,7 @@ mod tests {
             completed: 9,
             timed_out: 1,
             failed: 0,
+            dead_lettered: 0,
             rejected_busy: 0,
             batches: 4,
             makespan_cycles: 1000,
@@ -189,6 +201,7 @@ mod tests {
             stolen: 3,
             shard_contended: 0,
             index_contended: 0,
+            ipi_dropped: 0,
             host_wall_ms: 1.5,
         };
         let doc = render_json("bench", 3.4, 10, &[p.clone(), p]);

@@ -30,6 +30,11 @@ pub struct CallRequest {
     /// touch is a priced [`hypervisor::platform::Platform::access_gva`];
     /// 0, or a callee without attached memory, skips the loop).
     pub touch_pages: u64,
+    /// Opaque caller-chosen tag carried through to the outcome, so test
+    /// harnesses can match verdicts to submissions one-to-one (the
+    /// exactly-one-verdict invariant is checked against these). The
+    /// runtime never reads it.
+    pub tag: u64,
 }
 
 impl CallRequest {
@@ -42,6 +47,7 @@ impl CallRequest {
             work_instructions,
             budget_cycles: None,
             touch_pages: 0,
+            tag: 0,
         }
     }
 
@@ -56,6 +62,13 @@ impl CallRequest {
         self.touch_pages = touch_pages;
         self
     }
+
+    /// Attaches an opaque tracking tag (returned verbatim in the
+    /// outcome).
+    pub fn with_tag(mut self, tag: u64) -> CallRequest {
+        self.tag = tag;
+        self
+    }
 }
 
 /// What actually travels through the dispatcher: the request plus its
@@ -66,6 +79,53 @@ pub(crate) struct Queued {
     pub req: CallRequest,
     /// The minimum live worker clock (simulated cycles) at submission.
     pub stamped_at: u64,
+}
+
+/// A typed runtime-infrastructure failure: the request could not be
+/// serviced for reasons in the *runtime* (worker death, retry
+/// exhaustion), as opposed to a [`WorldError`] from the call machinery
+/// itself. These are verdicts, never panics — an injected fault must
+/// not abort the process or lose the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallError {
+    /// A world-table lookup kept vanishing under retry (deletion racing
+    /// the in-flight call); the supervisor gave up after backing off
+    /// `attempts` times.
+    LookupRace {
+        /// The world whose lookup raced.
+        wid: Wid,
+        /// Backed-off retries spent before giving up.
+        attempts: u32,
+    },
+    /// The executing worker crashed more times than the supervisor's
+    /// respawn cap; its pending batch was dead-lettered rather than
+    /// retried forever.
+    CrashLoop {
+        /// The crash-looping worker.
+        worker: usize,
+        /// Respawns the supervisor had attempted.
+        respawns: u32,
+    },
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::LookupRace { wid, attempts } => {
+                write!(
+                    f,
+                    "world {} lookup kept racing deletion ({attempts} retries)",
+                    wid.raw()
+                )
+            }
+            CallError::CrashLoop { worker, respawns } => {
+                write!(
+                    f,
+                    "worker {worker} crash-looped ({respawns} respawns); batch dead-lettered"
+                )
+            }
+        }
+    }
 }
 
 /// How a request ended.
@@ -79,6 +139,10 @@ pub enum CallVerdict {
     /// The call failed outright (bad WID, unregistered caller context,
     /// control-flow violation, ...).
     Failed(WorldError),
+    /// The runtime gave up on the request after exhausting its healing
+    /// policy; the typed reason says why. Still exactly one verdict —
+    /// dead-lettering accounts for the request, it does not drop it.
+    DeadLettered(CallError),
 }
 
 /// The per-request record a worker produces.

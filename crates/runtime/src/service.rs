@@ -26,6 +26,7 @@ use hypervisor::platform::Platform;
 use hypervisor::smp::{CoreId, SmpMachine};
 use hypervisor::vm::{VmConfig, VmId};
 use hypervisor::HvError;
+use machine::fault::FaultPlan;
 use mmu::addr::{Gva, PAGE_SIZE};
 use mmu::pagetable::PageTable;
 use mmu::perms::Perms;
@@ -35,6 +36,7 @@ use crate::queue::{PushError, Queue};
 use crate::ring::RingSet;
 use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::shard::{ContentionSnapshot, ShardedWorldTable, DEFAULT_SHARDS};
+use crate::supervisor::{HealthState, SupervisorConfig, SupervisorSummary};
 use crate::switchless::{Controller, PairTraffic, SwitchlessConfig, SwitchlessSummary};
 use crate::worker::{self, WorkerContext, WorkerReport};
 
@@ -94,6 +96,9 @@ pub struct RuntimeConfig {
     pub switchless: SwitchlessConfig,
     /// What per-call cycle budgets bound (on-CPU time by default).
     pub deadline_policy: DeadlinePolicy,
+    /// Healing-policy tuning (backoff, quarantine, respawn caps). Inert
+    /// until faults actually occur; the defaults are fine for clean runs.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -109,6 +114,7 @@ impl Default for RuntimeConfig {
             wtc_geometry: CacheGeometry::default(),
             switchless: SwitchlessConfig::default(),
             deadline_policy: DeadlinePolicy::default(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -203,16 +209,23 @@ impl InvalidationBus {
         }
     }
 
-    /// Enqueues `wid` for every worker.
+    /// Enqueues `wid` for every worker. A receiver that died holding
+    /// the lock poisons it, but a Vec push/take cannot be left torn —
+    /// recover the guard rather than cascading the panic into every
+    /// subsequent delete.
     pub fn broadcast(&self, wid: Wid) {
         for q in &self.queues {
-            q.lock().expect("bus lock poisoned").push(wid);
+            q.lock().unwrap_or_else(|e| e.into_inner()).push(wid);
         }
     }
 
     /// Takes all pending invalidations for `worker`.
     pub fn drain(&self, worker: usize) -> Vec<Wid> {
-        std::mem::take(&mut *self.queues[worker].lock().expect("bus lock poisoned"))
+        std::mem::take(
+            &mut *self.queues[worker]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
     }
 }
 
@@ -229,6 +242,9 @@ pub struct ServiceReport {
     pub timed_out: u64,
     /// Calls that failed outright.
     pub failed: u64,
+    /// Calls the supervisor gave up on with a typed
+    /// [`crate::CallError`] verdict (retry/respawn policy exhausted).
+    pub dead_lettered: u64,
     /// `try_submit` rejections over the service's lifetime.
     pub rejected_busy: u64,
     /// Batches popped across all workers.
@@ -252,6 +268,9 @@ pub struct ServiceReport {
     /// Switchless-path accounting (all zero / empty when the layer is
     /// off).
     pub switchless: SwitchlessSummary,
+    /// Healing summary: merged supervisor counters, degradation-ladder
+    /// history and recovery latencies (all zero on clean runs).
+    pub supervisor: SupervisorSummary,
 }
 
 impl ServiceReport {
@@ -314,6 +333,11 @@ pub struct WorldCallService {
     segments: HashMap<u64, ChannelSegment>,
     /// The shared budget controller (present when switchless is on).
     controller: Option<Arc<Controller>>,
+    /// Armed fault schedule; `None` (the default) and an empty plan are
+    /// behaviorally identical.
+    faults: Option<Arc<FaultPlan>>,
+    /// The pool-shared degradation ladder.
+    health: Arc<HealthState>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
 }
@@ -345,9 +369,38 @@ impl WorldCallService {
                 .switchless
                 .enabled()
                 .then(|| Arc::new(Controller::new(config.switchless))),
+            faults: None,
+            health: Arc::new(HealthState::new(config.supervisor.recover_after_cycles)),
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
         }
+    }
+
+    /// Arms a fault schedule: workers (and the merged SMP machine, when
+    /// benches drive one directly) consult it at the named fault sites.
+    /// Must precede [`WorldCallService::start`]. An empty plan leaves
+    /// the runtime bit-for-bit identical to an unarmed one — the parity
+    /// suite asserts this cycle-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool already started.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.handles.is_empty(),
+            "arm the fault plan before starting the pool"
+        );
+        self.faults = Some(Arc::new(plan));
+    }
+
+    /// The armed fault plan, if any (benches read fired counts off it).
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// The pool-shared degradation ladder (live view; level 0 = normal).
+    pub fn health(&self) -> &HealthState {
+        &self.health
     }
 
     /// The configuration.
@@ -571,6 +624,9 @@ impl WorldCallService {
                 controller: self.controller.clone(),
                 segments: Arc::clone(&segments),
                 deadline_policy: self.config.deadline_policy,
+                faults: self.faults.clone(),
+                supervisor: self.config.supervisor,
+                health: Arc::clone(&self.health),
             };
             self.handles.push(
                 std::thread::Builder::new()
@@ -627,6 +683,14 @@ impl WorldCallService {
     /// * [`SubmitError::Busy`] — queue full; the rejection is counted.
     /// * [`SubmitError::Closed`] — service draining.
     pub fn try_submit(&self, req: CallRequest) -> Result<(), SubmitError> {
+        // The bottom of the degradation ladder: a pool that cannot heal
+        // (crash-looping worker) sheds new load instead of queueing work
+        // it would dead-letter. One relaxed load on the healthy path.
+        if self.health.is_shedding() {
+            self.health.note_shed();
+            self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Busy(req));
+        }
         let queued = Queued {
             req,
             stamped_at: self.stamp(),
@@ -647,10 +711,21 @@ impl WorldCallService {
     /// *i*).
     pub fn drain(mut self) -> ServiceReport {
         self.dispatcher.close();
+        // A worker thread that genuinely panicked (injected crashes are
+        // healed in-thread and never reach here) must not take the drain
+        // down with it: its results are lost but everyone else's verdicts
+        // still come home, and the panic is surfaced as a counter.
+        let mut worker_panics = 0u64;
         let reports: Vec<WorkerReport> = self
             .handles
             .drain(..)
-            .map(|h| h.join().expect("worker thread panicked"))
+            .filter_map(|h| match h.join() {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    worker_panics += 1;
+                    None
+                }
+            })
             .collect();
         let mut smp = SmpMachine::try_new(self.config.workers as u32)
             .expect("config.workers validated positive at construction");
@@ -661,8 +736,16 @@ impl WorldCallService {
         let mut tlb = TlbStats::default();
         let mut stolen = 0;
         let mut switchless = SwitchlessSummary::default();
+        let mut supervisor = SupervisorSummary {
+            worker_panics,
+            degrade_escalations: self.health.escalations(),
+            shed_rejections: self.health.sheds(),
+            final_degrade_level: self.health.level() as u8,
+            ..SupervisorSummary::default()
+        };
         let mut per_callee: HashMap<u64, (u64, u64)> = HashMap::new();
         for r in &reports {
+            supervisor.totals.absorb(&r.supervisor);
             smp.core_mut(CoreId(r.index as u32))
                 .expect("one core per worker")
                 .meter_mut()
@@ -705,13 +788,18 @@ impl WorldCallService {
             .iter()
             .filter(|o| o.verdict == CallVerdict::TimedOut)
             .count() as u64;
-        let failed = outcomes.len() as u64 - completed - timed_out;
+        let dead_lettered = outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, CallVerdict::DeadLettered(_)))
+            .count() as u64;
+        let failed = outcomes.len() as u64 - completed - timed_out - dead_lettered;
         let queue_wait_cycles = outcomes.iter().map(|o| o.queue_wait_cycles).sum();
         ServiceReport {
             smp,
             completed,
             timed_out,
             failed,
+            dead_lettered,
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             batches,
             wt,
@@ -721,6 +809,7 @@ impl WorldCallService {
             stolen,
             contention: self.table.contention(),
             switchless,
+            supervisor,
             outcomes,
         }
     }

@@ -142,9 +142,9 @@ impl ShardedWorldTable {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.stats.shard_contended.fetch_add(1, Ordering::Relaxed);
-                self.shards[i].lock().expect("shard lock poisoned")
+                self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
             }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard lock poisoned"),
+            Err(std::sync::TryLockError::Poisoned(g)) => g.into_inner(),
         }
     }
 
@@ -156,9 +156,9 @@ impl ShardedWorldTable {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.stats.index_contended.fetch_add(1, Ordering::Relaxed);
-                self.index.lock().expect("index lock poisoned")
+                self.index.lock().unwrap_or_else(|e| e.into_inner())
             }
-            Err(std::sync::TryLockError::Poisoned(_)) => panic!("index lock poisoned"),
+            Err(std::sync::TryLockError::Poisoned(g)) => g.into_inner(),
         }
     }
 
@@ -265,7 +265,7 @@ impl ShardedWorldTable {
         self.stats
             .shard_acquisitions
             .fetch_add(1, Ordering::Relaxed);
-        shard.lock().expect("shard lock poisoned").len()
+        shard.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 

@@ -375,7 +375,7 @@ impl Controller {
         }
         self.history
             .lock()
-            .expect("controller history lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(EpochSnapshot {
                 epoch,
                 at_cycles: at,
@@ -387,7 +387,7 @@ impl Controller {
     pub fn history(&self) -> Vec<EpochSnapshot> {
         self.history
             .lock()
-            .expect("controller history lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .clone()
     }
 }

@@ -49,14 +49,18 @@ use crossover::WorldError;
 use hypervisor::platform::Platform;
 use hypervisor::ExitReason;
 use machine::account::Meter;
+use machine::fault::{FaultKind, FaultPlan, FaultSite};
 use machine::trace::TransitionKind;
 use mmu::addr::PAGE_SIZE;
 use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
 
-use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
+use crate::router::{CallError, CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::service::{DeadlinePolicy, Dispatcher, InvalidationBus, WorldMemory};
 use crate::shard::ShardedWorldTable;
+use crate::supervisor::{
+    DegradeLevel, HealthState, Supervisor, SupervisorConfig, SupervisorReport,
+};
 use crate::switchless::{Controller, SwitchlessConfig, SwitchlessWorkerStats};
 
 /// Everything a worker thread needs; built by the service at start.
@@ -81,6 +85,13 @@ pub(crate) struct WorkerContext {
     pub segments: Arc<HashMap<u64, ChannelSegment>>,
     /// What the per-call deadline bounds.
     pub deadline_policy: DeadlinePolicy,
+    /// Armed fault schedule (`None`, and an empty plan, are strict
+    /// no-ops — the parity tests pin this).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Healing-policy tuning for this worker's supervisor.
+    pub supervisor: SupervisorConfig,
+    /// The pool-shared degradation ladder.
+    pub health: Arc<HealthState>,
 }
 
 /// How far (in simulated cycles) a worker may run ahead of the slowest
@@ -147,6 +158,9 @@ pub struct WorkerReport {
     pub world_calls: u64,
     /// `world_return` transitions this worker's vCPU executed.
     pub world_returns: u64,
+    /// Healing counters from this worker's supervisor (all zero without
+    /// an armed fault plan).
+    pub supervisor: SupervisorReport,
 }
 
 impl WorkerReport {
@@ -174,13 +188,18 @@ fn schedule_in(platform: &mut Platform, entry: &WorldEntry) {
 /// virtual-memory accesses into the callee's attached memory, cycling
 /// over its pages. The first lap after a cold start (or an EPT-switching
 /// dispatcher without a tagged TLB) pays full page walks; warm laps hit.
-fn touch_working_set(platform: &mut Platform, memory: &WorldMemory, touches: u64) {
+/// Returns the number of touches that failed to translate — the service
+/// maps working sets before start, so a non-zero count means a torn-down
+/// EPT; the caller accounts it instead of panicking.
+fn touch_working_set(platform: &mut Platform, memory: &WorldMemory, touches: u64) -> u64 {
+    let mut faulted = 0;
     for i in 0..touches {
         let gva = memory.base + (i % memory.pages) * PAGE_SIZE;
-        platform
-            .access_gva(&memory.pt, gva, Perms::rw())
-            .expect("attached working set always translates");
+        if platform.access_gva(&memory.pt, gva, Perms::rw()).is_err() {
+            faulted += 1;
+        }
     }
+    faulted
 }
 
 /// The per-worker execution engine: the platform/unit pair plus the
@@ -202,11 +221,34 @@ struct Engine<'a> {
     stats: SwitchlessWorkerStats,
     /// Per-(callee, lane) slot cursors into channel segments.
     cursors: HashMap<(u64, u64), u64>,
+    /// Armed fault schedule (absent on the clean path).
+    faults: Option<Arc<FaultPlan>>,
+    /// This worker's healing brain.
+    supervisor: Supervisor,
+    /// Pool-shared degradation ladder.
+    health: Arc<HealthState>,
 }
 
 impl Engine<'_> {
     fn now(&self) -> u64 {
         self.platform.cpu().meter().cycles()
+    }
+
+    /// Consults the fault plan at `site` with this worker's virtual
+    /// clock. `None` (no plan, empty plan, or nothing armed yet) is
+    /// free: no cycles, no state.
+    fn fire(&self, site: FaultSite) -> Option<FaultKind> {
+        self.faults.as_ref()?.fire(site, self.now())
+    }
+
+    /// Records an outcome; a completed call also closes any open fault
+    /// episode (taking a recovery-latency sample).
+    fn record_outcome(&mut self, outcome: CallOutcome) {
+        if outcome.verdict == CallVerdict::Completed {
+            let now = self.now();
+            self.supervisor.note_healthy(now);
+        }
+        self.outcomes.push(outcome);
     }
 
     /// Publishes this worker's clock and computes the request's queue
@@ -244,7 +286,8 @@ impl Engine<'_> {
     fn run_body(&mut self, req: &CallRequest) {
         if req.touch_pages > 0 {
             if let Some(mem) = self.memory.get(&req.callee.raw()) {
-                touch_working_set(self.platform, mem, req.touch_pages);
+                self.supervisor.report.working_set_faults +=
+                    touch_working_set(self.platform, mem, req.touch_pages);
             }
         }
         self.platform
@@ -283,14 +326,9 @@ impl Engine<'_> {
     /// mirroring `WorldManager::call`/`ret` but driven against the
     /// shared sharded table.
     fn execute(&mut self, req: &CallRequest, wait: u64) -> (CallVerdict, u64) {
-        let caller_entry = match self.table.lookup(req.caller) {
-            Some(e) => e,
-            None => {
-                return (
-                    CallVerdict::Failed(WorldError::InvalidWid { wid: req.caller }),
-                    0,
-                )
-            }
+        let caller_entry = match self.lookup_with_retry(req.caller) {
+            Ok(e) => e,
+            Err(verdict) => return (verdict, 0),
         };
         schedule_in(self.platform, &caller_entry);
         self.unit.notify_context_switch(self.platform, self.table);
@@ -351,13 +389,51 @@ impl Engine<'_> {
         (verdict, latency)
     }
 
+    /// Resolves `wid` against the shared table, healing injected
+    /// deletion races: a fired [`FaultSite::WorldLookupRace`] makes the
+    /// lookup transiently vanish; the supervisor retries it under
+    /// capped, jittered exponential backoff (charged to this worker's
+    /// meter as virtual time) and dead-letters the request only when
+    /// the retries are exhausted. A *genuine* miss — the world really
+    /// is not in the table — still fails immediately with the same
+    /// `InvalidWid` verdict as ever; only injected races are retried,
+    /// so the clean path is untouched.
+    fn lookup_with_retry(&mut self, wid: Wid) -> Result<WorldEntry, CallVerdict> {
+        let mut attempts: u32 = 0;
+        loop {
+            if self.fire(FaultSite::WorldLookupRace).is_some() {
+                let now = self.now();
+                self.supervisor.note_fault(now);
+                if attempts >= self.supervisor.config().lookup_retries {
+                    self.supervisor.report.dead_lettered += 1;
+                    return Err(CallVerdict::DeadLettered(CallError::LookupRace {
+                        wid,
+                        attempts,
+                    }));
+                }
+                let backoff = self.supervisor.backoff_cycles(attempts);
+                self.supervisor.report.lookup_retries += 1;
+                self.supervisor.report.backoff_cycles += backoff;
+                self.platform
+                    .cpu_mut()
+                    .charge_work(backoff, 0, "supervisor retry backoff");
+                attempts += 1;
+                continue;
+            }
+            return match self.table.lookup(wid) {
+                Some(e) => Ok(e),
+                None => Err(CallVerdict::Failed(WorldError::InvalidWid { wid })),
+            };
+        }
+    }
+
     /// Services one request on the classic path and records its outcome.
     fn classic(&mut self, queued: &Queued, was_stolen: bool) {
         let wait = self.stamp_wait(queued);
         self.queue_wait_cycles += wait;
         let (verdict, latency_cycles) = self.execute(&queued.req, wait);
         self.stats.classic_calls += 1;
-        self.outcomes.push(CallOutcome {
+        self.record_outcome(CallOutcome {
             request: queued.req,
             verdict,
             latency_cycles,
@@ -388,6 +464,17 @@ impl Engine<'_> {
         chunk: &[(Queued, bool)],
         dry: bool,
     ) {
+        // A quarantined channel is never used: its traffic rides the
+        // classic path until the (virtual-time) window passes and the
+        // channel re-opens. One map probe, zero virtual cycles.
+        if !self.supervisor.channel_usable(callee.raw(), self.now()) {
+            self.supervisor.report.quarantined_fallback_calls += chunk.len() as u64;
+            self.stats.drain.fallback_groups += 1;
+            for (queued, was_stolen) in chunk {
+                self.classic(queued, *was_stolen);
+            }
+            return;
+        }
         let caller_entry = match self.table.lookup(caller) {
             Some(e) => e,
             None => {
@@ -439,6 +526,7 @@ impl Engine<'_> {
         let lane = seg.lane_of(caller);
         let mut serviced = 0usize;
         let mut aborted = false;
+        let mut broken = false;
         for (queued, was_stolen) in chunk {
             let wait = self.stamp_wait(queued);
             self.queue_wait_cycles += wait;
@@ -447,9 +535,40 @@ impl Engine<'_> {
             let cursor = self.cursors.entry((callee.raw(), lane)).or_insert(0);
             let seq = *cursor;
             *cursor += 1;
-            self.stats.drain.slot_cycles += seg
-                .read_request(self.platform, lane, seq)
-                .expect("channel segment mapped before start");
+            // Every slot read is verified (seqno + checksum, free of
+            // extra cycles); injected faults can corrupt the slot or
+            // revoke the page at the EPT. Either way the slot is never
+            // serviced: the channel takes a quarantine strike and the
+            // residency aborts with the un-serviced tail going classic.
+            let denied = matches!(self.fire(FaultSite::ChannelEptFault), Some(FaultKind::Deny));
+            let corrupt = matches!(
+                self.fire(FaultSite::ChannelCorruption),
+                Some(FaultKind::Corrupt)
+            );
+            if denied {
+                let now = self.now();
+                self.supervisor.record_channel_fault(callee.raw(), now);
+                broken = true;
+            } else {
+                match seg.read_request_verified(self.platform, lane, seq, corrupt) {
+                    Ok(read) => {
+                        self.stats.drain.slot_cycles += read.cycles;
+                        if !read.intact() {
+                            let now = self.now();
+                            self.supervisor.record_corruption(callee.raw(), now);
+                            broken = true;
+                        }
+                    }
+                    Err(_) => {
+                        let now = self.now();
+                        self.supervisor.record_channel_fault(callee.raw(), now);
+                        broken = true;
+                    }
+                }
+            }
+            if broken {
+                break;
+            }
             self.run_body(&queued.req);
             let verdict = if token.expired(self.platform) {
                 self.hypervisor_cancel(&caller_entry, "restore caller state (timeout)");
@@ -457,14 +576,29 @@ impl Engine<'_> {
                 aborted = true;
                 CallVerdict::TimedOut
             } else {
-                self.stats.drain.slot_cycles += seg
-                    .write_response(self.platform, lane, seq)
-                    .expect("channel segment mapped before start");
-                CallVerdict::Completed
+                match seg.write_response(self.platform, lane, seq) {
+                    Ok(cycles) => {
+                        self.stats.drain.slot_cycles += cycles;
+                        CallVerdict::Completed
+                    }
+                    Err(_) => {
+                        // The response cannot be deposited: the caller
+                        // would never observe completion through the
+                        // channel, so don't claim it. Strike the
+                        // channel and re-run this request (and the
+                        // tail) classically — the body is re-executed,
+                        // the honest cost of the retry; the verdict
+                        // stays exactly one per request.
+                        let now = self.now();
+                        self.supervisor.record_channel_fault(callee.raw(), now);
+                        broken = true;
+                        break;
+                    }
+                }
             };
             serviced += 1;
             self.stats.drain.coalesced_calls += 1;
-            self.outcomes.push(CallOutcome {
+            self.record_outcome(CallOutcome {
                 request: queued.req,
                 verdict,
                 latency_cycles: self.now() - slice_start,
@@ -480,6 +614,27 @@ impl Engine<'_> {
         let pair = self.stats.per_callee.entry(callee.raw()).or_insert((0, 0));
         pair.0 += serviced as u64;
         pair.1 += 1;
+        if broken {
+            // The channel cannot be trusted (corrupt slot or EPT
+            // fault): the supervisor has quarantined it; abort the
+            // residency through the hypervisor (the same forced restore
+            // the timeout path uses) and re-run everything un-serviced
+            // classically, so each request still gets exactly one
+            // verdict. Enough strikes degrade the whole pool to
+            // classic-only until a quiet window passes.
+            self.stats.drain.fallback_groups += 1;
+            self.hypervisor_cancel(&caller_entry, "restore caller state (channel fault)");
+            if self.supervisor.total_strikes()
+                >= self.supervisor.config().corruption_escalation_strikes
+            {
+                let now = self.now();
+                self.health.escalate(DegradeLevel::ClassicOnly, now);
+            }
+            for (queued, was_stolen) in &chunk[serviced..] {
+                self.classic(queued, *was_stolen);
+            }
+            return;
+        }
         if aborted {
             // The hypervisor already put us back in the caller world;
             // whatever the residency didn't reach goes classic.
@@ -611,7 +766,15 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
     }
     let mut batches = 0u64;
     let mut backlog: VecDeque<Queued> = VecDeque::new();
+    // A batch held over a crash-respawn: requeued whole, order
+    // preserved, before any of it was serviced (dispatcher-agnostic —
+    // the rings' local backlog is not read under the mutex queue).
+    let mut requeued: Option<Vec<Queued>> = None;
     let mut stolen = 0u64;
+    // Invalidation broadcasts an injected fault dropped on the way to
+    // this worker's caches; healed (applied) at the next batch boundary,
+    // so staleness is bounded at one batch.
+    let mut deferred_invalidations: Vec<Wid> = Vec::new();
     let mut engine = Engine {
         platform: &mut ctx.platform,
         unit: &mut unit,
@@ -625,6 +788,9 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         queue_wait_cycles: 0,
         stats: SwitchlessWorkerStats::default(),
         cursors: HashMap::new(),
+        faults: ctx.faults.clone(),
+        supervisor: Supervisor::new(ctx.supervisor, ctx.index),
+        health: Arc::clone(&ctx.health),
     };
     loop {
         pace(
@@ -633,32 +799,108 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             engine.platform.cpu().meter().cycles(),
         );
         let mut first_stolen = false;
-        let batch = next_batch(
-            &ctx.dispatcher,
-            ctx.index,
-            ctx.batch_max,
-            &mut backlog,
-            &mut first_stolen,
-        );
+        let batch = match requeued.take() {
+            Some(b) => b,
+            None => next_batch(
+                &ctx.dispatcher,
+                ctx.index,
+                ctx.batch_max,
+                &mut backlog,
+                &mut first_stolen,
+            ),
+        };
         if batch.is_empty() {
             break; // closed and drained
+        }
+        // Worker-level faults are consulted *before* any of the batch is
+        // serviced, so a crash can requeue the whole batch with no
+        // verdict recorded yet (the exactly-one-verdict invariant).
+        if engine.faults.is_some() {
+            if let Some(FaultKind::Stall { cycles }) = engine.fire(FaultSite::WorkerStall) {
+                let now = engine.now();
+                engine.supervisor.record_stall(now, cycles);
+                engine
+                    .platform
+                    .cpu_mut()
+                    .charge_work(cycles, 0, "injected worker stall");
+            }
+            if engine.fire(FaultSite::WorkerCrash).is_some() {
+                let now = engine.now();
+                let respawns = engine.supervisor.record_crash(now);
+                if respawns > ctx.supervisor.respawn_cap as u64 {
+                    // Crash loop: respawning clearly isn't healing this
+                    // worker. Dead-letter the batch (typed verdicts, not
+                    // losses) and shed new load until a quiet window.
+                    engine.health.escalate(DegradeLevel::Shedding, now);
+                    for queued in &batch {
+                        let wait = engine.stamp_wait(queued);
+                        engine.queue_wait_cycles += wait;
+                        engine.supervisor.report.dead_lettered += 1;
+                        engine.outcomes.push(CallOutcome {
+                            request: queued.req,
+                            verdict: CallVerdict::DeadLettered(CallError::CrashLoop {
+                                worker: ctx.index,
+                                respawns: respawns as u32,
+                            }),
+                            latency_cycles: 0,
+                            queue_wait_cycles: wait,
+                            worker: ctx.index,
+                            stolen: false,
+                            coalesced: false,
+                        });
+                    }
+                    continue;
+                }
+                // Respawn: the crash tore down the worker's private call
+                // unit (WT/IWT caches) and its channel cursors; rebuild
+                // them fresh and hold the batch over to the next loop
+                // turn, order preserved (ring/meter reconciliation —
+                // nothing serviced, nothing lost). The meter survives:
+                // it is the vCPU's clock, not the thread's.
+                *engine.unit = {
+                    let mut fresh = WorldCallUnit::with_geometry(ctx.wtc_geometry);
+                    if ctx.switchless.prefetch_register {
+                        fresh.enable_prefetch();
+                    }
+                    fresh
+                };
+                engine.cursors.clear();
+                requeued = Some(batch);
+                continue;
+            }
         }
         batches += 1;
         if first_stolen {
             stolen += 1;
         }
         // Concurrent manage_wtc: purge every world deleted since the
-        // last batch from this worker's private caches.
-        for wid in ctx.bus.drain(ctx.index) {
+        // last batch from this worker's private caches. Deferred
+        // (fault-dropped) broadcasts from the previous batch heal first;
+        // a fresh broadcast an InvalidationDrop event eats is deferred
+        // in turn, bounding WT/IWT staleness at one batch.
+        for wid in deferred_invalidations.drain(..) {
             engine.unit.manage_wtc_invalidate(engine.platform, wid);
         }
+        for wid in ctx.bus.drain(ctx.index) {
+            if engine.fire(FaultSite::InvalidationDrop).is_some() {
+                let now = engine.now();
+                engine.supervisor.report.invalidation_defers += 1;
+                engine.supervisor.note_fault(now);
+                deferred_invalidations.push(wid);
+            } else {
+                engine.unit.manage_wtc_invalidate(engine.platform, wid);
+            }
+        }
+        // One relaxed load on the clean path; steps the pool back up the
+        // degradation ladder once a quiet window has passed.
+        engine.health.maybe_recover(engine.now());
         let callee = batch[0].req.callee;
         let occupancy = ctx.dispatcher.occupancy(ctx.index) as u64 + backlog.len() as u64;
         let budget = match (&ctx.controller, ctx.switchless.enabled()) {
             (Some(c), true) => c.budget_for(callee),
             _ => 0,
         };
-        let segment = if budget >= 2 {
+        let segment = if budget >= 2 && !engine.health.classic_only() {
             ctx.segments.get(&callee.raw())
         } else {
             None
@@ -687,9 +929,15 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             c.tick(engine.platform.cpu().meter().cycles());
         }
     }
+    // Any invalidation still deferred heals before the caches are
+    // reported: no stale entry survives the pool.
+    for wid in deferred_invalidations.drain(..) {
+        engine.unit.manage_wtc_invalidate(engine.platform, wid);
+    }
     let outcomes = std::mem::take(&mut engine.outcomes);
     let queue_wait_cycles = engine.queue_wait_cycles;
     let switchless = std::mem::take(&mut engine.stats);
+    let supervisor_report = std::mem::take(&mut engine.supervisor.report);
     // Park the clock so remaining workers stop pacing against us.
     ctx.clocks[ctx.index].store(u64::MAX, Ordering::Relaxed);
     WorkerReport {
@@ -710,5 +958,6 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             .trace()
             .count(TransitionKind::WorldReturn)
             - returns_before,
+        supervisor: supervisor_report,
     }
 }
