@@ -22,7 +22,11 @@
 //!   queue overflow: every send is either delivered or counted in
 //!   `ipi_dropped`, never silently gone.
 //!
-//! Usage: `faults [output-path]` (default `BENCH_faults.json`).
+//! Usage: `faults [output-path] [--trace-out PATH]` (default
+//! `BENCH_faults.json`). With `--trace-out` one chaos run is repeated
+//! with the obs plane recording and its combined Perfetto/recording
+//! JSON written to the given path — faults, retries, quarantines and
+//! respawns show up as instant markers on the worker tracks.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -31,8 +35,11 @@ use hypervisor::smp::{CoreId, SmpMachine, MAX_PENDING_IPIS};
 use machine::fault::{FaultKind, FaultPlan, FaultSite};
 use machine::rng::SplitMix64;
 use runtime::{
-    CallRequest, DispatchMode, RuntimeConfig, ServiceReport, SwitchlessConfig, WorldCallService,
+    trace_doc, CallRequest, DispatchMode, ObsConfig, RuntimeConfig, ServiceReport,
+    SwitchlessConfig, WorldCallService,
 };
+
+const FREQUENCY_GHZ: f64 = 3.4;
 
 const PARITY_CALLS: u64 = 2_000;
 const CHAOS_CALLS: u64 = 1_500;
@@ -114,6 +121,7 @@ fn run(
     switchless: SwitchlessConfig,
     calls: u64,
     abusive: bool,
+    obs: ObsConfig,
 ) -> ServiceReport {
     let (mut svc, worlds) = build_service(RuntimeConfig {
         workers,
@@ -121,6 +129,7 @@ fn run(
         queue_capacity: calls as usize + 16,
         batch_max: 32,
         switchless,
+        obs,
         ..RuntimeConfig::default()
     });
     if let Some(plan) = plan {
@@ -192,6 +201,7 @@ fn chaos_matrix() -> (Vec<ChaosRow>, Vec<u64>) {
                 SwitchlessConfig::fixed(8),
                 CHAOS_CALLS,
                 true,
+                ObsConfig::off(),
             );
             let (lost, dup) = conservation(&report, CHAOS_CALLS);
             assert_eq!(lost, 0, "seed {seed:#x}/{intensity}: lost verdicts");
@@ -243,10 +253,36 @@ fn chaos_matrix() -> (Vec<ChaosRow>, Vec<u64>) {
     (rows, recovery)
 }
 
+/// Re-runs one chaos configuration with the obs plane recording and
+/// writes the combined Perfetto/recording document.
+fn trace_run(trace_path: &str) {
+    let plan = FaultPlan::from_seed(CHAOS_SEEDS[0], HORIZON_CYCLES, 4);
+    let report = run(
+        Some(plan),
+        2,
+        DispatchMode::LockFreeRings,
+        SwitchlessConfig::fixed(8),
+        CHAOS_CALLS,
+        true,
+        ObsConfig::ring(),
+    );
+    let doc = trace_doc("faults chaos", &report, FREQUENCY_GHZ)
+        .expect("obs was enabled for the traced run");
+    std::fs::write(trace_path, doc.render_json()).expect("write trace json");
+    eprintln!("wrote {trace_path} ({} events)", doc.events.len());
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let mut out_path = "BENCH_faults.json".to_string();
+    let mut trace_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            positional => out_path = positional.to_string(),
+        }
+    }
 
     // ---- Parity: an empty plan is free, cycle for cycle. -------------
     let bare = run(
@@ -256,6 +292,7 @@ fn main() {
         SwitchlessConfig::fixed(8),
         PARITY_CALLS,
         true,
+        ObsConfig::off(),
     );
     let armed = run(
         Some(FaultPlan::new()),
@@ -264,6 +301,7 @@ fn main() {
         SwitchlessConfig::fixed(8),
         PARITY_CALLS,
         true,
+        ObsConfig::off(),
     );
     assert_eq!(bare.outcomes.len(), armed.outcomes.len());
     for (a, b) in bare.outcomes.iter().zip(armed.outcomes.iter()) {
@@ -326,6 +364,7 @@ fn main() {
         SwitchlessConfig::fixed(8),
         DEGRADED_CALLS,
         false,
+        ObsConfig::off(),
     );
     let classic_only = run(
         None,
@@ -334,6 +373,7 @@ fn main() {
         SwitchlessConfig::default(), // mode Off == classic-only rung
         DEGRADED_CALLS,
         false,
+        ObsConfig::off(),
     );
     assert_eq!(engaged.completed, DEGRADED_CALLS);
     assert_eq!(classic_only.completed, DEGRADED_CALLS);
@@ -357,6 +397,7 @@ fn main() {
         SwitchlessConfig::fixed(8),
         DEGRADED_CALLS,
         false,
+        ObsConfig::off(),
     );
     let (lost, dup) = conservation(&stormed, DEGRADED_CALLS);
     assert_eq!((lost, dup), (0, 0), "corruption storm: conservation");
@@ -501,4 +542,7 @@ fn main() {
     out.push_str("  ]\n}\n");
     std::fs::write(&out_path, out).expect("write benchmark json");
     eprintln!("wrote {out_path}");
+    if let Some(trace_path) = trace_out {
+        trace_run(&trace_path);
+    }
 }

@@ -32,12 +32,20 @@
 //! 4. the adaptive controller's budget vector converges (identical over
 //!    the final epochs) on three different seeds.
 //!
-//! Usage: `switchless [output-path]` (default `BENCH_switchless.json`).
+//! Usage: `switchless [output-path] [--trace-out PATH]` (default
+//! `BENCH_switchless.json`). With `--trace-out` the adaptive/skewed
+//! point is re-run with the obs plane recording and its combined
+//! Perfetto/recording JSON written to the given path — the resident
+//! drains show up as `drain wA→wB` slices on the worker tracks.
 
 use std::fmt::Write as _;
 
 use machine::rng::{SplitMix64, Zipf};
-use runtime::{converged, CallRequest, RuntimeConfig, SwitchlessConfig, WorldCallService};
+use runtime::{
+    converged, trace_doc, CallRequest, ObsConfig, RuntimeConfig, SwitchlessConfig, WorldCallService,
+};
+
+const FREQUENCY_GHZ: f64 = 3.4;
 
 const CALLS_PER_POINT: u64 = 8_000;
 const WORKERS: usize = 4;
@@ -96,6 +104,7 @@ fn configs() -> Vec<(&'static str, SwitchlessConfig)> {
 fn build_service(
     switchless: SwitchlessConfig,
     workers: usize,
+    obs: ObsConfig,
 ) -> (WorldCallService, Vec<crossover::world::Wid>) {
     let mut svc = WorldCallService::new(RuntimeConfig {
         workers,
@@ -104,6 +113,7 @@ fn build_service(
         // the baseline) the same headroom — identical for every config.
         batch_max: 32,
         switchless,
+        obs,
         ..RuntimeConfig::default()
     });
     let mut worlds = Vec::new();
@@ -194,7 +204,7 @@ fn run_point(
     seed: u64,
     workers: usize,
 ) -> Point {
-    let (mut svc, worlds) = build_service(switchless, workers);
+    let (mut svc, worlds) = build_service(switchless, workers, ObsConfig::off());
     let zipf = Zipf::new(worlds.len(), ZIPF_S);
     let mut rng = SplitMix64::new(seed);
     for _ in 0..CALLS_PER_POINT {
@@ -269,10 +279,39 @@ fn write_point(out: &mut String, p: &Point) {
     );
 }
 
+/// Records the adaptive/skewed point with the obs plane on and writes
+/// the combined Perfetto/recording document.
+fn trace_run(trace_path: &str) {
+    let (mut svc, worlds) = build_service(
+        with_epochs(SwitchlessConfig::adaptive()),
+        WORKERS,
+        ObsConfig::ring(),
+    );
+    let zipf = Zipf::new(worlds.len(), ZIPF_S);
+    let mut rng = SplitMix64::new(SEED);
+    for _ in 0..CALLS_PER_POINT {
+        svc.submit(draw_request(&mut rng, &zipf, &worlds, Workload::Skewed))
+            .expect("dispatcher open while tracing");
+    }
+    svc.start();
+    let report = svc.drain();
+    let doc = trace_doc("switchless adaptive skewed", &report, FREQUENCY_GHZ)
+        .expect("obs was enabled for the traced run");
+    std::fs::write(trace_path, doc.render_json()).expect("write trace json");
+    eprintln!("wrote {trace_path} ({} events)", doc.events.len());
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_switchless.json".to_string());
+    let mut out_path = "BENCH_switchless.json".to_string();
+    let mut trace_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            positional => out_path = positional.to_string(),
+        }
+    }
 
     let mut sweeps: Vec<(Workload, Vec<Point>)> = Vec::new();
     for workload in [Workload::Skewed, Workload::Uniform] {
@@ -409,4 +448,7 @@ fn main() {
     out.push_str("  ]\n}\n");
     std::fs::write(&out_path, out).expect("write benchmark json");
     eprintln!("wrote {out_path}");
+    if let Some(trace_path) = trace_out {
+        trace_run(&trace_path);
+    }
 }

@@ -47,6 +47,28 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Accumulates another cache's counters (for SMP-wide reporting).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fills += other.fills;
+        self.invalidations += other.invalidations;
+        self.evictions += other.evictions;
+    }
+
+    /// Counter deltas since an earlier snapshot of the same cache. Counters
+    /// are monotone, so this is exact per-interval attribution (used by the
+    /// obs plane to charge hits/misses to individual requests).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            fills: self.fills - earlier.fills,
+            invalidations: self.invalidations - earlier.invalidations,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
 }
 
 /// Default capacity of each world-table cache. The paper sizes them as

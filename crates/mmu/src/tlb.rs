@@ -72,6 +72,18 @@ impl TlbStats {
         self.evictions += other.evictions;
         self.invalidations += other.invalidations;
     }
+
+    /// Counter deltas since an earlier snapshot of the same TLB. Counters
+    /// are monotone, so this is exact per-interval attribution (used by the
+    /// obs plane to charge hits/misses to individual requests).
+    pub fn since(&self, earlier: &TlbStats) -> TlbStats {
+        TlbStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
 }
 
 /// Default TLB associativity: 4-way, matching the L2 STLB of the

@@ -1,0 +1,80 @@
+//! Observability configuration carried inside `RuntimeConfig`.
+
+/// Default per-ring capacity: 64Ki events (~2.5 MiB per worker). Large enough
+/// to hold every event of a 10k-call bench point without drops.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// What the observability plane records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// No recording. Every emission site reduces to one branch on a `None`;
+    /// no allocation, no stamping, no sequence numbering. Bit-for-bit
+    /// identical virtual behavior to a build without obs wiring.
+    #[default]
+    Off,
+    /// Flight-recorder rings: one bounded event ring per worker plus a
+    /// submit-side ring for enqueue events.
+    Ring,
+}
+
+/// Observability knobs. `Off` by default so `RuntimeConfig::default()` keeps
+/// PR-4 behavior exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    pub mode: ObsMode,
+    /// Capacity of each per-worker ring (and of the submit ring).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::off()
+    }
+}
+
+impl ObsConfig {
+    /// Recording disabled (the default).
+    pub fn off() -> Self {
+        ObsConfig {
+            mode: ObsMode::Off,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Flight-recorder rings with the default capacity.
+    pub fn ring() -> Self {
+        ObsConfig {
+            mode: ObsMode::Ring,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Flight-recorder rings with an explicit per-ring capacity.
+    pub fn ring_with_capacity(capacity: usize) -> Self {
+        ObsConfig {
+            mode: ObsMode::Ring,
+            ring_capacity: capacity.max(1),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.mode != ObsMode::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(ObsConfig::default().mode, ObsMode::Off);
+        assert!(!ObsConfig::default().enabled());
+        assert!(ObsConfig::ring().enabled());
+    }
+
+    #[test]
+    fn capacity_floor() {
+        assert_eq!(ObsConfig::ring_with_capacity(0).ring_capacity, 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! HDR-style log-bucketed histogram.
+//!
+//! Values 0..63 are recorded exactly (one bucket per value). Above that,
+//! each power-of-two octave is split into 32 linear sub-buckets, so the
+//! relative quantization error is bounded by 1/32 ≈ 3.2% while the whole
+//! `u64` range fits in under 2k buckets (~15 KiB). Recording is O(1)
+//! (a leading-zeros count and an add), and percentiles are a single walk
+//! over the bucket array — this replaces the sorted-Vec nearest-rank scan
+//! that previously ran per sweep point.
+
+/// Number of exact low buckets (and sub-buckets per octave × 2).
+const SUBS: u64 = 64;
+/// Sub-buckets per octave above the exact range.
+const HALF: u64 = SUBS / 2;
+/// log2(SUBS).
+const SUB_BITS: u32 = 6;
+/// Total bucket count: 64 exact + 32 per octave for octaves 6..=63.
+const BUCKETS: usize = SUBS as usize + (64 - SUB_BITS as usize) * HALF as usize;
+
+/// Log-bucketed histogram over `u64` values (virtual cycles).
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUBS {
+            value as usize
+        } else {
+            let msb = 63 - value.leading_zeros();
+            let octave = (msb - SUB_BITS + 1) as u64;
+            let sub = (value >> (msb - SUB_BITS + 1)) - HALF;
+            (SUBS + (octave - 1) * HALF + sub) as usize
+        }
+    }
+
+    /// Inclusive upper bound of a bucket.
+    fn bucket_upper(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUBS {
+            index
+        } else {
+            let octave = (index - SUBS) / HALF + 1;
+            let sub = (index - SUBS) % HALF;
+            let shift = octave as u32;
+            // The very top bucket's exclusive bound is 2^64; clamp via u128.
+            let bound = (u128::from(HALF + sub + 1) << shift) - 1;
+            bound.min(u64::MAX as u128) as u64
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.counts[Self::bucket_index(value)] += count;
+        self.total += count;
+        self.sum = self.sum.saturating_add(value.saturating_mul(count));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank percentile, quantized to the bucket upper bound and
+    /// clamped to the exact observed max (so `p100` is exact).
+    pub fn value_at_percentile(&self, pct: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += *src;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64 {
+            h.record(v);
+        }
+        for pct in [1.0f64, 25.0, 50.0, 75.0, 99.0] {
+            let rank = ((pct / 100.0) * 64.0).ceil() as u64;
+            assert_eq!(h.value_at_percentile(pct), rank - 1);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.sum(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every value maps to a bucket whose range contains it, and bucket
+        // upper bounds are strictly increasing.
+        let mut prev_upper = None;
+        for i in 0..BUCKETS {
+            let upper = LogHistogram::bucket_upper(i);
+            if let Some(p) = prev_upper {
+                assert!(upper > p, "bucket {i} upper {upper} <= {p}");
+            }
+            prev_upper = Some(upper);
+        }
+        for v in [0, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 40, u64::MAX] {
+            let idx = LogHistogram::bucket_index(v);
+            let upper = LogHistogram::bucket_upper(idx);
+            assert!(v <= upper, "value {v} above bucket upper {upper}");
+            if idx > 0 {
+                let lower = LogHistogram::bucket_upper(idx - 1) + 1;
+                assert!(v >= lower, "value {v} below bucket lower {lower}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        // Pseudo-random stream (inline LCG: no external deps) compared
+        // against the exact sorted-Vec nearest-rank percentile.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut values = Vec::new();
+        let mut h = LogHistogram::new();
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 16) % 5_000_000;
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for pct in [50.0, 90.0, 99.0, 99.9] {
+            let rank = ((pct / 100.0) * values.len() as f64).ceil() as usize;
+            let exact = values[rank - 1];
+            let approx = h.value_at_percentile(pct);
+            assert!(approx >= exact, "p{pct}: approx {approx} < exact {exact}");
+            let err = (approx - exact) as f64 / exact.max(1) as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "p{pct}: error {err} too large");
+        }
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for v in 0..1000u64 {
+            let v = v * 37 % 4096;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_counts() {
+        let mut h = LogHistogram::new();
+        h.record_n(10, 3);
+        h.record_n(1000, 2);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+        assert_eq!(buckets[0], (10, 3));
+        assert!(buckets[1].0 >= 1000);
+    }
+}

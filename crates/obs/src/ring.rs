@@ -1,0 +1,244 @@
+//! Bounded per-worker flight recorders.
+//!
+//! Each worker thread owns its [`EventRing`] exclusively while the service
+//! runs (single producer, no sharing); the service collects the rings after
+//! the worker threads join (single consumer, with a happens-before edge from
+//! the join). Recording is therefore lock-free and wait-free by construction:
+//! a push is a bounds check and a `Vec` write, with no atomics and no locks.
+//!
+//! Overflow policy: the ring is *head-anchored* — it keeps the oldest
+//! `capacity` events and drops the newest, counting drops exactly. Span trees
+//! are stitched from the start of the run, so keeping the earliest prefix
+//! yields complete spans; a tail-anchored recorder would orphan every span
+//! whose enqueue fell off the front. Either way nothing is ever reordered.
+
+use crate::config::ObsConfig;
+use crate::event::{Event, EventKind};
+
+/// Track id used for submit-side (enqueue) events, which are not emitted by
+/// any worker.
+pub const SUBMIT_TRACK: u32 = u32::MAX;
+
+/// A bounded, drop-counted event log owned by one producer.
+#[derive(Debug, Clone, Default)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            // Sized up front so the steady-state push never reallocates.
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event. Returns `false` (and bumps the exact drop count) when
+    /// the ring is full.
+    #[inline]
+    pub fn push(&mut self, event: Event) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Recorded events, oldest first, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events that arrived after the ring filled. Exact.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total emission attempts: recorded + dropped.
+    pub fn total_seen(&self) -> u64 {
+        self.buf.len() as u64 + self.dropped
+    }
+}
+
+/// Worker-side emission handle. `Recorder::off()` makes every emit a single
+/// branch on a `None` — no stamping, no allocation, no side effects — which
+/// is the provably-zero-cost `Off` mode.
+#[derive(Debug)]
+pub struct Recorder {
+    ring: Option<EventRing>,
+    track: u32,
+}
+
+impl Recorder {
+    pub fn off() -> Self {
+        Recorder {
+            ring: None,
+            track: 0,
+        }
+    }
+
+    /// Recorder for one track (worker index, or [`SUBMIT_TRACK`]).
+    pub fn for_track(config: &ObsConfig, track: u32) -> Self {
+        if config.enabled() {
+            Recorder {
+                ring: Some(EventRing::new(config.ring_capacity)),
+                track,
+            }
+        } else {
+            Recorder { ring: None, track }
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    #[inline]
+    pub fn emit(&mut self, ts: u64, kind: EventKind, a: u64, b: u64, c: u64) {
+        if let Some(ring) = &mut self.ring {
+            ring.push(Event::new(ts, self.track, kind, a, b, c));
+        }
+    }
+
+    /// Emit only when `count > 0` — used for per-request cache-delta events.
+    #[inline]
+    pub fn emit_count(&mut self, ts: u64, kind: EventKind, count: u64) {
+        if count > 0 {
+            self.emit(ts, kind, count, 0, 0);
+        }
+    }
+
+    /// Hand the recorded ring back (empty ring when off).
+    pub fn into_ring(self) -> EventRing {
+        self.ring.unwrap_or_default()
+    }
+}
+
+/// Rings collected from one run: one per worker (indexed by worker id) plus
+/// the submit-side ring. Attached to `ServiceReport` when obs is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    pub worker_rings: Vec<EventRing>,
+    pub submit: EventRing,
+}
+
+impl ObsReport {
+    /// Total events dropped across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.submit.dropped() + self.worker_rings.iter().map(|r| r.dropped()).sum::<u64>()
+    }
+
+    /// Total events recorded across all rings.
+    pub fn total_events(&self) -> usize {
+        self.submit.len() + self.worker_rings.iter().map(|r| r.len()).sum::<usize>()
+    }
+
+    /// All events merged into one stream ordered by virtual timestamp.
+    ///
+    /// Each ring is already time-ordered (every track's clock is monotone),
+    /// so this is a k-way merge; ties break by track id with the submit track
+    /// first (an enqueue at cycle T happens-before a dispatch at cycle T).
+    pub fn merged_events(&self) -> Vec<Event> {
+        let mut merged: Vec<Event> = Vec::with_capacity(self.total_events());
+        merged.extend_from_slice(self.submit.events());
+        for ring in &self.worker_rings {
+            merged.extend_from_slice(ring.events());
+        }
+        // Stable sort keyed on ts keeps per-ring emission order for ties;
+        // rank the submit track before workers at equal timestamps.
+        merged.sort_by_key(|e| (e.ts, if e.worker == SUBMIT_TRACK { 0 } else { 1 }));
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ObsConfig;
+
+    fn ev(ts: u64, kind: EventKind) -> Event {
+        Event::new(ts, 0, kind, 0, 0, 0)
+    }
+
+    #[test]
+    fn ring_keeps_oldest_and_counts_drops_exactly() {
+        let mut ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i, EventKind::WorldCall));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.total_seen(), 10);
+        let ts: Vec<u64> = ring.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3], "oldest prefix survives, in order");
+    }
+
+    #[test]
+    fn recorder_off_records_nothing() {
+        let mut rec = Recorder::off();
+        assert!(!rec.enabled());
+        rec.emit(1, EventKind::WorldCall, 0, 0, 0);
+        rec.emit_count(2, EventKind::WtHit, 5);
+        let ring = rec.into_ring();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn recorder_stamps_track() {
+        let mut rec = Recorder::for_track(&ObsConfig::ring_with_capacity(8), 3);
+        rec.emit(7, EventKind::WorldCall, 1, 2, 0);
+        rec.emit_count(8, EventKind::WtHit, 0); // suppressed
+        rec.emit_count(8, EventKind::WtMiss, 2);
+        let ring = rec.into_ring();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.events()[0].worker, 3);
+        assert_eq!(ring.events()[1].kind, EventKind::WtMiss);
+        assert_eq!(ring.events()[1].a, 2);
+    }
+
+    #[test]
+    fn merged_events_sort_by_time_submit_first() {
+        let mut submit = EventRing::new(8);
+        submit.push(Event::new(
+            5,
+            SUBMIT_TRACK,
+            EventKind::RequestEnqueue,
+            0,
+            0,
+            0,
+        ));
+        let mut w0 = EventRing::new(8);
+        w0.push(Event::new(3, 0, EventKind::WorldCall, 0, 0, 0));
+        w0.push(Event::new(5, 0, EventKind::RequestDispatch, 0, 0, 0));
+        let report = ObsReport {
+            worker_rings: vec![w0],
+            submit,
+        };
+        let merged = report.merged_events();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].ts, 3);
+        assert_eq!(merged[1].worker, SUBMIT_TRACK, "submit wins the tie at t=5");
+        assert_eq!(merged[2].kind, EventKind::RequestDispatch);
+    }
+}

@@ -29,13 +29,25 @@
 //!   the number the scaling claim is made on.
 //! * **Host wall-clock** per sweep point — informational only.
 //!
-//! Usage: `serve_bench [output-path]` (default `BENCH_runtime.json`).
+//! Usage: `serve_bench [output-path] [--calls N] [--trace-out PATH]
+//! [--metrics-out PATH]` (default output `BENCH_runtime.json`).
+//!
+//! With `--trace-out`, after the sweep the harness re-runs the 4-worker
+//! point twice back to back — obs off, then obs on — prints both host
+//! walls and their ratio (the recording overhead), and writes the
+//! obs-on run's combined Perfetto/recording JSON to the given path
+//! (replay it with `xover-trace`, or load it in
+//! <https://ui.perfetto.dev>). `--metrics-out` additionally dumps the
+//! obs-on run's Prometheus-style text metrics.
 
 use std::time::Instant;
 
 use machine::rng::SplitMix64;
-use xover_runtime::report::{hit_rate, percentile, render_json, BenchPoint};
-use xover_runtime::{CallRequest, RuntimeConfig, WorldCallService};
+use xover_runtime::report::{hit_rate, render_json, BenchPoint};
+use xover_runtime::{
+    metrics_registry, trace_doc, CallRequest, ObsConfig, RuntimeConfig, ServiceReport,
+    WorldCallService,
+};
 
 const FREQUENCY_GHZ: f64 = 3.4;
 const CALLS_PER_POINT: u64 = 10_000;
@@ -48,13 +60,18 @@ const WORKING_SET_PAGES: u64 = 16;
 /// pool (callers and callees). Guest worlds get working sets attached;
 /// host service worlds have no VM to allocate from and stay memory-less
 /// (their bodies never touch).
-fn build_service(workers: usize) -> (WorldCallService, Vec<crossover::world::Wid>) {
+fn build_service(
+    workers: usize,
+    calls: u64,
+    obs: ObsConfig,
+) -> (WorldCallService, Vec<crossover::world::Wid>) {
     let mut svc = WorldCallService::new(RuntimeConfig {
         workers,
         // Room for the whole request stream: the sweep pre-fills the
         // dispatcher before starting the pool, so the measurement is
         // pure strong scaling, not submitter-throughput-bound.
-        queue_capacity: CALLS_PER_POINT as usize,
+        queue_capacity: calls as usize,
+        obs,
         ..RuntimeConfig::default()
     });
     let mut worlds = Vec::new();
@@ -115,10 +132,10 @@ fn draw_request(rng: &mut SplitMix64, worlds: &[crossover::world::Wid]) -> CallR
     }
 }
 
-fn run_point(workers: usize) -> BenchPoint {
-    let (mut svc, worlds) = build_service(workers);
+fn run_point(workers: usize, calls: u64, obs: ObsConfig) -> (BenchPoint, ServiceReport) {
+    let (mut svc, worlds) = build_service(workers, calls, obs);
     let mut rng = SplitMix64::new(SEED); // same request stream per point
-    for _ in 0..CALLS_PER_POINT {
+    for _ in 0..calls {
         svc.submit(draw_request(&mut rng, &worlds))
             .expect("queue open while benching");
     }
@@ -126,10 +143,12 @@ fn run_point(workers: usize) -> BenchPoint {
     svc.start();
     let report = svc.drain();
     let host_wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-    let latencies = report.sorted_latencies();
-    BenchPoint {
+    // Percentiles come from the drain-built log-bucketed histogram —
+    // O(buckets) per read instead of the old O(n log n) sorted-Vec scan.
+    let hist = &report.latency_hist;
+    let point = BenchPoint {
         workers,
-        submitted: CALLS_PER_POINT,
+        submitted: calls,
         completed: report.completed,
         timed_out: report.timed_out,
         failed: report.failed,
@@ -139,8 +158,11 @@ fn run_point(workers: usize) -> BenchPoint {
         makespan_cycles: report.smp.makespan_cycles(),
         total_cycles: report.smp.total_cycles(),
         sim_calls_per_sec: report.sim_calls_per_sec(FREQUENCY_GHZ * 1e9),
-        p50_latency_cycles: percentile(&latencies, 50.0),
-        p99_latency_cycles: percentile(&latencies, 99.0),
+        p50_latency_cycles: hist.value_at_percentile(50.0),
+        p90_latency_cycles: hist.value_at_percentile(90.0),
+        p99_latency_cycles: hist.value_at_percentile(99.0),
+        p999_latency_cycles: hist.value_at_percentile(99.9),
+        latency_buckets: hist.nonzero_buckets(),
         wt_hit_rate: hit_rate(report.wt.hits, report.wt.misses),
         iwt_hit_rate: hit_rate(report.iwt.hits, report.iwt.misses),
         tlb_hit_rate: hit_rate(report.tlb.hits, report.tlb.misses),
@@ -151,16 +173,82 @@ fn run_point(workers: usize) -> BenchPoint {
         index_contended: report.contention.index_contended,
         ipi_dropped: report.smp.total_ipi_dropped(),
         host_wall_ms,
+    };
+    (point, report)
+}
+
+struct Args {
+    out_path: String,
+    calls: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_path: "BENCH_runtime.json".to_string(),
+        calls: CALLS_PER_POINT,
+        trace_out: None,
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--calls" => {
+                let v = it.next().expect("--calls needs a value");
+                args.calls = v.parse().expect("--calls must be an integer");
+            }
+            "--trace-out" => args.trace_out = Some(it.next().expect("--trace-out needs a path")),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().expect("--metrics-out needs a path"));
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            positional => args.out_path = positional.to_string(),
+        }
+    }
+    args
+}
+
+/// The traced point: the 4-worker configuration run twice back to back,
+/// obs off then obs on, so the recording overhead is measured on the
+/// spot. The virtual-time metrics are unaffected by recording (events
+/// charge zero cycles); only host wall can differ.
+fn traced_point(args: &Args, trace_path: &str) {
+    let (off, _) = run_point(4, args.calls, ObsConfig::off());
+    let (on, report) = run_point(4, args.calls, ObsConfig::ring());
+    let ratio = if off.host_wall_ms > 0.0 {
+        on.host_wall_ms / off.host_wall_ms
+    } else {
+        1.0
+    };
+    eprintln!(
+        "trace point: obs off {:.1} ms, obs on {:.1} ms host wall ({:+.1}% overhead)",
+        off.host_wall_ms,
+        on.host_wall_ms,
+        (ratio - 1.0) * 100.0
+    );
+    // Loose tripwire only: host wall is noisy (CI, laptops); the
+    // measured overhead on a quiet machine is documented in DESIGN.md.
+    assert!(
+        ratio < 2.0,
+        "obs-on host wall more than doubled ({ratio:.2}x) — recording cost regressed"
+    );
+    let doc = trace_doc("serve_bench w=4", &report, FREQUENCY_GHZ)
+        .expect("obs was enabled for the traced run");
+    std::fs::write(trace_path, doc.render_json()).expect("write trace json");
+    eprintln!("wrote {trace_path} ({} events)", doc.events.len());
+    if let Some(metrics_path) = &args.metrics_out {
+        let reg = metrics_registry(&report);
+        std::fs::write(metrics_path, reg.render_prometheus()).expect("write metrics dump");
+        eprintln!("wrote {metrics_path}");
     }
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let args = parse_args();
     let mut points = Vec::new();
     for workers in WORKER_SWEEP {
-        let p = run_point(workers);
+        let (p, _) = run_point(workers, args.calls, ObsConfig::off());
         eprintln!(
             "workers={:2}  sim {:>12.0} calls/s  p50 {:>5} cyc  p99 {:>5} cyc  \
              wt/iwt/tlb {:.2}/{:.2}/{:.2}  timeouts {}  stolen {}  ({:.0} ms host)",
@@ -196,9 +284,12 @@ fn main() {
     let doc = render_json(
         "xover-runtime world-call service sweep",
         FREQUENCY_GHZ,
-        CALLS_PER_POINT,
+        args.calls,
         &points,
     );
-    std::fs::write(&out_path, doc).expect("write benchmark json");
-    eprintln!("wrote {out_path}");
+    std::fs::write(&args.out_path, doc).expect("write benchmark json");
+    eprintln!("wrote {}", args.out_path);
+    if let Some(trace_path) = args.trace_out.clone() {
+        traced_point(&args, &trace_path);
+    }
 }

@@ -60,6 +60,7 @@
 //! *indistinguishable* from the sequential table — same WIDs, same
 //! errors, same cache statistics, same metered cycles.
 
+pub mod observe;
 pub mod queue;
 pub mod report;
 pub mod ring;
@@ -70,6 +71,11 @@ pub mod supervisor;
 pub mod switchless;
 mod worker;
 
+pub use obs::{
+    build_spans, top_slowest, verify, ConservationReport, Event, EventKind, EventRing,
+    LogHistogram, ObsConfig, ObsMode, ObsReport, Registry, Span, TraceDoc,
+};
+pub use observe::{metrics_registry, trace_doc};
 pub use queue::{PushError, Queue};
 pub use ring::{Ring, RingSet};
 pub use router::{CallError, CallOutcome, CallRequest, CallVerdict};

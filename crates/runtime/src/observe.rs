@@ -1,0 +1,69 @@
+//! Glue from runtime reports to the obs crate's exporters.
+//!
+//! The obs crate is deliberately runtime-agnostic (it knows events,
+//! spans, histograms and documents — not services); this module is the
+//! one place that maps a drained [`ServiceReport`] onto those types:
+//! [`trace_doc`] builds the combined Perfetto/recording document and
+//! [`metrics_registry`] the Prometheus-style text dump. Both are
+//! post-hoc: they run after the pool has drained and charge nothing to
+//! any virtual clock.
+
+use obs::{Registry, TraceDoc};
+
+use crate::service::ServiceReport;
+
+/// Builds the recording document for a drained run, or `None` when the
+/// run was not recorded ([`crate::RuntimeConfig::obs`] was off).
+///
+/// The machine-level `world_call`/`world_return` trace counts ride
+/// along as cross-check counts: `obs::verify` holds the obs event
+/// stream to them, which is what makes a recording trustworthy rather
+/// than merely plausible.
+pub fn trace_doc(benchmark: &str, report: &ServiceReport, frequency_ghz: f64) -> Option<TraceDoc> {
+    let recorded = report.obs.as_ref()?;
+    Some(TraceDoc {
+        benchmark: benchmark.to_string(),
+        frequency_ghz,
+        workers: recorded.worker_rings.len(),
+        makespan_cycles: report.smp.makespan_cycles(),
+        total_cycles: report.smp.total_cycles(),
+        counts: vec![
+            ("world_call".to_string(), report.switchless.world_calls),
+            ("world_return".to_string(), report.switchless.world_returns),
+        ],
+        events: recorded.merged_events(),
+        dropped: recorded.dropped(),
+    })
+}
+
+/// Flattens a drained run into a metrics registry (counters plus the
+/// log-bucketed latency and queue-wait histograms), ready for
+/// [`Registry::render_prometheus`]. Works with or without recording —
+/// the histograms are always built at drain.
+pub fn metrics_registry(report: &ServiceReport) -> Registry {
+    let mut reg = Registry::new();
+    reg.counter_set("xover_requests_completed", report.completed);
+    reg.counter_set("xover_requests_timed_out", report.timed_out);
+    reg.counter_set("xover_requests_failed", report.failed);
+    reg.counter_set("xover_requests_dead_lettered", report.dead_lettered);
+    reg.counter_set("xover_requests_rejected_busy", report.rejected_busy);
+    reg.counter_set("xover_batches", report.batches);
+    reg.counter_set("xover_batches_stolen", report.stolen);
+    reg.counter_set("xover_world_calls", report.switchless.world_calls);
+    reg.counter_set("xover_world_returns", report.switchless.world_returns);
+    reg.counter_set("xover_wt_hits", report.wt.hits);
+    reg.counter_set("xover_wt_misses", report.wt.misses);
+    reg.counter_set("xover_iwt_hits", report.iwt.hits);
+    reg.counter_set("xover_iwt_misses", report.iwt.misses);
+    reg.counter_set("xover_tlb_hits", report.tlb.hits);
+    reg.counter_set("xover_tlb_misses", report.tlb.misses);
+    reg.counter_set("xover_makespan_cycles", report.smp.makespan_cycles());
+    reg.counter_set("xover_total_cycles", report.smp.total_cycles());
+    if let Some(recorded) = &report.obs {
+        reg.counter_set("xover_obs_events", recorded.total_events() as u64);
+        reg.counter_set("xover_obs_dropped", recorded.dropped());
+    }
+    reg.histogram_set("xover_service_latency_cycles", report.latency_hist.clone());
+    reg.histogram_set("xover_queue_wait_cycles", report.queue_wait_hist.clone());
+    reg
+}

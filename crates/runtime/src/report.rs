@@ -56,8 +56,17 @@ pub struct BenchPoint {
     pub sim_calls_per_sec: f64,
     /// Median on-CPU service latency (cycles).
     pub p50_latency_cycles: u64,
+    /// 90th-percentile on-CPU service latency (cycles).
+    pub p90_latency_cycles: u64,
     /// Tail on-CPU service latency (cycles).
     pub p99_latency_cycles: u64,
+    /// Extreme-tail on-CPU service latency (cycles). Like p50/p90/p99
+    /// this is read from the drain-built log-bucketed histogram (≤ ~3%
+    /// relative error), not a sorted-Vec scan.
+    pub p999_latency_cycles: u64,
+    /// Non-empty latency histogram buckets as (upper bound, count)
+    /// pairs — enough to re-plot the full distribution downstream.
+    pub latency_buckets: Vec<(u64, u64)>,
     /// WT-cache hit rate across all workers, in [0, 1].
     pub wt_hit_rate: f64,
     /// IWT-cache hit rate across all workers, in [0, 1].
@@ -104,7 +113,10 @@ impl BenchPoint {
              {indent}  \"total_cycles\": {},\n\
              {indent}  \"sim_calls_per_sec\": {:.1},\n\
              {indent}  \"p50_latency_cycles\": {},\n\
+             {indent}  \"p90_latency_cycles\": {},\n\
              {indent}  \"p99_latency_cycles\": {},\n\
+             {indent}  \"p999_latency_cycles\": {},\n\
+             {indent}  \"latency_buckets\": {},\n\
              {indent}  \"wt_hit_rate\": {:.4},\n\
              {indent}  \"iwt_hit_rate\": {:.4},\n\
              {indent}  \"tlb_hit_rate\": {:.4},\n\
@@ -128,7 +140,10 @@ impl BenchPoint {
             self.total_cycles,
             self.sim_calls_per_sec,
             self.p50_latency_cycles,
+            self.p90_latency_cycles,
             self.p99_latency_cycles,
+            self.p999_latency_cycles,
+            buckets_json(&self.latency_buckets),
             self.wt_hit_rate,
             self.iwt_hit_rate,
             self.tlb_hit_rate,
@@ -141,6 +156,19 @@ impl BenchPoint {
             self.host_wall_ms,
         );
     }
+}
+
+/// `[[upper, count], ...]` — a JSON array of bucket pairs.
+fn buckets_json(buckets: &[(u64, u64)]) -> String {
+    let mut out = String::from("[");
+    for (i, (upper, count)) in buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{upper}, {count}]");
+    }
+    out.push(']');
+    out
 }
 
 /// Renders the full benchmark document.
@@ -192,7 +220,10 @@ mod tests {
             total_cycles: 1900,
             sim_calls_per_sec: 123.4,
             p50_latency_cycles: 70,
+            p90_latency_cycles: 85,
             p99_latency_cycles: 90,
+            p999_latency_cycles: 95,
+            latency_buckets: vec![(63, 4), (95, 6)],
             wt_hit_rate: 0.9876,
             iwt_hit_rate: 0.5,
             tlb_hit_rate: 0.25,
@@ -211,6 +242,9 @@ mod tests {
         assert!(doc.contains("\"tlb_hit_rate\": 0.2500"));
         assert!(doc.contains("\"queue_wait_cycles\": 12000"));
         assert!(doc.contains("\"queue_wait_mean_cycles\": 1200.0"));
+        assert!(doc.contains("\"p90_latency_cycles\": 85"));
+        assert!(doc.contains("\"p999_latency_cycles\": 95"));
+        assert!(doc.contains("\"latency_buckets\": [[63, 4], [95, 6]]"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert!(doc.trim_end().ends_with('}'));
     }

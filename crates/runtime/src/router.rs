@@ -79,6 +79,10 @@ pub(crate) struct Queued {
     pub req: CallRequest,
     /// The minimum live worker clock (simulated cycles) at submission.
     pub stamped_at: u64,
+    /// Obs-plane submission sequence number — the join key that stitches
+    /// a request's enqueue/dispatch/verdict events into one span. Always
+    /// 0 when obs is off (no counter is touched on that path).
+    pub seq: u64,
 }
 
 /// A typed runtime-infrastructure failure: the request could not be

@@ -31,6 +31,7 @@ use mmu::addr::{Gva, PAGE_SIZE};
 use mmu::pagetable::PageTable;
 use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
+use obs::{Event, EventKind, EventRing, LogHistogram, ObsConfig, ObsReport, SUBMIT_TRACK};
 
 use crate::queue::{PushError, Queue};
 use crate::ring::RingSet;
@@ -99,6 +100,11 @@ pub struct RuntimeConfig {
     /// Healing-policy tuning (backoff, quarantine, respawn caps). Inert
     /// until faults actually occur; the defaults are fine for clean runs.
     pub supervisor: SupervisorConfig,
+    /// Observability plane: `Off` (the default) records nothing and is
+    /// bit-for-bit identical to a build without obs wiring (pinned by
+    /// the obs parity tests); `Ring` attaches per-worker flight-recorder
+    /// rings whose events come back in [`ServiceReport::obs`].
+    pub obs: ObsConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -115,6 +121,7 @@ impl Default for RuntimeConfig {
             switchless: SwitchlessConfig::default(),
             deadline_policy: DeadlinePolicy::default(),
             supervisor: SupervisorConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -271,10 +278,21 @@ pub struct ServiceReport {
     /// Healing summary: merged supervisor counters, degradation-ladder
     /// history and recovery latencies (all zero on clean runs).
     pub supervisor: SupervisorSummary,
+    /// Log-bucketed on-CPU service latency distribution (always built at
+    /// drain, O(n) — replaces the per-sweep-point sorted-Vec percentile
+    /// scan in the bench hot loops).
+    pub latency_hist: LogHistogram,
+    /// Log-bucketed per-request queue-wait distribution.
+    pub queue_wait_hist: LogHistogram,
+    /// Flight-recorder rings from the run (`None` unless
+    /// [`RuntimeConfig::obs`] enabled recording).
+    pub obs: Option<ObsReport>,
 }
 
 impl ServiceReport {
-    /// Sorted on-CPU latencies (cycles) of all serviced requests.
+    /// Sorted on-CPU latencies (cycles) of all serviced requests. Kept
+    /// for exact-percentile needs; the bench loops read
+    /// [`ServiceReport::latency_hist`] instead.
     pub fn sorted_latencies(&self) -> Vec<u64> {
         let mut l: Vec<u64> = self.outcomes.iter().map(|o| o.latency_cycles).collect();
         l.sort_unstable();
@@ -340,6 +358,12 @@ pub struct WorldCallService {
     health: Arc<HealthState>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
+    /// Submit-side flight recorder for enqueue events (present only when
+    /// obs is on; the off path never touches it).
+    submit_obs: Option<Mutex<EventRing>>,
+    /// Obs-plane sequence allocator; untouched when obs is off so every
+    /// request carries seq 0 and submission stays wait-free.
+    submit_seq: AtomicU64,
 }
 
 impl WorldCallService {
@@ -373,6 +397,11 @@ impl WorldCallService {
             health: Arc::new(HealthState::new(config.supervisor.recover_after_cycles)),
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
+            submit_obs: config
+                .obs
+                .enabled()
+                .then(|| Mutex::new(EventRing::new(config.obs.ring_capacity))),
+            submit_seq: AtomicU64::new(0),
         }
     }
 
@@ -627,6 +656,7 @@ impl WorldCallService {
                 faults: self.faults.clone(),
                 supervisor: self.config.supervisor,
                 health: Arc::clone(&self.health),
+                obs: self.config.obs,
             };
             self.handles.push(
                 std::thread::Builder::new()
@@ -661,19 +691,53 @@ impl WorldCallService {
         (req.callee.raw() % self.config.workers as u64) as usize
     }
 
+    /// Stamps a request for dispatch. With obs on it also draws the
+    /// request's span sequence number; off, seq stays 0 and no shared
+    /// state is touched beyond the clock reads `stamp()` already does.
+    fn make_queued(&self, req: CallRequest) -> Queued {
+        let stamped_at = self.stamp();
+        let seq = if self.submit_obs.is_some() {
+            self.submit_seq.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
+        Queued {
+            req,
+            stamped_at,
+            seq,
+        }
+    }
+
+    /// Records an accepted request's enqueue event (obs on only). Called
+    /// after a successful push so rejected submissions never produce
+    /// half-spans.
+    fn record_enqueue(&self, queued: &Queued) {
+        if let Some(ring) = &self.submit_obs {
+            ring.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Event::new(
+                    queued.stamped_at,
+                    SUBMIT_TRACK,
+                    EventKind::RequestEnqueue,
+                    queued.seq,
+                    queued.req.caller.raw(),
+                    queued.req.callee.raw(),
+                ));
+        }
+    }
+
     /// Blocking submission: waits for queue space.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Closed`] if the service is draining.
     pub fn submit(&self, req: CallRequest) -> Result<(), SubmitError> {
-        let queued = Queued {
-            req,
-            stamped_at: self.stamp(),
-        };
+        let queued = self.make_queued(req);
         self.dispatcher
             .push(self.home_of(&req), queued)
-            .map_err(|q| SubmitError::Closed(q.req))
+            .map_err(|q| SubmitError::Closed(q.req))?;
+        self.record_enqueue(&queued);
+        Ok(())
     }
 
     /// Non-blocking submission with backpressure.
@@ -691,10 +755,7 @@ impl WorldCallService {
             self.rejected_busy.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Busy(req));
         }
-        let queued = Queued {
-            req,
-            stamped_at: self.stamp(),
-        };
+        let queued = self.make_queued(req);
         self.dispatcher
             .try_push(self.home_of(&req), queued)
             .map_err(|e| match e {
@@ -703,7 +764,9 @@ impl WorldCallService {
                     SubmitError::Busy(q.req)
                 }
                 PushError::Closed(q) => SubmitError::Closed(q.req),
-            })
+            })?;
+        self.record_enqueue(&queued);
+        Ok(())
     }
 
     /// Closes the queue, joins every worker once the backlog drains, and
@@ -777,8 +840,32 @@ impl WorldCallService {
         if let Some(ctl) = &self.controller {
             switchless.epochs = ctl.history();
         }
+        // Rings indexed by worker id; a panicked worker leaves an empty
+        // ring in its slot rather than shifting everyone else's.
+        let mut worker_rings = self
+            .config
+            .obs
+            .enabled()
+            .then(|| vec![EventRing::default(); self.config.workers]);
         for r in reports {
+            if let Some(rings) = &mut worker_rings {
+                rings[r.index] = r.obs;
+            }
             outcomes.extend(r.outcomes);
+        }
+        let obs = worker_rings.map(|worker_rings| ObsReport {
+            worker_rings,
+            submit: self
+                .submit_obs
+                .take()
+                .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+                .unwrap_or_default(),
+        });
+        let mut latency_hist = LogHistogram::new();
+        let mut queue_wait_hist = LogHistogram::new();
+        for o in &outcomes {
+            latency_hist.record(o.latency_cycles);
+            queue_wait_hist.record(o.queue_wait_cycles);
         }
         let completed = outcomes
             .iter()
@@ -811,6 +898,9 @@ impl WorldCallService {
             switchless,
             supervisor,
             outcomes,
+            latency_hist,
+            queue_wait_hist,
+            obs,
         }
     }
 }
@@ -954,6 +1044,7 @@ mod tests {
         let queued = Queued {
             req: CallRequest::new(caller, callee, 1, 1),
             stamped_at: 0,
+            seq: 0,
         };
         assert!(matches!(
             dispatcher.try_push(0, queued),

@@ -269,11 +269,13 @@ impl Controller {
     /// folds the epoch's counters into the budgets; everyone else
     /// returns immediately. Under [`SwitchlessMode::Fixed`] the epoch
     /// is still snapshotted (so convergence is observable) but budgets
-    /// never move.
-    pub fn tick(&self, now_cycles: u64) {
+    /// never move. Returns the folded snapshot when this call won the
+    /// fold (the obs plane turns it into epoch-fold / budget-move
+    /// events); `None` on the fast path.
+    pub fn tick(&self, now_cycles: u64) -> Option<EpochSnapshot> {
         let at = self.next_epoch_at.load(Ordering::Relaxed);
         if now_cycles < at {
-            return;
+            return None;
         }
         if self
             .next_epoch_at
@@ -285,7 +287,7 @@ impl Controller {
             )
             .is_err()
         {
-            return; // another worker folds this epoch
+            return None; // another worker folds this epoch
         }
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let mut budgets = Vec::new();
@@ -373,14 +375,16 @@ impl Controller {
             }
             budgets.push((i, lane.budget.load(Ordering::Relaxed)));
         }
+        let snapshot = EpochSnapshot {
+            epoch,
+            at_cycles: at,
+            budgets,
+        };
         self.history
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(EpochSnapshot {
-                epoch,
-                at_cycles: at,
-                budgets,
-            });
+            .push(snapshot.clone());
+        Some(snapshot)
     }
 
     /// The recorded epoch history.
@@ -501,7 +505,7 @@ mod tests {
             ctl.observe(hot, 8, false, true, 20);
             ctl.observe(cold, 1, true, false, 0);
         }
-        ctl.tick(1_000);
+        let _ = ctl.tick(1_000);
         assert_eq!(ctl.budget_for(hot), 8, "one epoch never moves a budget");
         assert_eq!(ctl.budget_for(cold), 8);
         // Epoch 2 confirms: the saturated lane doubles, the dry halves.
@@ -509,7 +513,7 @@ mod tests {
             ctl.observe(hot, 8, false, true, 20);
             ctl.observe(cold, 1, true, false, 0);
         }
-        ctl.tick(2_000);
+        let _ = ctl.tick(2_000);
         assert_eq!(ctl.budget_for(hot), 16, "confirmed saturation doubles");
         assert_eq!(ctl.budget_for(cold), 4, "confirmed dryness halves");
         // Keep pushing: the hot lane saturates at the cap; the cold one
@@ -521,7 +525,7 @@ mod tests {
                 ctl.observe(hot, 8, false, true, 20);
                 ctl.observe(cold, 1, true, false, 0);
             }
-            ctl.tick(epoch * 1_000);
+            let _ = ctl.tick(epoch * 1_000);
         }
         assert_eq!(ctl.budget_for(hot), 32);
         assert_eq!(ctl.budget_for(cold), 2);
@@ -544,7 +548,7 @@ mod tests {
             ctl.observe(w, 4, false, true, 40);
             ctl.observe(w, 4, false, true, 40);
             ctl.observe(w, 2, true, false, 40);
-            ctl.tick(epoch * 100);
+            let _ = ctl.tick(epoch * 100);
         }
         assert_eq!(ctl.budget_for(w), 8);
     }
@@ -561,7 +565,7 @@ mod tests {
         // a deep ring behind them.
         ctl.observe(w, 8, false, true, 50);
         ctl.observe(w, 2, true, false, 50);
-        ctl.tick(100);
+        let _ = ctl.tick(100);
         assert_eq!(ctl.budget_for(w), 8, "tied epoch holds");
         // A grow/shrink alternation — the classic limit cycle — never
         // confirms a trend, so the budget parks instead of thrashing.
@@ -571,7 +575,7 @@ mod tests {
             } else {
                 ctl.observe(w, 1, true, false, 0); // dry epoch
             }
-            ctl.tick(epoch * 100);
+            let _ = ctl.tick(epoch * 100);
         }
         assert_eq!(ctl.budget_for(w), 8, "alternation parks the budget");
         assert!(converged(&ctl.history(), 5));
@@ -586,7 +590,7 @@ mod tests {
         let w = wid(9);
         for epoch in 1..5u64 {
             ctl.observe(w, 8, false, true, 50);
-            ctl.tick(epoch * 100);
+            let _ = ctl.tick(epoch * 100);
         }
         assert_eq!(ctl.budget_for(w), 8);
         let h = ctl.history();
@@ -602,14 +606,14 @@ mod tests {
         });
         ctl.observe(wid(1), 4, false, true, 4);
         // Two workers cross the same boundary; the fold happens once.
-        ctl.tick(150);
-        ctl.tick(150);
+        let _ = ctl.tick(150);
+        let _ = ctl.tick(150);
         assert_eq!(ctl.history().len(), 1);
         // Next boundary is one epoch later.
         ctl.observe(wid(1), 4, false, true, 4);
-        ctl.tick(199);
+        let _ = ctl.tick(199);
         assert_eq!(ctl.history().len(), 1);
-        ctl.tick(200);
+        let _ = ctl.tick(200);
         assert_eq!(ctl.history().len(), 2);
     }
 
@@ -630,7 +634,7 @@ mod tests {
                 } else {
                     ctl.observe(w, 1, true, false, 0);
                 }
-                ctl.tick(epoch * 100);
+                let _ = ctl.tick(epoch * 100);
             }
         };
         // Two saturated epochs: first applied move (8 → 16).
@@ -660,14 +664,14 @@ mod tests {
             ..SwitchlessConfig::adaptive()
         });
         ctl.observe(wid(2), 3, true, false, 0);
-        ctl.tick(100);
+        let _ = ctl.tick(100);
         let h = ctl.history();
         assert_eq!(h[0].budgets.len(), 1, "only the touched lane appears");
         // The lane idles through the next epoch: it must stay in the
         // snapshot (budget held) so activity gaps can't flap the
         // vector the convergence check compares.
         ctl.observe(wid(5), 1, true, false, 0);
-        ctl.tick(200);
+        let _ = ctl.tick(200);
         let h = ctl.history();
         assert_eq!(h[1].budgets.len(), 2, "idle-but-seen lane persists");
         assert!(h[1].budgets.iter().any(|&(l, _)| h[0].budgets[0].0 == l));

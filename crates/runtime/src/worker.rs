@@ -54,6 +54,7 @@ use machine::trace::TransitionKind;
 use mmu::addr::PAGE_SIZE;
 use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
+use obs::{EventKind, EventRing, ObsConfig, Recorder};
 
 use crate::router::{CallError, CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::service::{DeadlinePolicy, Dispatcher, InvalidationBus, WorldMemory};
@@ -92,6 +93,24 @@ pub(crate) struct WorkerContext {
     pub supervisor: SupervisorConfig,
     /// The pool-shared degradation ladder.
     pub health: Arc<HealthState>,
+    /// Obs-plane configuration; `Off` keeps this worker's recorder a
+    /// no-op (one branch per would-be event, no stamping, no state).
+    pub obs: ObsConfig,
+}
+
+/// Stable numeric codes for [`FaultSite`] carried in `FaultObserved.a`
+/// (the machine enum itself is never serialized into recordings).
+fn fault_site_code(site: FaultSite) -> u64 {
+    match site {
+        FaultSite::WorkerStall => 0,
+        FaultSite::WorkerCrash => 1,
+        FaultSite::IpiLoss => 2,
+        FaultSite::IpiDelay => 3,
+        FaultSite::ChannelCorruption => 4,
+        FaultSite::ChannelEptFault => 5,
+        FaultSite::InvalidationDrop => 6,
+        FaultSite::WorldLookupRace => 7,
+    }
 }
 
 /// How far (in simulated cycles) a worker may run ahead of the slowest
@@ -161,6 +180,8 @@ pub struct WorkerReport {
     /// Healing counters from this worker's supervisor (all zero without
     /// an armed fault plan).
     pub supervisor: SupervisorReport,
+    /// This worker's flight-recorder ring (empty when obs is off).
+    pub obs: EventRing,
 }
 
 impl WorkerReport {
@@ -227,6 +248,13 @@ struct Engine<'a> {
     supervisor: Supervisor,
     /// Pool-shared degradation ladder.
     health: Arc<HealthState>,
+    /// Flight recorder for this worker's track (a no-op when obs is
+    /// off; events are stamped with the worker's virtual clock and
+    /// charge zero virtual cycles, so obs-on runs stay cycle-exact).
+    obs: Recorder,
+    /// Last published per-lane budgets, so epoch folds emit
+    /// `BudgetMove` only for lanes whose budget actually changed.
+    last_budgets: HashMap<usize, usize>,
 }
 
 impl Engine<'_> {
@@ -239,6 +267,39 @@ impl Engine<'_> {
     /// free: no cycles, no state.
     fn fire(&self, site: FaultSite) -> Option<FaultKind> {
         self.faults.as_ref()?.fire(site, self.now())
+    }
+
+    /// Records an obs event stamped with the worker's current virtual
+    /// clock. One branch and nothing else when obs is off.
+    fn emit(&mut self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if self.obs.enabled() {
+            let now = self.now();
+            self.obs.emit(now, kind, a, b, c);
+        }
+    }
+
+    /// Emits a request's terminal events: a `DeadLetter` (with its
+    /// typed reason) when applicable, then exactly one `RequestVerdict`
+    /// — mirroring the exactly-one-verdict invariant in the event
+    /// stream.
+    fn emit_verdict(&mut self, seq: u64, verdict: &CallVerdict, coalesced: bool) {
+        if !self.obs.enabled() {
+            return;
+        }
+        if let CallVerdict::DeadLettered(err) = verdict {
+            let reason = match err {
+                CallError::LookupRace { .. } => 0,
+                CallError::CrashLoop { .. } => 1,
+            };
+            self.emit(EventKind::DeadLetter, seq, reason, 0);
+        }
+        let code = match verdict {
+            CallVerdict::Completed => 0,
+            CallVerdict::TimedOut => 1,
+            CallVerdict::Failed(_) => 2,
+            CallVerdict::DeadLettered(_) => 3,
+        };
+        self.emit(EventKind::RequestVerdict, seq, code, u64::from(coalesced));
     }
 
     /// Records an outcome; a completed call also closes any open fault
@@ -299,7 +360,7 @@ impl Engine<'_> {
     /// (the platform's current-VM bookkeeping points at the callee, so
     /// this is safe), and the hypervisor forcibly restores the caller
     /// world.
-    fn hypervisor_cancel(&mut self, caller_entry: &WorldEntry, label: &'static str) {
+    fn hypervisor_cancel(&mut self, caller_entry: &WorldEntry, callee: Wid, label: &'static str) {
         if self.platform.cpu().mode().operation().is_guest() {
             self.platform
                 .vmexit(ExitReason::ExternalInterrupt)
@@ -313,6 +374,15 @@ impl Engine<'_> {
                 caller_entry.context.eptp,
             )
             .expect("caller context was resolvable at call time");
+        // The forced restore above *is* a WorldReturn transition (the
+        // trace just counted it), so the obs stream mirrors it here —
+        // c=1 marks it hypervisor-forced.
+        self.emit(
+            EventKind::WorldReturn,
+            callee.raw(),
+            caller_entry.wid.raw(),
+            1,
+        );
         self.platform.cpu_mut().charge_work(
             RESTORE_STATE_CYCLES,
             RESTORE_STATE_INSTRUCTIONS,
@@ -332,12 +402,27 @@ impl Engine<'_> {
         };
         schedule_in(self.platform, &caller_entry);
         self.unit.notify_context_switch(self.platform, self.table);
+        // Snapshot the monotone cache counters so the deltas over this
+        // call can be attributed to it (emission is post-hoc; the call
+        // itself is never perturbed).
+        let cache_before = self.obs.enabled().then(|| {
+            (
+                self.unit.wt_stats(),
+                self.unit.iwt_stats(),
+                self.platform.tlb_stats(),
+            )
+        });
         let start = self.now();
         self.platform.cpu_mut().charge_work(
             SAVE_STATE_CYCLES,
             SAVE_STATE_INSTRUCTIONS,
             "save caller state",
         );
+        // Obs invariant: a `WorldCall`/`WorldReturn` event is emitted at
+        // exactly the sites where `world_call` returns `Ok` (the unit
+        // records the transition iff it succeeds), plus the forced
+        // return inside `hypervisor_cancel` — so obs counts equal the
+        // machine's trace deltas whenever no events were dropped.
         let verdict =
             match self
                 .unit
@@ -348,22 +433,36 @@ impl Engine<'_> {
                     // Hardware-identified caller disagrees with the request's
                     // claimed identity: control-flow violation. Bounce back so
                     // the vCPU does not linger in the callee world.
-                    let _ = self.unit.world_call(
+                    self.emit(EventKind::WorldCall, req.caller.raw(), req.callee.raw(), 0);
+                    let bounced = self.unit.world_call(
                         self.platform,
                         self.table,
                         req.caller,
                         Direction::Return,
                     );
+                    if bounced.is_ok() {
+                        self.emit(
+                            EventKind::WorldReturn,
+                            req.callee.raw(),
+                            req.caller.raw(),
+                            0,
+                        );
+                    }
                     CallVerdict::Failed(WorldError::ControlFlowViolation {
                         expected: req.caller,
                         got: outcome.from,
                     })
                 }
                 Ok(_) => {
+                    self.emit(EventKind::WorldCall, req.caller.raw(), req.callee.raw(), 0);
                     let token = self.token(req, wait);
                     self.run_body(req);
                     if token.expired(self.platform) {
-                        self.hypervisor_cancel(&caller_entry, "restore caller state (timeout)");
+                        self.hypervisor_cancel(
+                            &caller_entry,
+                            req.callee,
+                            "restore caller state (timeout)",
+                        );
                         CallVerdict::TimedOut
                     } else {
                         match self.unit.world_call(
@@ -373,6 +472,12 @@ impl Engine<'_> {
                             Direction::Return,
                         ) {
                             Ok(_) => {
+                                self.emit(
+                                    EventKind::WorldReturn,
+                                    req.callee.raw(),
+                                    req.caller.raw(),
+                                    0,
+                                );
                                 self.platform.cpu_mut().charge_work(
                                     RESTORE_STATE_CYCLES,
                                     RESTORE_STATE_INSTRUCTIONS,
@@ -386,6 +491,18 @@ impl Engine<'_> {
                 }
             };
         let latency = self.now() - start;
+        if let Some((wt0, iwt0, tlb0)) = cache_before {
+            let now = self.now();
+            let wt = self.unit.wt_stats().since(&wt0);
+            let iwt = self.unit.iwt_stats().since(&iwt0);
+            let tlb = self.platform.tlb_stats().since(&tlb0);
+            self.obs.emit_count(now, EventKind::WtHit, wt.hits);
+            self.obs.emit_count(now, EventKind::WtMiss, wt.misses);
+            self.obs.emit_count(now, EventKind::IwtHit, iwt.hits);
+            self.obs.emit_count(now, EventKind::IwtMiss, iwt.misses);
+            self.obs.emit_count(now, EventKind::TlbHit, tlb.hits);
+            self.obs.emit_count(now, EventKind::TlbMiss, tlb.misses);
+        }
         (verdict, latency)
     }
 
@@ -404,6 +521,12 @@ impl Engine<'_> {
             if self.fire(FaultSite::WorldLookupRace).is_some() {
                 let now = self.now();
                 self.supervisor.note_fault(now);
+                self.emit(
+                    EventKind::FaultObserved,
+                    fault_site_code(FaultSite::WorldLookupRace),
+                    0,
+                    0,
+                );
                 if attempts >= self.supervisor.config().lookup_retries {
                     self.supervisor.report.dead_lettered += 1;
                     return Err(CallVerdict::DeadLettered(CallError::LookupRace {
@@ -412,6 +535,7 @@ impl Engine<'_> {
                     }));
                 }
                 let backoff = self.supervisor.backoff_cycles(attempts);
+                self.emit(EventKind::RetryBackoff, u64::from(attempts), backoff, 0);
                 self.supervisor.report.lookup_retries += 1;
                 self.supervisor.report.backoff_cycles += backoff;
                 self.platform
@@ -431,8 +555,18 @@ impl Engine<'_> {
     fn classic(&mut self, queued: &Queued, was_stolen: bool) {
         let wait = self.stamp_wait(queued);
         self.queue_wait_cycles += wait;
+        self.emit(
+            EventKind::RequestDispatch,
+            queued.seq,
+            wait,
+            queued.req.callee.raw(),
+        );
+        if was_stolen {
+            self.emit(EventKind::RequestSteal, queued.seq, 0, 0);
+        }
         let (verdict, latency_cycles) = self.execute(&queued.req, wait);
         self.stats.classic_calls += 1;
+        self.emit_verdict(queued.seq, &verdict, false);
         self.record_outcome(CallOutcome {
             request: queued.req,
             verdict,
@@ -511,9 +645,13 @@ impl Engine<'_> {
                 // Misidentified caller: bounce out, then per-call
                 // verdicts via the classic path (each will report its
                 // own control-flow violation).
-                let _ = self
-                    .unit
-                    .world_call(self.platform, self.table, caller, Direction::Return);
+                self.emit(EventKind::WorldCall, caller.raw(), callee.raw(), 1);
+                let bounced =
+                    self.unit
+                        .world_call(self.platform, self.table, caller, Direction::Return);
+                if bounced.is_ok() {
+                    self.emit(EventKind::WorldReturn, callee.raw(), caller.raw(), 0);
+                }
                 self.stats.drain.fallback_groups += 1;
                 for (queued, was_stolen) in chunk {
                     self.classic(queued, *was_stolen);
@@ -523,6 +661,14 @@ impl Engine<'_> {
             Ok(_) => {}
         }
         self.stats.drain.transition_pairs += 1;
+        // c=1 on the call marks a residency-opening transition.
+        self.emit(EventKind::WorldCall, caller.raw(), callee.raw(), 1);
+        self.emit(
+            EventKind::DrainOpen,
+            caller.raw(),
+            callee.raw(),
+            chunk.len() as u64,
+        );
         let lane = seg.lane_of(caller);
         let mut serviced = 0usize;
         let mut aborted = false;
@@ -530,6 +676,11 @@ impl Engine<'_> {
         for (queued, was_stolen) in chunk {
             let wait = self.stamp_wait(queued);
             self.queue_wait_cycles += wait;
+            self.emit(EventKind::RequestDispatch, queued.seq, wait, callee.raw());
+            if *was_stolen {
+                self.emit(EventKind::RequestSteal, queued.seq, 0, 0);
+            }
+            self.emit(EventKind::DrainExtend, queued.seq, callee.raw(), 0);
             let slice_start = self.now();
             let token = self.token(&queued.req, wait);
             let cursor = self.cursors.entry((callee.raw(), lane)).or_insert(0);
@@ -548,6 +699,13 @@ impl Engine<'_> {
             if denied {
                 let now = self.now();
                 self.supervisor.record_channel_fault(callee.raw(), now);
+                self.emit(
+                    EventKind::FaultObserved,
+                    fault_site_code(FaultSite::ChannelEptFault),
+                    0,
+                    0,
+                );
+                self.emit(EventKind::Quarantine, callee.raw(), 0, 0);
                 broken = true;
             } else {
                 match seg.read_request_verified(self.platform, lane, seq, corrupt) {
@@ -556,12 +714,26 @@ impl Engine<'_> {
                         if !read.intact() {
                             let now = self.now();
                             self.supervisor.record_corruption(callee.raw(), now);
+                            self.emit(
+                                EventKind::FaultObserved,
+                                fault_site_code(FaultSite::ChannelCorruption),
+                                0,
+                                0,
+                            );
+                            self.emit(EventKind::Quarantine, callee.raw(), 0, 0);
                             broken = true;
                         }
                     }
                     Err(_) => {
                         let now = self.now();
                         self.supervisor.record_channel_fault(callee.raw(), now);
+                        self.emit(
+                            EventKind::FaultObserved,
+                            fault_site_code(FaultSite::ChannelEptFault),
+                            0,
+                            0,
+                        );
+                        self.emit(EventKind::Quarantine, callee.raw(), 0, 0);
                         broken = true;
                     }
                 }
@@ -571,7 +743,7 @@ impl Engine<'_> {
             }
             self.run_body(&queued.req);
             let verdict = if token.expired(self.platform) {
-                self.hypervisor_cancel(&caller_entry, "restore caller state (timeout)");
+                self.hypervisor_cancel(&caller_entry, callee, "restore caller state (timeout)");
                 self.stats.drain.timeout_aborts += 1;
                 aborted = true;
                 CallVerdict::TimedOut
@@ -591,6 +763,13 @@ impl Engine<'_> {
                         // stays exactly one per request.
                         let now = self.now();
                         self.supervisor.record_channel_fault(callee.raw(), now);
+                        self.emit(
+                            EventKind::FaultObserved,
+                            fault_site_code(FaultSite::ChannelEptFault),
+                            0,
+                            0,
+                        );
+                        self.emit(EventKind::Quarantine, callee.raw(), 0, 0);
                         broken = true;
                         break;
                     }
@@ -598,6 +777,7 @@ impl Engine<'_> {
             };
             serviced += 1;
             self.stats.drain.coalesced_calls += 1;
+            self.emit_verdict(queued.seq, &verdict, true);
             self.record_outcome(CallOutcome {
                 request: queued.req,
                 verdict,
@@ -623,7 +803,12 @@ impl Engine<'_> {
             // verdict. Enough strikes degrade the whole pool to
             // classic-only until a quiet window passes.
             self.stats.drain.fallback_groups += 1;
-            self.hypervisor_cancel(&caller_entry, "restore caller state (channel fault)");
+            self.emit(EventKind::DrainClose, callee.raw(), serviced as u64, 3);
+            self.hypervisor_cancel(
+                &caller_entry,
+                callee,
+                "restore caller state (channel fault)",
+            );
             if self.supervisor.total_strikes()
                 >= self.supervisor.config().corruption_escalation_strikes
             {
@@ -638,6 +823,7 @@ impl Engine<'_> {
         if aborted {
             // The hypervisor already put us back in the caller world;
             // whatever the residency didn't reach goes classic.
+            self.emit(EventKind::DrainClose, callee.raw(), serviced as u64, 2);
             for (queued, was_stolen) in &chunk[serviced..] {
                 self.classic(queued, *was_stolen);
             }
@@ -657,11 +843,18 @@ impl Engine<'_> {
         } else {
             self.stats.drain.saturated_exits += 1;
         }
+        self.emit(
+            EventKind::DrainClose,
+            callee.raw(),
+            serviced as u64,
+            u64::from(!dry),
+        );
         match self
             .unit
             .world_call(self.platform, self.table, caller, Direction::Return)
         {
             Ok(_) => {
+                self.emit(EventKind::WorldReturn, callee.raw(), caller.raw(), 0);
                 self.platform.cpu_mut().charge_work(
                     RESTORE_STATE_CYCLES,
                     RESTORE_STATE_INSTRUCTIONS,
@@ -674,7 +867,7 @@ impl Engine<'_> {
                 // entry, so the hypervisor can still force the switch
                 // home — the coalesced analogue of the timeout restore.
                 self.stats.drain.forced_returns += 1;
-                self.hypervisor_cancel(&caller_entry, "restore caller state (forced)");
+                self.hypervisor_cancel(&caller_entry, callee, "restore caller state (forced)");
             }
         }
     }
@@ -791,6 +984,8 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         faults: ctx.faults.clone(),
         supervisor: Supervisor::new(ctx.supervisor, ctx.index),
         health: Arc::clone(&ctx.health),
+        obs: Recorder::for_track(&ctx.obs, ctx.index as u32),
+        last_budgets: HashMap::new(),
     };
     loop {
         pace(
@@ -819,6 +1014,13 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             if let Some(FaultKind::Stall { cycles }) = engine.fire(FaultSite::WorkerStall) {
                 let now = engine.now();
                 engine.supervisor.record_stall(now, cycles);
+                engine.emit(
+                    EventKind::FaultObserved,
+                    fault_site_code(FaultSite::WorkerStall),
+                    0,
+                    0,
+                );
+                engine.emit(EventKind::Stall, cycles, 0, 0);
                 engine
                     .platform
                     .cpu_mut()
@@ -827,6 +1029,12 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             if engine.fire(FaultSite::WorkerCrash).is_some() {
                 let now = engine.now();
                 let respawns = engine.supervisor.record_crash(now);
+                engine.emit(
+                    EventKind::FaultObserved,
+                    fault_site_code(FaultSite::WorkerCrash),
+                    0,
+                    0,
+                );
                 if respawns > ctx.supervisor.respawn_cap as u64 {
                     // Crash loop: respawning clearly isn't healing this
                     // worker. Dead-letter the batch (typed verdicts, not
@@ -836,12 +1044,20 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                         let wait = engine.stamp_wait(queued);
                         engine.queue_wait_cycles += wait;
                         engine.supervisor.report.dead_lettered += 1;
+                        let verdict = CallVerdict::DeadLettered(CallError::CrashLoop {
+                            worker: ctx.index,
+                            respawns: respawns as u32,
+                        });
+                        engine.emit(
+                            EventKind::RequestDispatch,
+                            queued.seq,
+                            wait,
+                            queued.req.callee.raw(),
+                        );
+                        engine.emit_verdict(queued.seq, &verdict, false);
                         engine.outcomes.push(CallOutcome {
                             request: queued.req,
-                            verdict: CallVerdict::DeadLettered(CallError::CrashLoop {
-                                worker: ctx.index,
-                                respawns: respawns as u32,
-                            }),
+                            verdict,
                             latency_cycles: 0,
                             queue_wait_cycles: wait,
                             worker: ctx.index,
@@ -865,6 +1081,7 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                     fresh
                 };
                 engine.cursors.clear();
+                engine.emit(EventKind::Respawn, respawns, 0, 0);
                 requeued = Some(batch);
                 continue;
             }
@@ -886,6 +1103,12 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                 let now = engine.now();
                 engine.supervisor.report.invalidation_defers += 1;
                 engine.supervisor.note_fault(now);
+                engine.emit(
+                    EventKind::FaultObserved,
+                    fault_site_code(FaultSite::InvalidationDrop),
+                    0,
+                    0,
+                );
                 deferred_invalidations.push(wid);
             } else {
                 engine.unit.manage_wtc_invalidate(engine.platform, wid);
@@ -926,7 +1149,26 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             }
         }
         if let Some(c) = &ctx.controller {
-            c.tick(engine.platform.cpu().meter().cycles());
+            // The fold itself must run whether or not obs is on (it is
+            // the controller's side effect); only the event emission is
+            // conditional.
+            let snap = c.tick(engine.platform.cpu().meter().cycles());
+            if engine.obs.enabled() {
+                if let Some(snap) = snap {
+                    engine.emit(
+                        EventKind::EpochFold,
+                        snap.epoch,
+                        snap.budgets.len() as u64,
+                        0,
+                    );
+                    for (lane, budget) in &snap.budgets {
+                        if engine.last_budgets.get(lane) != Some(budget) {
+                            engine.emit(EventKind::BudgetMove, *lane as u64, *budget as u64, 0);
+                            engine.last_budgets.insert(*lane, *budget);
+                        }
+                    }
+                }
+            }
         }
     }
     // Any invalidation still deferred heals before the caches are
@@ -938,6 +1180,7 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
     let queue_wait_cycles = engine.queue_wait_cycles;
     let switchless = std::mem::take(&mut engine.stats);
     let supervisor_report = std::mem::take(&mut engine.supervisor.report);
+    let obs_ring = std::mem::replace(&mut engine.obs, Recorder::off()).into_ring();
     // Park the clock so remaining workers stop pacing against us.
     ctx.clocks[ctx.index].store(u64::MAX, Ordering::Relaxed);
     WorkerReport {
@@ -959,5 +1202,6 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             .count(TransitionKind::WorldReturn)
             - returns_before,
         supervisor: supervisor_report,
+        obs: obs_ring,
     }
 }
