@@ -60,10 +60,19 @@ pub enum EventKind {
     RequestVerdict = 21,
     /// Supervisor charged a stall to a worker. a=stall cycles.
     Stall = 22,
+    /// Gateway admitted a submission into the service. a=token, b=tenant,
+    /// c=callee.
+    GatewayAdmit = 23,
+    /// Gateway shed a submission without servicing it. a=token, b=tenant,
+    /// c=reason (0=ring-full, 1=health-shedding, 2=service-busy).
+    GatewayShed = 24,
+    /// Gateway delivered a batch of completions to a tenant's completion
+    /// ring. a=batch size, b=tenant.
+    CompletionBatch = 25,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 26;
 
     pub const ALL: [EventKind; EventKind::COUNT] = [
         EventKind::RequestEnqueue,
@@ -89,6 +98,9 @@ impl EventKind {
         EventKind::BudgetMove,
         EventKind::RequestVerdict,
         EventKind::Stall,
+        EventKind::GatewayAdmit,
+        EventKind::GatewayShed,
+        EventKind::CompletionBatch,
     ];
 
     /// Dense index (the discriminant).
@@ -122,6 +134,9 @@ impl EventKind {
             EventKind::BudgetMove => "budget_move",
             EventKind::RequestVerdict => "req_verdict",
             EventKind::Stall => "stall",
+            EventKind::GatewayAdmit => "gw_admit",
+            EventKind::GatewayShed => "gw_shed",
+            EventKind::CompletionBatch => "completion_batch",
         }
     }
 

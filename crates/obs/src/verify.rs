@@ -164,6 +164,39 @@ pub fn verify(doc: &TraceDoc) -> ConservationReport {
         ),
     );
 
+    // 6. Gateway conservation, when the recording carries gateway traffic.
+    //    Every admitted submission must come back through exactly one
+    //    completion batch (admits == sum of batch sizes), and the gateway's
+    //    own submitted counter must equal admits + sheds — a shed is
+    //    reported, never silent. Recordings from gateway-less runs carry no
+    //    gateway events or counters and skip this check entirely, so older
+    //    traces stay valid.
+    let admits = event_counts[EventKind::GatewayAdmit.index()];
+    let sheds = event_counts[EventKind::GatewayShed.index()];
+    let delivered: u64 = doc
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::CompletionBatch)
+        .map(|e| e.a)
+        .sum();
+    let batches = event_counts[EventKind::CompletionBatch.index()];
+    let gateway_submitted = doc.count("gateway_submitted");
+    let has_gateway = admits + sheds + batches > 0 || gateway_submitted.is_some();
+    if has_gateway && doc.dropped == 0 {
+        report.push(
+            "gateway-admits-vs-completions",
+            admits == delivered,
+            format!("{admits} admits vs {delivered} completions delivered"),
+        );
+        if let Some(submitted) = gateway_submitted {
+            report.push(
+                "gateway-submitted-conservation",
+                admits + sheds == submitted,
+                format!("{admits} admits + {sheds} sheds vs {submitted} submitted"),
+            );
+        }
+    }
+
     report
 }
 
@@ -259,6 +292,78 @@ mod tests {
             .failures()
             .iter()
             .any(|c| c.name == "verdicts-vs-dispatches"));
+    }
+
+    #[test]
+    fn gateway_free_recording_skips_gateway_checks() {
+        let report = verify(&clean_doc());
+        assert!(report
+            .checks
+            .iter()
+            .all(|c| !c.name.starts_with("gateway-")));
+    }
+
+    #[test]
+    fn gateway_conservation_passes_on_balanced_traffic() {
+        let mut doc = clean_doc();
+        let gw = u32::MAX - 1;
+        doc.counts.push(("gateway_submitted".into(), 3));
+        doc.events
+            .push(Event::new(10, gw, EventKind::GatewayAdmit, 0, 0, 2));
+        doc.events
+            .push(Event::new(12, gw, EventKind::GatewayAdmit, 1, 0, 2));
+        doc.events
+            .push(Event::new(14, gw, EventKind::GatewayShed, 2, 0, 0));
+        doc.events
+            .push(Event::new(200, gw, EventKind::CompletionBatch, 2, 0, 0));
+        let report = verify(&doc);
+        assert!(report.ok(), "failures: {:?}", report.failures());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "gateway-admits-vs-completions"));
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "gateway-submitted-conservation"));
+    }
+
+    #[test]
+    fn gateway_lost_completion_fails() {
+        // Two admits, but only one completion delivered.
+        let mut doc = clean_doc();
+        let gw = u32::MAX - 1;
+        doc.events
+            .push(Event::new(10, gw, EventKind::GatewayAdmit, 0, 0, 2));
+        doc.events
+            .push(Event::new(12, gw, EventKind::GatewayAdmit, 1, 0, 2));
+        doc.events
+            .push(Event::new(200, gw, EventKind::CompletionBatch, 1, 0, 0));
+        let report = verify(&doc);
+        assert!(report
+            .failures()
+            .iter()
+            .any(|c| c.name == "gateway-admits-vs-completions"));
+    }
+
+    #[test]
+    fn gateway_silent_shed_fails() {
+        // Gateway claims 5 submitted but only 1 admit + 1 shed are recorded:
+        // three submissions vanished without a verdict or a shed record.
+        let mut doc = clean_doc();
+        let gw = u32::MAX - 1;
+        doc.counts.push(("gateway_submitted".into(), 5));
+        doc.events
+            .push(Event::new(10, gw, EventKind::GatewayAdmit, 0, 0, 2));
+        doc.events
+            .push(Event::new(14, gw, EventKind::GatewayShed, 1, 0, 0));
+        doc.events
+            .push(Event::new(200, gw, EventKind::CompletionBatch, 1, 0, 0));
+        let report = verify(&doc);
+        assert!(report
+            .failures()
+            .iter()
+            .any(|c| c.name == "gateway-submitted-conservation"));
     }
 
     #[test]

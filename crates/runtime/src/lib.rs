@@ -81,7 +81,7 @@ pub use ring::{Ring, RingSet};
 pub use router::{CallError, CallOutcome, CallRequest, CallVerdict};
 pub use service::{
     DeadlinePolicy, DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError,
-    WorldCallService, WorldMemory,
+    TenantCounts, WorldCallService, WorldMemory,
 };
 pub use shard::{ContentionSnapshot, ShardedWorldTable};
 pub use supervisor::{

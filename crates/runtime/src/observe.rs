@@ -47,6 +47,9 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
     reg.counter_set("xover_requests_failed", report.failed);
     reg.counter_set("xover_requests_dead_lettered", report.dead_lettered);
     reg.counter_set("xover_requests_rejected_busy", report.rejected_busy);
+    reg.counter_set("xover_requests_submitted", report.submitted);
+    reg.counter_set("xover_requests_admitted", report.admitted);
+    reg.counter_set("xover_requests_shed", report.shed);
     reg.counter_set("xover_batches", report.batches);
     reg.counter_set("xover_batches_stolen", report.stolen);
     reg.counter_set("xover_world_calls", report.switchless.world_calls);

@@ -35,6 +35,11 @@ pub struct CallRequest {
     /// exactly-one-verdict invariant is checked against these). The
     /// runtime never reads it.
     pub tag: u64,
+    /// Tenant the call is billed to. Zero (the default) means "untenanted";
+    /// the gateway stamps this so the service's per-tenant submission
+    /// counters and the gateway's completion rings agree on ownership. Pure
+    /// accounting — the execution path never branches on it.
+    pub tenant: u32,
 }
 
 impl CallRequest {
@@ -48,6 +53,7 @@ impl CallRequest {
             budget_cycles: None,
             touch_pages: 0,
             tag: 0,
+            tenant: 0,
         }
     }
 
@@ -67,6 +73,12 @@ impl CallRequest {
     /// outcome).
     pub fn with_tag(mut self, tag: u64) -> CallRequest {
         self.tag = tag;
+        self
+    }
+
+    /// Bills the call to a tenant (accounting only; 0 = untenanted).
+    pub fn with_tenant(mut self, tenant: u32) -> CallRequest {
+        self.tenant = tenant;
         self
     }
 }

@@ -236,6 +236,50 @@ impl InvalidationBus {
     }
 }
 
+/// Per-tenant admission accounting (see [`ServiceReport::per_tenant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantCounts {
+    /// The tenant (from [`CallRequest::tenant`]; 0 = untenanted).
+    pub tenant: u32,
+    /// Submissions attempted for this tenant that resolved to a decision
+    /// (admitted or shed; `Closed` rejections are not submissions).
+    pub submitted: u64,
+    /// Submissions accepted into the dispatcher.
+    pub admitted: u64,
+    /// Submissions refused with `Busy` (backpressure or the shedding
+    /// rung of the degradation ladder).
+    pub shed: u64,
+}
+
+/// Submit-side admission ledger: every decided submission is either
+/// admitted or shed, so `submitted == admitted + shed` holds by
+/// construction — gateway conservation checks read these totals instead
+/// of re-deriving them from traces.
+#[derive(Debug, Default)]
+struct AdmissionLedger {
+    totals: TenantCounts,
+    per_tenant: HashMap<u32, TenantCounts>,
+}
+
+impl AdmissionLedger {
+    fn decide(&mut self, tenant: u32, admitted: bool) {
+        for slot in [
+            &mut self.totals,
+            self.per_tenant.entry(tenant).or_insert(TenantCounts {
+                tenant,
+                ..TenantCounts::default()
+            }),
+        ] {
+            slot.submitted += 1;
+            if admitted {
+                slot.admitted += 1;
+            } else {
+                slot.shed += 1;
+            }
+        }
+    }
+}
+
 /// Aggregated results of a drained pool.
 #[derive(Debug, Clone)]
 pub struct ServiceReport {
@@ -254,6 +298,19 @@ pub struct ServiceReport {
     pub dead_lettered: u64,
     /// `try_submit` rejections over the service's lifetime.
     pub rejected_busy: u64,
+    /// Decided submissions over the service's lifetime (admitted + shed;
+    /// `Closed` rejections are not counted — the service was draining).
+    pub submitted: u64,
+    /// Submissions accepted into the dispatcher. Every admitted request
+    /// produces exactly one outcome, so `admitted == outcomes.len()`
+    /// on a fully drained pool.
+    pub admitted: u64,
+    /// Submissions refused with `Busy`. `submitted == admitted + shed`
+    /// holds by construction.
+    pub shed: u64,
+    /// Per-tenant breakdown of the three admission counters, sorted by
+    /// tenant id (tenant 0 collects untenanted traffic).
+    pub per_tenant: Vec<TenantCounts>,
     /// Batches popped across all workers.
     pub batches: u64,
     /// Summed WT-cache statistics across workers.
@@ -358,6 +415,9 @@ pub struct WorldCallService {
     health: Arc<HealthState>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
+    /// Submit-side admission counters (host-side bookkeeping only; never
+    /// charges virtual cycles, so the obs parity guarantees hold).
+    admission: Mutex<AdmissionLedger>,
     /// Submit-side flight recorder for enqueue events (present only when
     /// obs is on; the off path never touches it).
     submit_obs: Option<Mutex<EventRing>>,
@@ -397,6 +457,7 @@ impl WorldCallService {
             health: Arc::new(HealthState::new(config.supervisor.recover_after_cycles)),
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
+            admission: Mutex::new(AdmissionLedger::default()),
             submit_obs: config
                 .obs
                 .enabled()
@@ -736,8 +797,17 @@ impl WorldCallService {
         self.dispatcher
             .push(self.home_of(&req), queued)
             .map_err(|q| SubmitError::Closed(q.req))?;
+        self.note_decision(req.tenant, true);
         self.record_enqueue(&queued);
         Ok(())
+    }
+
+    /// Records an admission decision in the submit-side ledger.
+    fn note_decision(&self, tenant: u32, admitted: bool) {
+        self.admission
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .decide(tenant, admitted);
     }
 
     /// Non-blocking submission with backpressure.
@@ -753,6 +823,7 @@ impl WorldCallService {
         if self.health.is_shedding() {
             self.health.note_shed();
             self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            self.note_decision(req.tenant, false);
             return Err(SubmitError::Busy(req));
         }
         let queued = self.make_queued(req);
@@ -761,10 +832,12 @@ impl WorldCallService {
             .map_err(|e| match e {
                 PushError::Busy(q) => {
                     self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                    self.note_decision(q.req.tenant, false);
                     SubmitError::Busy(q.req)
                 }
                 PushError::Closed(q) => SubmitError::Closed(q.req),
             })?;
+        self.note_decision(req.tenant, true);
         self.record_enqueue(&queued);
         Ok(())
     }
@@ -881,6 +954,9 @@ impl WorldCallService {
             .count() as u64;
         let failed = outcomes.len() as u64 - completed - timed_out - dead_lettered;
         let queue_wait_cycles = outcomes.iter().map(|o| o.queue_wait_cycles).sum();
+        let ledger = std::mem::take(&mut *self.admission.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut per_tenant: Vec<TenantCounts> = ledger.per_tenant.into_values().collect();
+        per_tenant.sort_unstable_by_key(|t| t.tenant);
         ServiceReport {
             smp,
             completed,
@@ -888,6 +964,10 @@ impl WorldCallService {
             failed,
             dead_lettered,
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            submitted: ledger.totals.submitted,
+            admitted: ledger.totals.admitted,
+            shed: ledger.totals.shed,
+            per_tenant,
             batches,
             wt,
             iwt,
@@ -997,6 +1077,55 @@ mod tests {
         let report = svc.drain();
         assert_eq!(report.rejected_busy, 2);
         assert_eq!(report.completed, 4);
+    }
+
+    #[test]
+    fn admission_ledger_conserves_per_tenant() {
+        let (mut svc, caller, callee) = {
+            let mut svc = WorldCallService::new(RuntimeConfig {
+                workers: 1,
+                queue_capacity: 4,
+                ..RuntimeConfig::default()
+            });
+            let vm1 = svc.create_vm(VmConfig::named("led-a")).unwrap();
+            let vm2 = svc.create_vm(VmConfig::named("led-b")).unwrap();
+            let caller = svc.register_guest_user(vm1, 0x1000, 0).unwrap();
+            let callee = svc.register_guest_kernel(vm2, 0x2000, 0).unwrap();
+            (svc, caller, callee)
+        };
+        // Tenant 7 fills the queue; tenant 9's try_submit then sheds.
+        let req = CallRequest::new(caller, callee, 10, 1).with_tenant(7);
+        for _ in 0..4 {
+            svc.try_submit(req).unwrap();
+        }
+        assert!(matches!(
+            svc.try_submit(req.with_tenant(9)),
+            Err(SubmitError::Busy(_))
+        ));
+        svc.start();
+        let report = svc.drain();
+        assert_eq!(report.submitted, 5);
+        assert_eq!(report.admitted, 4);
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.submitted, report.admitted + report.shed);
+        assert_eq!(report.admitted, report.outcomes.len() as u64);
+        assert_eq!(
+            report.per_tenant,
+            vec![
+                TenantCounts {
+                    tenant: 7,
+                    submitted: 4,
+                    admitted: 4,
+                    shed: 0,
+                },
+                TenantCounts {
+                    tenant: 9,
+                    submitted: 1,
+                    admitted: 0,
+                    shed: 1,
+                },
+            ]
+        );
     }
 
     #[test]

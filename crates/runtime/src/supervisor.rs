@@ -60,6 +60,12 @@ pub struct SupervisorConfig {
     /// Seed for the deterministic backoff jitter (mixed with the worker
     /// index so workers don't thunder in lockstep).
     pub jitter_seed: u64,
+    /// After a crash-respawn, pre-fill the fresh worker's WT/IWT caches
+    /// (`manage_wtc` fills, priced) from its recent call history instead
+    /// of letting the first post-respawn calls eat cold-cache miss
+    /// faults. Off by default: the fills charge virtual cycles, and the
+    /// fault-plane parity suite pins default behavior bit for bit.
+    pub prefetch_warm_on_respawn: bool,
 }
 
 impl Default for SupervisorConfig {
@@ -74,6 +80,7 @@ impl Default for SupervisorConfig {
             respawn_cap: 8,
             recover_after_cycles: 2_000_000,
             jitter_seed: 0x5AFE_C0DE_5AFE_C0DE,
+            prefetch_warm_on_respawn: false,
         }
     }
 }
@@ -236,6 +243,14 @@ pub struct SupervisorReport {
     /// call, one sample per fault episode (the recovery latency the
     /// bench reports).
     pub recovery_samples: Vec<u64>,
+    /// WT/IWT entries pre-filled after crash-respawns (nonzero only with
+    /// [`SupervisorConfig::prefetch_warm_on_respawn`]).
+    pub warm_fills: u64,
+    /// On-CPU latency (cycles) of the first call each respawned worker
+    /// serviced — the before/after comparison for respawn warming: with
+    /// warming off these pay cold WT/IWT miss faults, with warming on
+    /// they hit the pre-filled entries.
+    pub post_respawn_latency_samples: Vec<u64>,
 }
 
 impl SupervisorReport {
@@ -255,6 +270,19 @@ impl SupervisorReport {
         self.working_set_faults += other.working_set_faults;
         self.recovery_samples
             .extend_from_slice(&other.recovery_samples);
+        self.warm_fills += other.warm_fills;
+        self.post_respawn_latency_samples
+            .extend_from_slice(&other.post_respawn_latency_samples);
+    }
+
+    /// Mean on-CPU latency of first-after-respawn calls, `NAN` with no
+    /// samples (no crashes, or the pool dead-lettered instead).
+    pub fn mean_post_respawn_latency_cycles(&self) -> f64 {
+        if self.post_respawn_latency_samples.is_empty() {
+            return f64::NAN;
+        }
+        self.post_respawn_latency_samples.iter().sum::<u64>() as f64
+            / self.post_respawn_latency_samples.len() as f64
     }
 
     /// Mean virtual-time recovery latency (fault observed → next

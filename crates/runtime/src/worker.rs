@@ -119,6 +119,12 @@ fn fault_site_code(site: FaultSite) -> u64 {
 /// against any realistic per-worker load.
 const PACE_SLACK_CYCLES: u64 = 64_000;
 
+/// Distinct worlds remembered for respawn warming (most recent last).
+/// Two hot (caller, callee) pairs' worth: enough to cover what a fresh
+/// unit's first few calls will touch, small enough that the priced
+/// `manage_wtc` fills stay a fraction of one call's cost.
+const WARM_HISTORY_DEPTH: usize = 8;
+
 /// Virtual-time gate. The simulated machine's cores advance in parallel
 /// virtual time, but the host may multiplex the worker threads onto
 /// fewer physical cores (possibly one), in which case OS timeslicing —
@@ -255,6 +261,14 @@ struct Engine<'a> {
     /// Last published per-lane budgets, so epoch folds emit
     /// `BudgetMove` only for lanes whose budget actually changed.
     last_budgets: HashMap<usize, usize>,
+    /// Recently serviced worlds, most recent last (maintained only when
+    /// [`SupervisorConfig::prefetch_warm_on_respawn`] is on) — the
+    /// respawn path warms the fresh unit's WT/IWT from these.
+    call_history: VecDeque<Wid>,
+    /// Set by a respawn; the next recorded outcome's latency becomes a
+    /// post-respawn recovery sample (taken whether or not warming is
+    /// on, so the two configurations are directly comparable).
+    awaiting_post_respawn_sample: bool,
 }
 
 impl Engine<'_> {
@@ -309,7 +323,49 @@ impl Engine<'_> {
             let now = self.now();
             self.supervisor.note_healthy(now);
         }
+        if self.awaiting_post_respawn_sample {
+            self.awaiting_post_respawn_sample = false;
+            self.supervisor
+                .report
+                .post_respawn_latency_samples
+                .push(outcome.latency_cycles);
+        }
+        if self.supervisor.config().prefetch_warm_on_respawn {
+            self.note_history(&outcome.request);
+        }
         self.outcomes.push(outcome);
+    }
+
+    /// Remembers the worlds a serviced request touched (move-to-back,
+    /// bounded at [`WARM_HISTORY_DEPTH`]). Host-side bookkeeping only.
+    fn note_history(&mut self, req: &CallRequest) {
+        for wid in [req.caller, req.callee] {
+            if let Some(pos) = self.call_history.iter().position(|&w| w == wid) {
+                self.call_history.remove(pos);
+            }
+            self.call_history.push_back(wid);
+            if self.call_history.len() > WARM_HISTORY_DEPTH {
+                self.call_history.pop_front();
+            }
+        }
+    }
+
+    /// Warms a freshly respawned unit: priced `manage_wtc` fills (WT and
+    /// IWT both) for every world in the recent call history, so the first
+    /// post-respawn calls hit instead of eating cold miss faults. Worlds
+    /// deleted since they were serviced fail their fill and are skipped —
+    /// the regular invalidation path owns those.
+    fn warm_unit(&mut self) {
+        for i in 0..self.call_history.len() {
+            let wid = self.call_history[i];
+            if self
+                .unit
+                .manage_wtc_fill(self.platform, self.table, wid)
+                .is_ok()
+            {
+                self.supervisor.report.warm_fills += 1;
+            }
+        }
     }
 
     /// Publishes this worker's clock and computes the request's queue
@@ -986,6 +1042,8 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         health: Arc::clone(&ctx.health),
         obs: Recorder::for_track(&ctx.obs, ctx.index as u32),
         last_budgets: HashMap::new(),
+        call_history: VecDeque::new(),
+        awaiting_post_respawn_sample: false,
     };
     loop {
         pace(
@@ -1081,6 +1139,15 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                     fresh
                 };
                 engine.cursors.clear();
+                // Respawn warming: pre-fill the fresh caches from recent
+                // call history (priced manage_wtc fills) so the first
+                // post-respawn calls skip the cold miss faults. The next
+                // recorded outcome samples the recovery latency either
+                // way, giving the before/after comparison.
+                if ctx.supervisor.prefetch_warm_on_respawn {
+                    engine.warm_unit();
+                }
+                engine.awaiting_post_respawn_sample = true;
                 engine.emit(EventKind::Respawn, respawns, 0, 0);
                 requeued = Some(batch);
                 continue;

@@ -12,9 +12,13 @@
 //!   grep, users, uptime, ls) with realistic syscall mixes.
 //! * [`openssh`] — the split-execution OpenSSH/scp throughput model of
 //!   Table 6.
+//! * [`openloop`] — open-loop arrival processes (Poisson and bursty
+//!   ON/OFF over a Zipf callee popularity law) for driving the async
+//!   tenant gateway past saturation.
 
 pub mod lmbench;
 pub mod micro;
+pub mod openloop;
 pub mod openssh;
 pub mod utilities;
 

@@ -1,0 +1,273 @@
+//! Open-loop arrival processes for the async tenant gateway.
+//!
+//! Closed-loop drivers (a fixed worker count issuing the next call only
+//! after the previous verdict) cannot overload anything: offered load
+//! collapses to capacity by construction. The gateway evaluation needs
+//! the opposite — arrivals that keep coming whether or not the service
+//! keeps up — so this module generates *timed* submission traces:
+//! per-tenant arrival streams in virtual cycles, callees drawn from a
+//! Zipf popularity law (the same skew the switchless plane exploits),
+//! merged into one time-ordered trace.
+//!
+//! Everything is deterministic from the seed and pure data: an
+//! [`Arrival`] knows nothing about services, rings or world ids — the
+//! gateway (or any other consumer) maps `callee_rank` onto registered
+//! worlds. Two processes cover the evaluation's needs:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless arrivals at a fixed mean
+//!   rate, the standard open-loop reference.
+//! * [`ArrivalProcess::BurstyOnOff`] — alternating ON windows of
+//!   Poisson arrivals and silent OFF windows, the classic two-state
+//!   burst model; same mean in-burst rate, much nastier queue dynamics.
+
+use machine::rng::{SplitMix64, Zipf};
+
+/// One open-loop submission: at `at_cycles` of virtual time, `tenant`
+/// asks for a call into the callee of popularity rank `callee_rank`
+/// with `work_cycles` of body work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual-time arrival instant (cycles).
+    pub at_cycles: u64,
+    /// Originating tenant (dense, `0..tenants`).
+    pub tenant: u32,
+    /// Zipf popularity rank of the requested callee (`0` = hottest).
+    pub callee_rank: usize,
+    /// Callee-side body cycles the call asks for.
+    pub work_cycles: u64,
+}
+
+/// The inter-arrival law each tenant's stream follows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival times with the
+    /// given mean (cycles). Rate = 1 / mean.
+    Poisson {
+        /// Mean inter-arrival gap in cycles.
+        mean_gap_cycles: f64,
+    },
+    /// Two-state burst model: Poisson arrivals at the in-burst mean gap
+    /// during each ON window, silence during each OFF window. Windows
+    /// have fixed lengths, so the burst structure is easy to assert on
+    /// and the long-run rate is `on / (on + off)` times the in-burst
+    /// rate.
+    BurstyOnOff {
+        /// Mean inter-arrival gap *within* an ON window (cycles).
+        mean_gap_cycles: f64,
+        /// Length of each ON window (cycles).
+        on_cycles: u64,
+        /// Length of each silent OFF window (cycles).
+        off_cycles: u64,
+    },
+}
+
+/// Configuration for one generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Tenant streams to generate (`0..tenants`).
+    pub tenants: u32,
+    /// Generate arrivals in `[0, horizon_cycles)`.
+    pub horizon_cycles: u64,
+    /// Distinct callee ranks (the Zipf support size).
+    pub callees: usize,
+    /// Zipf skew exponent (1.0 ≈ classic web popularity).
+    pub zipf_s: f64,
+    /// Body work per call, drawn uniformly from this inclusive range.
+    pub work_cycles: (u64, u64),
+    /// Inter-arrival law, applied independently per tenant.
+    pub process: ArrivalProcess,
+    /// Master seed; each tenant derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> OpenLoopConfig {
+        OpenLoopConfig {
+            tenants: 4,
+            horizon_cycles: 1_000_000,
+            callees: 8,
+            zipf_s: 1.0,
+            work_cycles: (400, 800),
+            process: ArrivalProcess::Poisson {
+                mean_gap_cycles: 2_000.0,
+            },
+            seed: 0x09E2_100F,
+        }
+    }
+}
+
+/// Uniform draw in (0, 1] — never exactly zero, so `ln` is safe.
+fn unit_open(rng: &mut SplitMix64) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One exponential inter-arrival gap with the given mean, floored at one
+/// cycle so virtual time always advances.
+fn exp_gap(rng: &mut SplitMix64, mean: f64) -> u64 {
+    let gap = -unit_open(rng).ln() * mean;
+    (gap as u64).max(1)
+}
+
+/// Is `t` inside an ON window of the alternating schedule?
+fn is_on(t: u64, on: u64, off: u64) -> bool {
+    t % (on + off) < on
+}
+
+/// Next instant at or after `t` that lies in an ON window.
+fn next_on(t: u64, on: u64, off: u64) -> u64 {
+    let period = on + off;
+    if t % period < on {
+        t
+    } else {
+        (t / period + 1) * period
+    }
+}
+
+/// Generates the merged, time-ordered open-loop trace.
+///
+/// Each tenant's stream is an independent SplitMix64 sequence derived
+/// from the master seed, so adding a tenant never perturbs the others.
+/// Ties in arrival time are broken by tenant id, making the output a
+/// total order (the gateway relies on that for determinism).
+pub fn generate(cfg: &OpenLoopConfig) -> Vec<Arrival> {
+    let zipf = Zipf::new(cfg.callees.max(1), cfg.zipf_s);
+    let (work_lo, work_hi) = cfg.work_cycles;
+    let mut trace = Vec::new();
+    for tenant in 0..cfg.tenants {
+        // SplitMix64's increment is odd, so distinct tenant offsets give
+        // distinct, well-mixed streams.
+        let mut rng = SplitMix64::new(cfg.seed ^ (u64::from(tenant) << 32 | 0x9E37));
+        let mut t: u64 = 0;
+        loop {
+            t = match cfg.process {
+                ArrivalProcess::Poisson { mean_gap_cycles } => {
+                    t.saturating_add(exp_gap(&mut rng, mean_gap_cycles))
+                }
+                ArrivalProcess::BurstyOnOff {
+                    mean_gap_cycles,
+                    on_cycles,
+                    off_cycles,
+                } => {
+                    // Gaps only consume ON time: a gap that crosses the
+                    // window edge resumes at the next ON window.
+                    let mut next = next_on(t, on_cycles, off_cycles)
+                        .saturating_add(exp_gap(&mut rng, mean_gap_cycles));
+                    if !is_on(next, on_cycles, off_cycles) {
+                        next = next_on(next, on_cycles, off_cycles);
+                    }
+                    next
+                }
+            };
+            if t >= cfg.horizon_cycles {
+                break;
+            }
+            trace.push(Arrival {
+                at_cycles: t,
+                tenant,
+                callee_rank: zipf.sample(&mut rng),
+                work_cycles: rng.range(work_lo, work_hi.max(work_lo)),
+            });
+        }
+    }
+    trace.sort_by_key(|a| (a.at_cycles, a.tenant));
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_cfg() -> OpenLoopConfig {
+        OpenLoopConfig {
+            tenants: 3,
+            horizon_cycles: 2_000_000,
+            callees: 8,
+            zipf_s: 1.0,
+            work_cycles: (400, 800),
+            process: ArrivalProcess::Poisson {
+                mean_gap_cycles: 1_000.0,
+            },
+            seed: 0x000A_110C,
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        assert_eq!(generate(&poisson_cfg()), generate(&poisson_cfg()));
+        let mut other = poisson_cfg();
+        other.seed ^= 1;
+        assert_ne!(generate(&poisson_cfg()), generate(&other));
+    }
+
+    #[test]
+    fn trace_is_totally_ordered_and_in_horizon() {
+        let cfg = poisson_cfg();
+        let trace = generate(&cfg);
+        for pair in trace.windows(2) {
+            assert!((pair[0].at_cycles, pair[0].tenant) < (pair[1].at_cycles, pair[1].tenant));
+        }
+        for a in &trace {
+            assert!(a.at_cycles < cfg.horizon_cycles);
+            assert!(a.tenant < cfg.tenants);
+            assert!(a.callee_rank < cfg.callees);
+            assert!((400..=800).contains(&a.work_cycles));
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_the_configured_rate() {
+        let cfg = poisson_cfg();
+        let trace = generate(&cfg);
+        // 3 tenants × (2_000_000 / 1_000) = 6_000 expected arrivals;
+        // allow a generous ±10% (σ ≈ √6000 ≈ 77).
+        let n = trace.len() as f64;
+        assert!((5_400.0..=6_600.0).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn every_tenant_contributes_an_independent_stream() {
+        let cfg = poisson_cfg();
+        let trace = generate(&cfg);
+        for tenant in 0..cfg.tenants {
+            assert!(trace.iter().any(|a| a.tenant == tenant));
+        }
+        // Dropping a tenant leaves the remaining streams untouched.
+        let mut fewer = cfg;
+        fewer.tenants = 2;
+        let small = generate(&fewer);
+        let filtered: Vec<Arrival> = trace.into_iter().filter(|a| a.tenant < 2).collect();
+        assert_eq!(small, filtered);
+    }
+
+    #[test]
+    fn bursty_arrivals_stay_inside_on_windows() {
+        let cfg = OpenLoopConfig {
+            process: ArrivalProcess::BurstyOnOff {
+                mean_gap_cycles: 500.0,
+                on_cycles: 50_000,
+                off_cycles: 150_000,
+            },
+            tenants: 2,
+            horizon_cycles: 1_600_000,
+            ..poisson_cfg()
+        };
+        let trace = generate(&cfg);
+        assert!(!trace.is_empty());
+        for a in &trace {
+            assert!(
+                is_on(a.at_cycles, 50_000, 150_000),
+                "arrival at {} fell in an OFF window",
+                a.at_cycles
+            );
+        }
+        // The duty cycle caps the long-run rate: 1/4 of the Poisson
+        // equivalent at the same in-burst gap.
+        let equivalent = generate(&OpenLoopConfig {
+            process: ArrivalProcess::Poisson {
+                mean_gap_cycles: 500.0,
+            },
+            ..cfg
+        });
+        assert!(trace.len() * 3 < equivalent.len());
+    }
+}
