@@ -188,6 +188,60 @@ pub struct WorldEntry {
     pub entry_point: u64,
 }
 
+/// Size of a packed [`WorldEntry`]: WID, EPTP, PTP and PC at 8 bytes
+/// each plus one flags byte (present, H/G, ring).
+pub const PACKED_ENTRY_BYTES: usize = 33;
+
+impl WorldEntry {
+    /// Serializes the entry into its compact fixed-width form — the
+    /// record format cold worlds are demoted to when an evictable table
+    /// pages them out. Stable across the round trip with
+    /// [`WorldEntry::unpack`]; no pointers, no padding.
+    pub fn pack(&self) -> [u8; PACKED_ENTRY_BYTES] {
+        let mut out = [0u8; PACKED_ENTRY_BYTES];
+        out[0..8].copy_from_slice(&self.wid.raw().to_le_bytes());
+        out[8..16].copy_from_slice(&self.context.eptp.to_le_bytes());
+        out[16..24].copy_from_slice(&self.context.ptp.to_le_bytes());
+        out[24..32].copy_from_slice(&self.entry_point.to_le_bytes());
+        let ring = match self.context.ring {
+            Ring::Ring0 => 0u8,
+            Ring::Ring1 => 1,
+            Ring::Ring2 => 2,
+            Ring::Ring3 => 3,
+        };
+        out[32] = u8::from(self.present)
+            | (u8::from(matches!(self.context.operation, Operation::NonRoot)) << 1)
+            | (ring << 2);
+        out
+    }
+
+    /// Deserializes a record produced by [`WorldEntry::pack`].
+    pub fn unpack(bytes: &[u8; PACKED_ENTRY_BYTES]) -> WorldEntry {
+        let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let flags = bytes[32];
+        WorldEntry {
+            present: flags & 1 != 0,
+            wid: Wid::from_raw(word(0)),
+            context: WorldContext {
+                operation: if flags & 2 != 0 {
+                    Operation::NonRoot
+                } else {
+                    Operation::Root
+                },
+                ring: match (flags >> 2) & 3 {
+                    0 => Ring::Ring0,
+                    1 => Ring::Ring1,
+                    2 => Ring::Ring2,
+                    _ => Ring::Ring3,
+                },
+                eptp: word(8),
+                ptp: word(16),
+            },
+            entry_point: word(24),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

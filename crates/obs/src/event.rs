@@ -69,10 +69,19 @@ pub enum EventKind {
     /// Gateway delivered a batch of completions to a tenant's completion
     /// ring. a=batch size, b=tenant.
     CompletionBatch = 25,
+    /// Epoch table demoted cold worlds to the paged store. a=entries
+    /// demoted in this maintenance pass.
+    WorldEvict = 26,
+    /// Cold worlds faulted back into the resident tree. a=refaults since
+    /// the last maintenance pass.
+    WorldRefault = 27,
+    /// Retired table structures freed after their grace period.
+    /// a=structures reclaimed in this maintenance pass.
+    GraceReclaim = 28,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 29;
 
     pub const ALL: [EventKind; EventKind::COUNT] = [
         EventKind::RequestEnqueue,
@@ -101,6 +110,9 @@ impl EventKind {
         EventKind::GatewayAdmit,
         EventKind::GatewayShed,
         EventKind::CompletionBatch,
+        EventKind::WorldEvict,
+        EventKind::WorldRefault,
+        EventKind::GraceReclaim,
     ];
 
     /// Dense index (the discriminant).
@@ -137,6 +149,9 @@ impl EventKind {
             EventKind::GatewayAdmit => "gw_admit",
             EventKind::GatewayShed => "gw_shed",
             EventKind::CompletionBatch => "completion_batch",
+            EventKind::WorldEvict => "world_evict",
+            EventKind::WorldRefault => "world_refault",
+            EventKind::GraceReclaim => "grace_reclaim",
         }
     }
 

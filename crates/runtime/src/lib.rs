@@ -10,15 +10,21 @@
 //!
 //! Three pieces answer it:
 //!
-//! * [`shard::ShardedWorldTable`] — the hypervisor-managed world table,
-//!   lock-striped by WID so concurrent WT-cache miss walks on different
-//!   worlds never serialize, with a global atomic WID allocator that
-//!   keeps ids monotonic and never reused (the unforgeability
-//!   invariant), and contention counters so the striping's effect is
-//!   measurable rather than assumed. Workers drive it through the same
-//!   [`crossover::table::WorldLookup`] contract as the sequential
-//!   table, so the hardware model ([`crossover::call::WorldCallUnit`])
-//!   is unchanged.
+//! * [`epoch::EpochWorldTable`] — the hypervisor-managed world table at
+//!   million-world scale: wait-free WID→entry lookups against an
+//!   atomically published snapshot, deletes retired through an
+//!   epoch-based grace period instead of an invalidation broadcast, and
+//!   cold worlds demoted to a compact paged store (faulted back on
+//!   lookup) so resident memory tracks the hot set rather than the
+//!   registration count. [`shard::ShardedWorldTable`] — lock-striped by
+//!   WID, the PR-3 design — survives as the
+//!   [`epoch::TableMode::Striped`] ablation behind the same
+//!   [`epoch::RuntimeTable`] facade. Both keep the global atomic WID
+//!   allocator monotonic and never-reusing (the unforgeability
+//!   invariant) and export contention counters, and workers drive both
+//!   through the same [`crossover::table::WorldLookup`] contract as the
+//!   sequential table, so the hardware model
+//!   ([`crossover::call::WorldCallUnit`]) is unchanged.
 //! * [`service::WorldCallService`] — bounded admission (`try_submit`
 //!   returns `Busy` at capacity instead of buffering without bound) in
 //!   front of a pool of OS-thread workers. Dispatch is per-worker
@@ -28,11 +34,13 @@
 //!   [`service::DispatchMode::MutexQueue`] ablation baseline. Each
 //!   worker simulates one vCPU: a cloned platform with a private
 //!   EPTP-tagged unified TLB, private set-associative WT-/IWT-caches,
-//!   and a private meter, so the hot path takes no shared lock except
-//!   the table shards it actually misses into. Worlds can be deleted
-//!   while the pool runs; the delete broadcasts over an invalidation
-//!   bus and every worker purges its caches — the concurrent
-//!   `manage_wtc`. Per-call deadlines reuse the §3.4 timeout machinery
+//!   and a private meter, so the hot path takes no shared lock. Worlds
+//!   can be deleted while the pool runs; under the epoch table each
+//!   worker pulls the shared retire log's tail before its next batch
+//!   (the striped ablation keeps the PR-3 invalidation-bus broadcast)
+//!   and purges its caches — the concurrent `manage_wtc`, staleness
+//!   bounded at one batch either way. Per-call deadlines reuse the
+//!   §3.4 timeout machinery
 //!   ([`crossover::manager::CallToken::expired`]). Requests are stamped
 //!   with the minimum live worker clock at submission, so each outcome
 //!   carries its virtual-time queue wait. On drain the per-worker
@@ -60,6 +68,7 @@
 //! *indistinguishable* from the sequential table — same WIDs, same
 //! errors, same cache statistics, same metered cycles.
 
+pub mod epoch;
 pub mod observe;
 pub mod queue;
 pub mod report;
@@ -71,6 +80,9 @@ pub mod supervisor;
 pub mod switchless;
 mod worker;
 
+pub use epoch::{
+    EpochWorldTable, MaintainOutcome, RuntimeTable, TableHealth, TableMode, TableView,
+};
 pub use obs::{
     build_spans, top_slowest, verify, ConservationReport, Event, EventKind, EventRing,
     LogHistogram, ObsConfig, ObsMode, ObsReport, Registry, Span, TraceDoc,
@@ -83,7 +95,7 @@ pub use service::{
     DeadlinePolicy, DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError,
     TenantCounts, WorldCallService, WorldMemory,
 };
-pub use shard::{ContentionSnapshot, ShardedWorldTable};
+pub use shard::{auto_shards, ContentionSnapshot, ShardedWorldTable};
 pub use supervisor::{
     DegradeLevel, HealthState, Supervisor, SupervisorConfig, SupervisorReport, SupervisorSummary,
 };

@@ -62,6 +62,29 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
     reg.counter_set("xover_tlb_misses", report.tlb.misses);
     reg.counter_set("xover_makespan_cycles", report.smp.makespan_cycles());
     reg.counter_set("xover_total_cycles", report.smp.total_cycles());
+    reg.counter_set(
+        "xover_table_shard_acquisitions",
+        report.contention.shard_acquisitions,
+    );
+    reg.counter_set(
+        "xover_table_shard_contended",
+        report.contention.shard_contended,
+    );
+    reg.counter_set(
+        "xover_table_index_acquisitions",
+        report.contention.index_acquisitions,
+    );
+    reg.counter_set(
+        "xover_table_index_contended",
+        report.contention.index_contended,
+    );
+    reg.counter_set("xover_table_live_worlds", report.table.live);
+    reg.counter_set("xover_table_resident_entries", report.table.resident);
+    reg.counter_set("xover_table_evictions", report.table.evictions);
+    reg.counter_set("xover_table_refaults", report.table.refaults);
+    reg.counter_set("xover_table_grace_reclaims", report.table.grace_reclaims);
+    reg.counter_set("xover_table_retired_pending", report.table.retired_pending);
+    reg.counter_set("xover_table_cold_bytes", report.table.cold_bytes);
     if let Some(recorded) = &report.obs {
         reg.counter_set("xover_obs_events", recorded.total_events() as u64);
         reg.counter_set("xover_obs_dropped", recorded.dropped());

@@ -3,7 +3,8 @@
 //!
 //! [`WorldCallService`] is the concurrent driver the single-vCPU
 //! [`Platform`] cannot be: many guest VMs' worlds registered in one
-//! [`ShardedWorldTable`], a bounded request queue in front of a pool of
+//! shared [`RuntimeTable`] (epoch-protected lock-free by default, the
+//! lock-striped table as an ablation), a bounded request queue in front of a pool of
 //! OS-thread workers (each simulating one vCPU with private WT-/IWT-
 //! caches), per-call deadlines reusing the §3.4 timeout machinery, and
 //! `Busy` rejection when the queue is full instead of unbounded
@@ -33,10 +34,11 @@ use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
 use obs::{Event, EventKind, EventRing, LogHistogram, ObsConfig, ObsReport, SUBMIT_TRACK};
 
+use crate::epoch::{RuntimeTable, TableHealth, TableMode};
 use crate::queue::{PushError, Queue};
 use crate::ring::RingSet;
 use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
-use crate::shard::{ContentionSnapshot, ShardedWorldTable, DEFAULT_SHARDS};
+use crate::shard::ContentionSnapshot;
 use crate::supervisor::{HealthState, SupervisorConfig, SupervisorSummary};
 use crate::switchless::{Controller, PairTraffic, SwitchlessConfig, SwitchlessSummary};
 use crate::worker::{self, WorkerContext, WorkerReport};
@@ -74,7 +76,14 @@ pub enum DeadlinePolicy {
 pub struct RuntimeConfig {
     /// Worker threads (simulated vCPUs / SMP cores).
     pub workers: usize,
-    /// Shards of the world table.
+    /// Which world-table implementation backs the service: the
+    /// epoch-protected lock-free table (default) or the lock-striped
+    /// ablation.
+    pub table_mode: TableMode,
+    /// Shards of the striped world table. 0 (the default) sizes
+    /// adaptively from the worker count — the next power of two at or
+    /// above 4×workers; any other value is an explicit override.
+    /// Ignored in epoch mode.
     pub shards: usize,
     /// Per-VM world-creation quota.
     pub quota: usize,
@@ -111,7 +120,8 @@ impl Default for RuntimeConfig {
     fn default() -> RuntimeConfig {
         RuntimeConfig {
             workers: 4,
-            shards: DEFAULT_SHARDS,
+            table_mode: TableMode::default(),
+            shards: 0,
             quota: DEFAULT_WORLD_QUOTA,
             queue_capacity: 1024,
             batch_max: 16,
@@ -327,8 +337,13 @@ pub struct ServiceReport {
     pub queue_wait_cycles: u64,
     /// Batches whose leading request was stolen from a peer's ring.
     pub stolen: u64,
-    /// World-table lock contention counters.
+    /// World-table lock contention counters. In epoch mode the shard
+    /// counters are wait-free lookups (never contended) and the index
+    /// counters the writer-lock path.
     pub contention: ContentionSnapshot,
+    /// World-table health: live/resident counts, eviction, refault and
+    /// grace-period reclamation totals.
+    pub table: TableHealth,
     /// Switchless-path accounting (all zero / empty when the layer is
     /// off).
     pub switchless: SwitchlessSummary,
@@ -391,12 +406,13 @@ fn add_stats(a: CacheStats, b: CacheStats) -> CacheStats {
 /// The service. Life cycle: configure → create VMs → register worlds →
 /// [`WorldCallService::start`] → submit → [`WorldCallService::drain`].
 /// Worlds can also be registered or deleted while the pool runs; deletes
-/// are broadcast so every worker's caches converge.
+/// converge every worker's caches within one batch — via the retire log
+/// in epoch mode, via the invalidation bus in striped mode.
 #[derive(Debug)]
 pub struct WorldCallService {
     config: RuntimeConfig,
     template: Platform,
-    table: Arc<ShardedWorldTable>,
+    table: Arc<RuntimeTable>,
     dispatcher: Arc<Dispatcher>,
     bus: Arc<InvalidationBus>,
     /// Per-worker virtual clocks; submissions are stamped with the
@@ -439,7 +455,12 @@ impl WorldCallService {
         WorldCallService {
             config,
             template: Platform::new_default(),
-            table: Arc::new(ShardedWorldTable::with_shards(config.shards, config.quota)),
+            table: Arc::new(RuntimeTable::build(
+                config.table_mode,
+                config.shards,
+                config.workers,
+                config.quota,
+            )),
             dispatcher: Arc::new(Dispatcher::new(
                 config.dispatch,
                 config.workers,
@@ -504,7 +525,7 @@ impl WorldCallService {
     }
 
     /// The shared world table.
-    pub fn table(&self) -> &ShardedWorldTable {
+    pub fn table(&self) -> &RuntimeTable {
         &self.table
     }
 
@@ -556,15 +577,20 @@ impl WorldCallService {
         self.table.create(descriptor)
     }
 
-    /// Deletes a world and broadcasts the invalidation to every worker's
-    /// caches.
+    /// Deletes a world. In epoch mode the table logs the retirement and
+    /// workers pull it at their next batch boundary — O(1), no per-worker
+    /// broadcast on the hot path. In striped mode the invalidation is
+    /// broadcast to every worker's bus slot as before. Either way the
+    /// staleness bound is one batch.
     ///
     /// # Errors
     ///
     /// [`WorldError::InvalidWid`] if absent.
     pub fn delete_world(&self, wid: Wid) -> Result<(), WorldError> {
         self.table.delete(wid)?;
-        self.bus.broadcast(wid);
+        if matches!(&*self.table, RuntimeTable::Striped(_)) {
+            self.bus.broadcast(wid);
+        }
         Ok(())
     }
 
@@ -975,6 +1001,7 @@ impl WorldCallService {
             queue_wait_cycles,
             stolen,
             contention: self.table.contention(),
+            table: self.table.health(),
             switchless,
             supervisor,
             outcomes,
@@ -1129,28 +1156,84 @@ mod tests {
     }
 
     #[test]
-    fn delete_broadcast_invalidates_worker_caches() {
-        let (mut svc, caller, callee) = two_world_service(1);
+    fn delete_invalidates_worker_caches_within_one_batch() {
+        // Both table modes must keep the one-batch staleness bound:
+        // epoch mode through the retire log workers pull at each batch
+        // boundary, striped mode through the invalidation broadcast.
+        for table_mode in [TableMode::Epoch, TableMode::Striped] {
+            let mut svc = WorldCallService::new(RuntimeConfig {
+                workers: 1,
+                table_mode,
+                ..RuntimeConfig::default()
+            });
+            let vm1 = svc.create_vm(VmConfig::named("del-a")).unwrap();
+            let vm2 = svc.create_vm(VmConfig::named("del-b")).unwrap();
+            let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+            let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+            svc.start();
+            // Warm the single worker's caches (may race with the delete
+            // below; either outcome for this call is fine).
+            svc.submit(CallRequest::new(caller, callee, 10, 1)).unwrap();
+            svc.delete_world(callee).unwrap();
+            // This call is submitted strictly after the delete, so the
+            // batch that carries it sees the retirement first. Without
+            // the invalidation it would hit the stale cache line and
+            // "succeed" against a deleted world.
+            svc.submit(CallRequest::new(caller, callee, 20, 1)).unwrap();
+            let report = svc.drain();
+            let second = report
+                .outcomes
+                .iter()
+                .find(|o| o.request.work_cycles == 20)
+                .expect("second call serviced");
+            assert_eq!(
+                second.verdict,
+                CallVerdict::Failed(WorldError::InvalidWid { wid: callee }),
+                "{table_mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_carries_table_health() {
+        let (mut svc, caller, callee) = two_world_service(2);
         svc.start();
-        // Warm the single worker's caches (may race with the delete
-        // below; either outcome for this call is fine).
-        svc.submit(CallRequest::new(caller, callee, 10, 1)).unwrap();
-        svc.delete_world(callee).unwrap();
-        // This call is submitted strictly after the broadcast, so the
-        // batch that carries it drains the invalidation first. Without
-        // the broadcast it would hit the stale cache line and "succeed"
-        // against a deleted world.
-        svc.submit(CallRequest::new(caller, callee, 20, 1)).unwrap();
+        for _ in 0..20 {
+            svc.submit(CallRequest::new(caller, callee, 100, 10))
+                .unwrap();
+        }
         let report = svc.drain();
-        let second = report
-            .outcomes
-            .iter()
-            .find(|o| o.request.work_cycles == 20)
-            .expect("second call serviced");
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.table.live, 2);
+        assert_eq!(report.table.resident, 2, "tiny run never evicts");
+        assert_eq!(report.table.evictions, 0);
+        assert!(report.contention.shard_acquisitions > 0);
         assert_eq!(
-            second.verdict,
-            CallVerdict::Failed(WorldError::InvalidWid { wid: callee })
+            report.contention.shard_contended, 0,
+            "epoch lookups are wait-free"
         );
+    }
+
+    #[test]
+    fn striped_ablation_still_services_calls() {
+        let mut svc = WorldCallService::new(RuntimeConfig {
+            workers: 2,
+            table_mode: TableMode::Striped,
+            shards: 3, // explicit override survives the auto-sizing default
+            ..RuntimeConfig::default()
+        });
+        let vm1 = svc.create_vm(VmConfig::named("str-a")).unwrap();
+        let vm2 = svc.create_vm(VmConfig::named("str-b")).unwrap();
+        let caller = svc.register_guest_user(vm1, 0x1000, 0x40_0000).unwrap();
+        let callee = svc.register_guest_kernel(vm2, 0x2000, 0xFFFF_8000).unwrap();
+        svc.start();
+        for _ in 0..40 {
+            svc.submit(CallRequest::new(caller, callee, 200, 20))
+                .unwrap();
+        }
+        let report = svc.drain();
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.table.live, 2);
     }
 
     #[test]

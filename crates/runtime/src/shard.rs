@@ -35,9 +35,13 @@ use crossover::world::{Wid, WorldContext, WorldDescriptor, WorldEntry};
 use crossover::WorldError;
 use hypervisor::vm::VmId;
 
-/// Default shard count: enough stripes that eight workers rarely collide,
-/// small enough that iterating every shard (len, debug dumps) stays cheap.
-pub const DEFAULT_SHARDS: usize = 8;
+/// Shard count adapted to the worker pool: the next power of two at or
+/// above 4× the worker count, so stripes outnumber workers enough that
+/// collisions stay rare without hand-tuning. Floored at 4 for tiny
+/// pools.
+pub fn auto_shards(workers: usize) -> usize {
+    (workers.max(1) * 4).next_power_of_two().max(4)
+}
 
 /// Point-in-time contention counters (all monotonically increasing).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,15 +82,18 @@ pub struct ShardedWorldTable {
     shards: Vec<Mutex<WorldTable>>,
     index: Mutex<IndexState>,
     next_wid: AtomicU64,
+    /// Present worlds, maintained on create/delete so `len()` never
+    /// walks the shards under lock.
+    live: AtomicU64,
     quota: usize,
     stats: ContentionCounters,
 }
 
 impl ShardedWorldTable {
-    /// Creates a table with [`DEFAULT_SHARDS`] shards and the default
-    /// per-VM quota.
+    /// Creates a table sized for a small default pool (4 workers) with
+    /// the default per-VM quota.
     pub fn new() -> ShardedWorldTable {
-        ShardedWorldTable::with_shards(DEFAULT_SHARDS, DEFAULT_WORLD_QUOTA)
+        ShardedWorldTable::with_shards(auto_shards(4), DEFAULT_WORLD_QUOTA)
     }
 
     /// Creates a table with explicit shard count and per-VM quota.
@@ -105,6 +112,7 @@ impl ShardedWorldTable {
                 .collect(),
             index: Mutex::new(IndexState::default()),
             next_wid: AtomicU64::new(1),
+            live: AtomicU64::new(0),
             quota,
             stats: ContentionCounters::default(),
         }
@@ -180,6 +188,7 @@ impl ShardedWorldTable {
                 let mut shard = self.lock_shard(self.shard_of(old));
                 shard.delete(old).expect("index and shard agree");
                 index.owners.remove(&old.raw());
+                self.live.fetch_sub(1, Ordering::Relaxed);
             }
             None => {
                 if let Some(vm) = descriptor.owner {
@@ -202,6 +211,7 @@ impl ShardedWorldTable {
         }
         index.by_context.insert(descriptor.context, wid);
         index.owners.insert(wid.raw(), descriptor.owner);
+        self.live.fetch_add(1, Ordering::Relaxed);
         Ok(wid)
     }
 
@@ -233,6 +243,7 @@ impl ShardedWorldTable {
                 *c = c.saturating_sub(1);
             }
         }
+        self.live.fetch_sub(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -251,21 +262,16 @@ impl ShardedWorldTable {
         self.lock_index().per_vm.get(&vm).copied().unwrap_or(0)
     }
 
-    /// Total number of present worlds across all shards.
+    /// Total number of present worlds across all shards — a maintained
+    /// atomic counter, not a locked walk, so report paths stay O(1) at
+    /// any table size.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| self.locked_len(s)).sum()
+        self.live.load(Ordering::Relaxed) as usize
     }
 
     /// Whether no worlds are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-
-    fn locked_len(&self, shard: &Mutex<WorldTable>) -> usize {
-        self.stats
-            .shard_acquisitions
-            .fetch_add(1, Ordering::Relaxed);
-        shard.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 
@@ -411,5 +417,34 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         ShardedWorldTable::with_shards(0, 4);
+    }
+
+    #[test]
+    fn auto_shards_tracks_worker_count() {
+        assert_eq!(auto_shards(0), 4);
+        assert_eq!(auto_shards(1), 4);
+        assert_eq!(auto_shards(4), 16);
+        assert_eq!(auto_shards(6), 32, "rounds up to a power of two");
+        assert_eq!(auto_shards(8), 32);
+        assert!(auto_shards(100).is_power_of_two());
+    }
+
+    #[test]
+    fn len_is_maintained_not_walked() {
+        let t = ShardedWorldTable::with_shards(4, 16);
+        t.create(host(0x1000)).unwrap();
+        t.create(host(0x2000)).unwrap();
+        let before = t.contention().shard_acquisitions;
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.contention().shard_acquisitions,
+            before,
+            "len() must not take shard locks"
+        );
+        let wid = t.lookup_context(&host(0x1000).context).unwrap();
+        t.delete(wid).unwrap();
+        assert_eq!(t.len(), 1);
+        t.create(host(0x2000)).unwrap(); // replacement: net zero
+        assert_eq!(t.len(), 1);
     }
 }

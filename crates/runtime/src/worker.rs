@@ -6,10 +6,14 @@
 //! core of a real CrossOver machine would have its own cache hardware.
 //! The platform clone also carries a private unified TLB, so repeated
 //! calls into the same worlds hit warm translations. The shared state is
-//! the [`ShardedWorldTable`] (the hypervisor-managed table all cores walk
-//! on a miss) and the invalidation bus (the concurrent analogue of
-//! `manage_wtc` invalidate: deletes are broadcast and each worker purges
-//! its caches before its next batch).
+//! the [`RuntimeTable`] (the hypervisor-managed table all cores walk on a
+//! miss) plus the delete-notification plane, which depends on the table
+//! mode: the epoch table logs retirements and each worker *pulls* the log
+//! tail before its next batch (one relaxed load when nothing was
+//! deleted); the striped ablation keeps the PR-3 invalidation bus (the
+//! concurrent analogue of `manage_wtc` invalidate: deletes are broadcast
+//! and each worker purges its caches before its next batch). Either way
+//! WT/IWT staleness is bounded at one batch.
 //!
 //! Two execution paths service a popped batch:
 //!
@@ -43,6 +47,7 @@ use crossover::manager::{
     SAVE_STATE_INSTRUCTIONS,
 };
 use crossover::switchless::ChannelSegment;
+use crossover::table::WorldLookup;
 use crossover::world::{Wid, WorldEntry};
 use crossover::wtc::{CacheGeometry, CacheStats};
 use crossover::WorldError;
@@ -56,9 +61,9 @@ use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
 use obs::{EventKind, EventRing, ObsConfig, Recorder};
 
+use crate::epoch::{RuntimeTable, TableView};
 use crate::router::{CallError, CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::service::{DeadlinePolicy, Dispatcher, InvalidationBus, WorldMemory};
-use crate::shard::ShardedWorldTable;
 use crate::supervisor::{
     DegradeLevel, HealthState, Supervisor, SupervisorConfig, SupervisorReport,
 };
@@ -68,7 +73,7 @@ use crate::switchless::{Controller, SwitchlessConfig, SwitchlessWorkerStats};
 pub(crate) struct WorkerContext {
     pub index: usize,
     pub platform: Platform,
-    pub table: Arc<ShardedWorldTable>,
+    pub table: Arc<RuntimeTable>,
     pub dispatcher: Arc<Dispatcher>,
     pub bus: Arc<InvalidationBus>,
     pub batch_max: usize,
@@ -237,7 +242,10 @@ fn touch_working_set(platform: &mut Platform, memory: &WorldMemory, touches: u64
 struct Engine<'a> {
     platform: &'a mut Platform,
     unit: &'a mut WorldCallUnit,
-    table: &'a ShardedWorldTable,
+    /// This worker's pinning view of the shared table: lookups through
+    /// it publish the worker's epoch pin, so the reclaimer never frees a
+    /// bucket out from under an in-flight walk.
+    table: TableView<'a>,
     memory: &'a HashMap<u64, WorldMemory>,
     clocks: &'a [AtomicU64],
     index: usize,
@@ -360,7 +368,7 @@ impl Engine<'_> {
             let wid = self.call_history[i];
             if self
                 .unit
-                .manage_wtc_fill(self.platform, self.table, wid)
+                .manage_wtc_fill(self.platform, &self.table, wid)
                 .is_ok()
             {
                 self.supervisor.report.warm_fills += 1;
@@ -457,7 +465,7 @@ impl Engine<'_> {
             Err(verdict) => return (verdict, 0),
         };
         schedule_in(self.platform, &caller_entry);
-        self.unit.notify_context_switch(self.platform, self.table);
+        self.unit.notify_context_switch(self.platform, &self.table);
         // Snapshot the monotone cache counters so the deltas over this
         // call can be attributed to it (emission is post-hoc; the call
         // itself is never perturbed).
@@ -482,7 +490,7 @@ impl Engine<'_> {
         let verdict =
             match self
                 .unit
-                .world_call(self.platform, self.table, req.callee, Direction::Call)
+                .world_call(self.platform, &self.table, req.callee, Direction::Call)
             {
                 Err(e) => CallVerdict::Failed(e),
                 Ok(outcome) if outcome.from != req.caller => {
@@ -492,7 +500,7 @@ impl Engine<'_> {
                     self.emit(EventKind::WorldCall, req.caller.raw(), req.callee.raw(), 0);
                     let bounced = self.unit.world_call(
                         self.platform,
-                        self.table,
+                        &self.table,
                         req.caller,
                         Direction::Return,
                     );
@@ -523,7 +531,7 @@ impl Engine<'_> {
                     } else {
                         match self.unit.world_call(
                             self.platform,
-                            self.table,
+                            &self.table,
                             req.caller,
                             Direction::Return,
                         ) {
@@ -600,7 +608,7 @@ impl Engine<'_> {
                 attempts += 1;
                 continue;
             }
-            return match self.table.lookup(wid) {
+            return match self.table.entry_of(wid) {
                 Some(e) => Ok(e),
                 None => Err(CallVerdict::Failed(WorldError::InvalidWid { wid })),
             };
@@ -665,7 +673,7 @@ impl Engine<'_> {
             }
             return;
         }
-        let caller_entry = match self.table.lookup(caller) {
+        let caller_entry = match self.table.entry_of(caller) {
             Some(e) => e,
             None => {
                 // Same verdict (and zero latency) the classic path gives
@@ -677,7 +685,7 @@ impl Engine<'_> {
             }
         };
         schedule_in(self.platform, &caller_entry);
-        self.unit.notify_context_switch(self.platform, self.table);
+        self.unit.notify_context_switch(self.platform, &self.table);
         self.platform.cpu_mut().charge_work(
             SAVE_STATE_CYCLES,
             SAVE_STATE_INSTRUCTIONS,
@@ -685,7 +693,7 @@ impl Engine<'_> {
         );
         let open = self
             .unit
-            .world_call(self.platform, self.table, callee, Direction::Call);
+            .world_call(self.platform, &self.table, callee, Direction::Call);
         match open {
             Err(_) => {
                 // The callee is gone (or never existed): no residency to
@@ -704,7 +712,7 @@ impl Engine<'_> {
                 self.emit(EventKind::WorldCall, caller.raw(), callee.raw(), 1);
                 let bounced =
                     self.unit
-                        .world_call(self.platform, self.table, caller, Direction::Return);
+                        .world_call(self.platform, &self.table, caller, Direction::Return);
                 if bounced.is_ok() {
                     self.emit(EventKind::WorldReturn, callee.raw(), caller.raw(), 0);
                 }
@@ -907,7 +915,7 @@ impl Engine<'_> {
         );
         match self
             .unit
-            .world_call(self.platform, self.table, caller, Direction::Return)
+            .world_call(self.platform, &self.table, caller, Direction::Return)
         {
             Ok(_) => {
                 self.emit(EventKind::WorldReturn, callee.raw(), caller.raw(), 0);
@@ -1024,10 +1032,14 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
     // this worker's caches; healed (applied) at the next batch boundary,
     // so staleness is bounded at one batch.
     let mut deferred_invalidations: Vec<Wid> = Vec::new();
+    // This worker's private cursor into the epoch table's retire log
+    // (unused in striped mode): everything before it has already been
+    // purged from the WT/IWT caches.
+    let mut retire_cursor = 0usize;
     let mut engine = Engine {
         platform: &mut ctx.platform,
         unit: &mut unit,
-        table: &ctx.table,
+        table: TableView::for_worker(&ctx.table, ctx.index),
         memory: &ctx.memory,
         clocks: &ctx.clocks,
         index: ctx.index,
@@ -1139,6 +1151,12 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                     fresh
                 };
                 engine.cursors.clear();
+                // The fresh unit's caches are empty, so retirements
+                // logged before the crash have nothing left to purge:
+                // fast-forward past them instead of replaying the log.
+                if let RuntimeTable::Epoch(t) = &*ctx.table {
+                    retire_cursor = t.retired_len();
+                }
                 // Respawn warming: pre-fill the fresh caches from recent
                 // call history (priced manage_wtc fills) so the first
                 // post-respawn calls skip the cold miss faults. The next
@@ -1159,13 +1177,20 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         }
         // Concurrent manage_wtc: purge every world deleted since the
         // last batch from this worker's private caches. Deferred
-        // (fault-dropped) broadcasts from the previous batch heal first;
-        // a fresh broadcast an InvalidationDrop event eats is deferred
-        // in turn, bounding WT/IWT staleness at one batch.
+        // (fault-dropped) notifications from the previous batch heal
+        // first; a fresh notification an InvalidationDrop event eats is
+        // deferred in turn, bounding WT/IWT staleness at one batch. The
+        // epoch table replaces the bus broadcast with a pull of the
+        // shared retire log's tail — one relaxed load when nothing was
+        // deleted — while the striped ablation drains its bus mailbox.
         for wid in deferred_invalidations.drain(..) {
             engine.unit.manage_wtc_invalidate(engine.platform, wid);
         }
-        for wid in ctx.bus.drain(ctx.index) {
+        let retired = match &*ctx.table {
+            RuntimeTable::Epoch(t) => t.pull_retired(&mut retire_cursor),
+            RuntimeTable::Striped(_) => ctx.bus.drain(ctx.index),
+        };
+        for wid in retired {
             if engine.fire(FaultSite::InvalidationDrop).is_some() {
                 let now = engine.now();
                 engine.supervisor.report.invalidation_defers += 1;
@@ -1179,6 +1204,24 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                 deferred_invalidations.push(wid);
             } else {
                 engine.unit.manage_wtc_invalidate(engine.platform, wid);
+            }
+        }
+        // Cooperative table maintenance: each worker offers one bounded
+        // pass per batch (a try-lock inside; skipped for free when a
+        // peer or a registration holds the writer). Runs whether or not
+        // obs is on — the sweep is the table's side effect, only the
+        // event emission is conditional — and charges zero virtual
+        // cycles, so obs-on runs stay cycle-exact.
+        if let RuntimeTable::Epoch(t) = &*ctx.table {
+            let m = t.maintain();
+            if m.evicted > 0 {
+                engine.emit(EventKind::WorldEvict, m.evicted, 0, 0);
+            }
+            if m.refaults > 0 {
+                engine.emit(EventKind::WorldRefault, m.refaults, 0, 0);
+            }
+            if m.reclaimed > 0 {
+                engine.emit(EventKind::GraceReclaim, m.reclaimed, 0, 0);
             }
         }
         // One relaxed load on the clean path; steps the pool back up the

@@ -1,0 +1,343 @@
+//! Scale properties of the epoch-protected world table.
+//!
+//! Four contracts pin the million-world redesign to the semantics the
+//! rest of the suite assumes:
+//!
+//! 1. **WID unforgeability survives the lock-free rewrite.** Under
+//!    seeded concurrent create/delete/lookup storms — including the
+//!    grace-period reclamation path — WIDs stay globally unique and
+//!    per-thread monotonic. A reused WID would let a later registration
+//!    impersonate a deleted world; the storms make sure the epoch
+//!    machinery never recycles one.
+//! 2. **Quiescence drains everything.** Once readers are quiescent,
+//!    bounded maintenance passes free every retired structure
+//!    (`retired_pending` reaches zero), every deleted WID misses from
+//!    every reader slot, and each worker's retire-log cursor sees each
+//!    deletion exactly once.
+//! 3. **Eviction never loses a world.** Under skewed traffic that
+//!    demotes the cold tail, `live == resident + cold` holds and every
+//!    live world still resolves (refaulting transparently); deleting a
+//!    cold world works and releases it.
+//! 4. **The two table modes are observationally equivalent.** The same
+//!    seeded schedule driven through [`TableMode::Epoch`] and
+//!    [`TableMode::Striped`] services with identical verdicts and
+//!    identical virtual-time meters; and under concurrent
+//!    delete-then-call schedules both modes uphold the one-batch
+//!    staleness bound (a call submitted after `delete_world` returns
+//!    never completes).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use crossover::world::{Wid, WorldDescriptor};
+use machine::rng::SplitMix64;
+use xover_runtime::{
+    CallRequest, CallVerdict, DispatchMode, EpochWorldTable, RuntimeConfig, TableMode,
+    WorldCallService,
+};
+
+/// A host-kernel descriptor with a context unique to (`tag`, `i`), so
+/// registrations never collide (context collision means replacement,
+/// which is its own path — exercised separately).
+fn world(tag: u64, i: u64) -> WorldDescriptor {
+    WorldDescriptor::host_kernel(((tag + 1) << 32) | ((i + 1) << 12), 0xFFFF_8000)
+}
+
+#[test]
+fn wids_stay_unique_and_monotonic_under_concurrent_churn() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 300;
+    for seed in [7u64, 0xBADC_0FFE, 0x5EED] {
+        let table = Arc::new(EpochWorldTable::new(THREADS, 1 << 20));
+        let minted: Vec<Vec<Wid>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|ti| {
+                    let table = Arc::clone(&table);
+                    s.spawn(move || {
+                        let mut rng = SplitMix64::new(seed ^ (ti as u64).wrapping_mul(0x9E37));
+                        let mut minted = Vec::new();
+                        let mut live = Vec::new();
+                        for i in 0..PER_THREAD {
+                            let wid = table
+                                .create(world(ti as u64, i as u64))
+                                .expect("quota is ample");
+                            minted.push(wid);
+                            live.push(wid);
+                            // Deletes push retired buckets into limbo;
+                            // interleaved maintenance passes reclaim them
+                            // while peers are mid-lookup, so grace
+                            // periods are genuinely exercised.
+                            if live.len() > 1 && rng.chance(0.4) {
+                                let at = rng.below(live.len() as u64) as usize;
+                                table.delete(live.swap_remove(at)).expect("own live world");
+                            }
+                            if rng.chance(0.3) {
+                                let _ = table.lookup_pinned(ti, *rng.pick(&minted));
+                            }
+                            if i % 32 == 0 {
+                                table.maintain();
+                            }
+                        }
+                        minted
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut seen = HashSet::new();
+        for per_thread in &minted {
+            for pair in per_thread.windows(2) {
+                assert!(
+                    pair[0] < pair[1],
+                    "WIDs regressed within a thread (seed {seed:#x})"
+                );
+            }
+            for wid in per_thread {
+                assert!(
+                    seen.insert(wid.raw()),
+                    "{wid} was minted twice (seed {seed:#x}) — WID reuse"
+                );
+            }
+        }
+        assert_eq!(seen.len(), THREADS * PER_THREAD);
+    }
+}
+
+#[test]
+fn quiescence_drains_garbage_and_deleted_wids_miss_everywhere() {
+    const SLOTS: usize = 2;
+    let table = EpochWorldTable::new(SLOTS, 1 << 20);
+    let wids: Vec<Wid> = (0..600)
+        .map(|i| table.create(world(0, i)).expect("register"))
+        .collect();
+    let (deleted, kept): (Vec<Wid>, Vec<Wid>) =
+        wids.iter().partition(|w| w.raw().is_multiple_of(2));
+    for &wid in &deleted {
+        table.delete(wid).expect("live world");
+    }
+    // Each worker's cursor drains the log exactly once, in order.
+    for _slot in 0..SLOTS {
+        let mut cursor = 0usize;
+        assert_eq!(table.pull_retired(&mut cursor), deleted);
+        assert!(table.pull_retired(&mut cursor).is_empty());
+    }
+    // No reader is pinned, so bounded maintenance passes must free every
+    // retired structure; the limbo list cannot ratchet.
+    let mut passes = 0;
+    while table.health().retired_pending > 0 {
+        table.maintain();
+        passes += 1;
+        assert!(passes < 1_000, "limbo never drained at quiescence");
+    }
+    assert!(table.health().grace_reclaims > 0);
+    for slot in 0..SLOTS {
+        for &wid in &deleted {
+            assert_eq!(table.lookup_pinned(slot, wid), None, "stale {wid}");
+        }
+        for &wid in &kept {
+            assert!(table.lookup_pinned(slot, wid).is_some(), "lost {wid}");
+        }
+    }
+    assert_eq!(table.len(), kept.len());
+}
+
+#[test]
+fn eviction_is_lossless_and_cold_deletes_release_worlds() {
+    const WORLDS: u64 = 8_192;
+    const HOT: usize = 64;
+    let table = EpochWorldTable::new(1, 1 << 20);
+    let wids: Vec<Wid> = (0..WORLDS)
+        .map(|i| table.create(world(1, i)).expect("register"))
+        .collect();
+    // Hammer a small hot set until the reuse-distance histogram
+    // calibrates and the cold tail ages past the derived window, with
+    // maintenance interleaved the way worker batch boundaries would.
+    let mut rng = SplitMix64::new(0xC01D);
+    for _round in 0..48 {
+        for _ in 0..512 {
+            let hot = wids[rng.below(HOT as u64) as usize];
+            assert!(table.lookup_pinned(0, hot).is_some());
+        }
+        table.maintain();
+    }
+    let health = table.health();
+    assert!(
+        health.evictions > 0,
+        "cold tail never evicted: {health:?} (window {})",
+        health.eviction_window
+    );
+    assert_eq!(health.live, WORLDS, "eviction must not change liveness");
+    assert_eq!(
+        table.resident_count() + table.cold_count(),
+        WORLDS as usize,
+        "every live world is resident or cold, never neither"
+    );
+    assert!(
+        (table.resident_count() as u64) < WORLDS,
+        "resident set must be a strict subset once eviction runs"
+    );
+    // Every world still resolves — cold ones refault transparently.
+    for &wid in &wids {
+        assert!(table.lookup_pinned(0, wid).is_some(), "lost {wid}");
+    }
+    assert!(
+        table.health().refaults > 0,
+        "full sweep must have refaulted"
+    );
+    // Deleting straight out of the cold store works too: re-age the
+    // tail, then delete the coldest candidate (the last-minted world,
+    // untouched since the full sweep above).
+    for _round in 0..48 {
+        for _ in 0..512 {
+            let hot = wids[rng.below(HOT as u64) as usize];
+            assert!(table.lookup_pinned(0, hot).is_some());
+        }
+        table.maintain();
+    }
+    assert!(table.cold_count() > 0, "tail never re-demoted");
+    let victim = *wids.last().expect("worlds exist");
+    table.delete(victim).expect("cold worlds are deletable");
+    assert_eq!(table.lookup_pinned(0, victim), None);
+    assert_eq!(table.len(), WORLDS as usize - 1);
+}
+
+/// Builds a small service with six callee worlds and one caller under
+/// the given table mode.
+fn service_with_worlds(
+    mode: TableMode,
+    workers: usize,
+    dispatch: DispatchMode,
+) -> (WorldCallService, Vec<Wid>, Wid) {
+    let mut svc = WorldCallService::new(RuntimeConfig {
+        workers,
+        table_mode: mode,
+        dispatch,
+        queue_capacity: 4096,
+        ..RuntimeConfig::default()
+    });
+    let vm = svc
+        .create_vm(hypervisor::vm::VmConfig::named("scale"))
+        .expect("create vm");
+    let worlds: Vec<Wid> = (0..6u64)
+        .map(|w| {
+            svc.register_guest_kernel(vm, 0x1000 * (w + 1), 0xFFFF_8000)
+                .expect("register callee")
+        })
+        .collect();
+    let caller = svc
+        .register_guest_user(vm, 0x9_0000, 0x40_0000)
+        .expect("register caller");
+    (svc, worlds, caller)
+}
+
+#[test]
+fn both_modes_uphold_the_one_batch_staleness_bound() {
+    const MARKER_BASE: u64 = 1_000_000;
+    for mode in [TableMode::Epoch, TableMode::Striped] {
+        for seed in [3u64, 0x00C0_FFEE] {
+            let mut rng = SplitMix64::new(seed);
+            let workers = 1 + rng.below(4) as usize;
+            let (mut svc, worlds, caller) =
+                service_with_worlds(mode, workers, DispatchMode::LockFreeRings);
+            svc.start();
+            let mut marker = MARKER_BASE;
+            let mut must_fail = Vec::new();
+            let mut live = worlds.clone();
+            while live.len() > 2 {
+                for _ in 0..rng.below(64) {
+                    let callee = live[rng.below(live.len() as u64) as usize];
+                    svc.submit(CallRequest::new(caller, callee, 100 + rng.below(2_000), 10))
+                        .expect("submit warm-up");
+                }
+                let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+                svc.delete_world(victim).expect("delete live world");
+                // Calls aimed at the victim strictly after delete_world
+                // returned: the retire log (or bus) must beat them to
+                // every worker's caches.
+                for _ in 0..1 + rng.below(8) {
+                    svc.submit(CallRequest::new(caller, victim, marker, 10))
+                        .expect("submit marked");
+                    must_fail.push((marker, victim));
+                    marker += 1;
+                }
+            }
+            let report = svc.drain();
+            assert!(!must_fail.is_empty());
+            for (marker, wid) in must_fail {
+                let outcome = report
+                    .outcomes
+                    .iter()
+                    .find(|o| o.request.work_cycles == marker)
+                    .expect("marked call was serviced");
+                assert!(
+                    matches!(outcome.verdict, CallVerdict::Failed(_)),
+                    "call {marker} against deleted {wid:?} returned {:?} \
+                     ({mode:?}, seed {seed:#x}, {workers} workers) — stale entry",
+                    outcome.verdict,
+                );
+            }
+        }
+    }
+}
+
+/// One seeded schedule through one mode; returns per-outcome
+/// (work-tag, verdict, latency) plus the merged virtual-time meters.
+fn run_schedule(mode: TableMode, seed: u64) -> (Vec<(u64, String, u64)>, u64, u64) {
+    let (mut svc, worlds, caller) = service_with_worlds(mode, 1, DispatchMode::LockFreeRings);
+    // One world dies before the pool starts: both modes must fail the
+    // calls aimed at it identically (this exercises the miss path
+    // without racing the deletion against service order).
+    let doomed = worlds[5];
+    svc.delete_world(doomed).expect("delete before start");
+    // The whole schedule is enqueued before the pool starts, so batch
+    // formation (and with it the WT/IWT hit pattern, hence the meters)
+    // is a pure function of the seed — host timing cannot perturb the
+    // comparison.
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..400u64 {
+        let callee = if rng.chance(0.1) {
+            doomed
+        } else {
+            worlds[rng.below(5) as usize]
+        };
+        let work = 50 + rng.below(3_000);
+        svc.submit(CallRequest::new(caller, callee, work, rng.below(12)))
+            .expect("submit");
+    }
+    svc.start();
+    let report = svc.drain();
+    let outcomes = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.request.work_cycles,
+                format!("{:?}", o.verdict),
+                o.latency_cycles,
+            )
+        })
+        .collect();
+    (
+        outcomes,
+        report.smp.total_cycles(),
+        report.smp.makespan_cycles(),
+    )
+}
+
+#[test]
+fn table_modes_service_identical_schedules_cycle_for_cycle() {
+    for seed in [11u64, 0xFEED_F00D] {
+        let epoch = run_schedule(TableMode::Epoch, seed);
+        let striped = run_schedule(TableMode::Striped, seed);
+        assert_eq!(
+            epoch.0, striped.0,
+            "verdict/latency streams diverged between table modes (seed {seed:#x})"
+        );
+        assert_eq!(
+            (epoch.1, epoch.2),
+            (striped.1, striped.2),
+            "virtual-time meters diverged between table modes (seed {seed:#x})"
+        );
+    }
+}
