@@ -78,10 +78,19 @@ pub enum EventKind {
     /// Retired table structures freed after their grace period.
     /// a=structures reclaimed in this maintenance pass.
     GraceReclaim = 28,
+    /// Feedback controller grew a lane budget. a=lane, b=new budget,
+    /// c=epoch index of the fold that decided it.
+    BudgetGrow = 29,
+    /// Feedback controller shrank a lane budget. a=lane, b=new budget,
+    /// c=epoch index of the fold that decided it.
+    BudgetShrink = 30,
+    /// Trace-driven prefill warmed a worker's WT/IWT/TLB before a
+    /// resident drain. a=callee, b=worlds filled, c=walk cycles charged.
+    PrefillRun = 31,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 32;
 
     pub const ALL: [EventKind; EventKind::COUNT] = [
         EventKind::RequestEnqueue,
@@ -113,6 +122,9 @@ impl EventKind {
         EventKind::WorldEvict,
         EventKind::WorldRefault,
         EventKind::GraceReclaim,
+        EventKind::BudgetGrow,
+        EventKind::BudgetShrink,
+        EventKind::PrefillRun,
     ];
 
     /// Dense index (the discriminant).
@@ -152,6 +164,9 @@ impl EventKind {
             EventKind::WorldEvict => "world_evict",
             EventKind::WorldRefault => "world_refault",
             EventKind::GraceReclaim => "grace_reclaim",
+            EventKind::BudgetGrow => "budget_grow",
+            EventKind::BudgetShrink => "budget_shrink",
+            EventKind::PrefillRun => "prefill_run",
         }
     }
 

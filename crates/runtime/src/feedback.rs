@@ -1,0 +1,562 @@
+//! The profile-guided feedback plane: measured latency in, control out.
+//!
+//! PR 5 gave the runtime exact per-callee latency distributions at zero
+//! virtual cost; this module closes the loop and lets three policies
+//! consume them online:
+//!
+//! 1. **Latency-driven budgets** — the switchless controller's
+//!    grow/shrink decisions weigh the *measured* per-lane service-time
+//!    distribution against the transition-pair price instead of raw
+//!    occupancy heuristics: a grow is worth applying when the
+//!    amortization it buys (`pair_cycles / (2 × budget)` per call) is
+//!    still a meaningful fraction of a measured service time, or when
+//!    the measured queue-wait tail says callers are stacking up behind
+//!    the budget. A ≥4× epoch-over-epoch demand change is treated as a
+//!    regime shift: the annealed trend-confirmation state is reset so
+//!    the controller re-converges in epochs, not tens of epochs.
+//! 2. **Queue-wait-biased stealing** — [`crate::ring::RingSet`] keeps a
+//!    per-ring queue-wait EWMA fed from dispatch stamps; thieves visit
+//!    the most-backlogged victim first instead of round-robin.
+//! 3. **Trace-driven prefill** — before a resident drain into a
+//!    (caller, callee) pair the worker has not serviced recently (the
+//!    recency test is the recorded call history — the trace), the
+//!    worker warms its WT/IWT sets and the channel's TLB pages up
+//!    front, priced honestly: one speculative walk
+//!    ([`crossover::prefetch::SPECULATIVE_WALK_CYCLES`]) per world plus
+//!    the normal fill cost, in exchange for the WTC miss *faults* the
+//!    drain would otherwise take.
+//!
+//! Everything is opt-in behind [`FeedbackMode`]: `Off` (the default)
+//! keeps the PR-3 heuristic controller, round-robin stealing, and no
+//! prefill — bit-for-bit cycle-exact with the pre-feedback runtime —
+//! so every policy can be ablated independently.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use crossover::prefetch::PrefetchStats;
+
+/// Whether the feedback loop is closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeedbackMode {
+    /// Open loop: PR-3 occupancy heuristics, round-robin stealing, no
+    /// prefill. Bit-for-bit cycle-exact with the pre-feedback runtime.
+    #[default]
+    Off,
+    /// Closed loop: the policies enabled by the individual
+    /// [`FeedbackConfig`] switches consume measured distributions.
+    On,
+}
+
+/// Feedback-plane configuration. Each policy has its own switch so the
+/// bench can ablate them independently; [`FeedbackConfig::on`] is the
+/// recommended set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeedbackConfig {
+    /// Master switch. `Off` ignores every other field.
+    pub mode: FeedbackMode,
+    /// Latency-driven controller budgets (policy 1).
+    pub budgets: bool,
+    /// Queue-wait-biased steal victim selection (policy 2).
+    pub steal_bias: bool,
+    /// Trace-driven WT/IWT/TLB prefill before cold resident drains
+    /// (policy 3).
+    pub prefill: bool,
+    /// Also wire the §5.1 Current-World-ID register into each worker's
+    /// call unit. Off even under [`FeedbackConfig::on`]: the register
+    /// charges a speculative walk on *every* context switch, which
+    /// loses to a warm IWT — it is a separate ablation knob the bench
+    /// prices honestly, not part of the recommended set.
+    pub prefetch_register: bool,
+}
+
+impl FeedbackConfig {
+    /// The open-loop default (identical to `FeedbackConfig::default()`).
+    pub fn off() -> FeedbackConfig {
+        FeedbackConfig::default()
+    }
+
+    /// The recommended closed-loop set: measured budgets, biased
+    /// stealing, and prefill. The §5.1 register stays off (see
+    /// [`FeedbackConfig::prefetch_register`]).
+    pub fn on() -> FeedbackConfig {
+        FeedbackConfig {
+            mode: FeedbackMode::On,
+            budgets: true,
+            steal_bias: true,
+            prefill: true,
+            prefetch_register: false,
+        }
+    }
+
+    /// Whether any feedback policy is live.
+    pub fn enabled(&self) -> bool {
+        self.mode == FeedbackMode::On
+    }
+
+    /// Latency-driven budgets are live.
+    pub fn budgets_on(&self) -> bool {
+        self.enabled() && self.budgets
+    }
+
+    /// Biased stealing is live.
+    pub fn steal_bias_on(&self) -> bool {
+        self.enabled() && self.steal_bias
+    }
+
+    /// Prefill is live.
+    pub fn prefill_on(&self) -> bool {
+        self.enabled() && self.prefill
+    }
+
+    /// The §5.1 register is live.
+    pub fn register_on(&self) -> bool {
+        self.enabled() && self.prefetch_register
+    }
+}
+
+/// Buckets in the per-lane atomic wait histogram: one per power-of-two
+/// octave of a `u64` cycle count.
+pub const WAIT_BUCKETS: usize = 32;
+
+/// Octave index of a value: 0 for 0, else `min(64 - lz, 31)` — bucket
+/// `k` holds values in `[2^(k-1), 2^k)`, with the top bucket open.
+fn octave(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(WAIT_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of octave `k`.
+fn octave_upper(k: usize) -> u64 {
+    if k >= WAIT_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// One controller lane's measured profile: epoch-scoped service/wait
+/// accumulators (swap-reset at each fold, like the occupancy counters
+/// they ride beside) plus cumulative totals for the report gauges. All
+/// fields are relaxed atomics — workers record concurrently with the
+/// epoch winner folding, and a sample landing one epoch late only blurs
+/// the profile, never breaks it (the same trade the lane counters make).
+#[derive(Debug, Default)]
+pub struct LaneProfile {
+    ep_service_sum: AtomicU64,
+    ep_wait_sum: AtomicU64,
+    ep_count: AtomicU64,
+    ep_wait_buckets: [AtomicU64; WAIT_BUCKETS],
+    /// Lane calls observed in the *previous* epoch — the demand-shift
+    /// detector's memory. Written only by the epoch winner.
+    prev_calls: AtomicU64,
+    cum_service_sum: AtomicU64,
+    cum_wait_sum: AtomicU64,
+    cum_count: AtomicU64,
+}
+
+impl LaneProfile {
+    /// A fresh, empty profile.
+    pub fn new() -> LaneProfile {
+        LaneProfile::default()
+    }
+
+    /// Record one decided call's measured service and queue-wait
+    /// cycles. O(1): two adds and a leading-zeros count.
+    pub fn record(&self, service_cycles: u64, wait_cycles: u64) {
+        self.ep_service_sum
+            .fetch_add(service_cycles, Ordering::Relaxed);
+        self.ep_wait_sum.fetch_add(wait_cycles, Ordering::Relaxed);
+        self.ep_count.fetch_add(1, Ordering::Relaxed);
+        self.ep_wait_buckets[octave(wait_cycles)].fetch_add(1, Ordering::Relaxed);
+        self.cum_service_sum
+            .fetch_add(service_cycles, Ordering::Relaxed);
+        self.cum_wait_sum.fetch_add(wait_cycles, Ordering::Relaxed);
+        self.cum_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold and reset the epoch accumulators, returning the epoch's
+    /// sampled distribution. Called by the epoch winner only.
+    pub fn fold(&self) -> LaneEpoch {
+        let service_sum = self.ep_service_sum.swap(0, Ordering::Relaxed);
+        let wait_sum = self.ep_wait_sum.swap(0, Ordering::Relaxed);
+        let count = self.ep_count.swap(0, Ordering::Relaxed);
+        let mut buckets = [0u64; WAIT_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.ep_wait_buckets.iter()) {
+            *dst = src.swap(0, Ordering::Relaxed);
+        }
+        let wait_p90 = percentile_from_octaves(&buckets, count, 90);
+        LaneEpoch {
+            count,
+            mean_service: service_sum.checked_div(count).unwrap_or(0),
+            mean_wait: wait_sum.checked_div(count).unwrap_or(0),
+            wait_p90,
+        }
+    }
+
+    /// Previous epoch's lane call count (the shift detector's memory).
+    pub fn prev_calls(&self) -> u64 {
+        self.prev_calls.load(Ordering::Relaxed)
+    }
+
+    /// Store this epoch's lane call count for the next fold to compare
+    /// against.
+    pub fn set_prev_calls(&self, calls: u64) {
+        self.prev_calls.store(calls, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(mean service, mean wait, samples)` for the report
+    /// gauges.
+    pub fn cumulative(&self) -> (u64, u64, u64) {
+        let count = self.cum_count.load(Ordering::Relaxed);
+        (
+            self.cum_service_sum
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+            self.cum_wait_sum
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+            count,
+        )
+    }
+}
+
+/// Nearest-rank percentile over octave buckets, quantized to the bucket
+/// upper bound.
+fn percentile_from_octaves(buckets: &[u64; WAIT_BUCKETS], total: u64, pct: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total * pct).div_ceil(100).max(1);
+    let mut seen = 0u64;
+    for (k, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return octave_upper(k);
+        }
+    }
+    octave_upper(WAIT_BUCKETS - 1)
+}
+
+/// One epoch's sampled distribution for a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneEpoch {
+    /// Decided calls sampled this epoch.
+    pub count: u64,
+    /// Mean measured service cycles.
+    pub mean_service: u64,
+    /// Mean measured queue-wait cycles.
+    pub mean_wait: u64,
+    /// 90th-percentile queue wait (octave-quantized).
+    pub wait_p90: u64,
+}
+
+/// Which way the measured distributions lean a lane's budget. The
+/// controller maps this onto its private trend-confirmation machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lean {
+    /// No decisive signal.
+    Hold,
+    /// Grow: the amortization a doubling buys is still worth a
+    /// meaningful fraction of a measured service time, or callers
+    /// measurably stack up behind the budget.
+    Grow,
+    /// Shrink: demand runs below half the budget, or the remaining
+    /// amortization is noise next to the measured service time.
+    Shrink,
+}
+
+/// Demand-shift factor: an epoch-over-epoch lane call-count change of
+/// at least this factor (either direction) is treated as a regime
+/// shift, resetting the annealed confirmation state so the controller
+/// re-converges fast.
+pub const SHIFT_FACTOR: u64 = 4;
+
+/// Whether an epoch's lane demand constitutes a regime shift relative
+/// to the previous epoch. A lane's first active epoch is always a
+/// shift (there is no prior regime to confirm against).
+pub fn demand_shifted(prev_calls: u64, calls: u64) -> bool {
+    if calls == 0 {
+        return false; // inactive epochs never fold, so this is unreachable in practice
+    }
+    if prev_calls == 0 {
+        return true;
+    }
+    calls >= prev_calls.saturating_mul(SHIFT_FACTOR) || prev_calls >= calls * SHIFT_FACTOR
+}
+
+/// The latency-driven budget rule: expected drain payoff versus
+/// transition cost, from measured distributions.
+///
+/// Growing a budget from `b` to `2b` halves the per-call share of the
+/// amortized transition pair, so the payoff of a grow is
+/// `pair_cycles / (2b)` cycles per coalesced call. The rule grows while
+/// that payoff is still at least 1/64 of a *measured* mean service time
+/// (beyond that the transition share is noise), or when the measured
+/// queue-wait tail (p90 ≥ 4× mean service) or a deep home ring says
+/// callers are stacking up behind the budget — in every case gated on a
+/// saturation majority so a dry lane never grows. Shrink keeps the PR-3
+/// demand band (delivered demand below half the budget) and adds a
+/// noise-floor band: a dry-leaning lane whose remaining amortization
+/// payoff is below 1/256 of a mean service time has nothing left to
+/// amortize.
+#[allow(clippy::too_many_arguments)]
+pub fn decide_lean(
+    pair_cycles: u64,
+    budget: usize,
+    calls: u64,
+    dry: u64,
+    saturated: u64,
+    residencies: u64,
+    mean_occupancy: u64,
+    epoch: LaneEpoch,
+) -> Lean {
+    let mean_service = epoch.mean_service.max(1);
+    let payoff = pair_cycles / (2 * budget.max(1)) as u64;
+    let backlogged =
+        epoch.wait_p90 >= mean_service.saturating_mul(4) || mean_occupancy as usize > budget;
+    if saturated > dry && (payoff.saturating_mul(64) >= mean_service || backlogged) {
+        Lean::Grow
+    } else if calls.saturating_mul(2) < budget as u64 * residencies
+        || (dry > saturated && payoff.saturating_mul(256) < mean_service)
+    {
+        Lean::Shrink
+    } else {
+        Lean::Hold
+    }
+}
+
+/// Trace-driven prefill accounting, merged across workers at drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefillStats {
+    /// Prefill passes that ran (cold pairs warmed before a drain).
+    pub runs: u64,
+    /// Worlds filled into the WT/IWT by those passes.
+    pub fills: u64,
+    /// Drains whose pair was already in the recent call history — the
+    /// caches were warm and the pass was skipped (a prefill *hit*).
+    pub warm_skips: u64,
+    /// Virtual cycles charged for the speculative walks, fills and TLB
+    /// touches — everything the prefill pass cost.
+    pub walk_cycles: u64,
+    /// Channel-lane pages actually *walked* into the TLB up front
+    /// (touches that found the page already resident are not counted).
+    pub tlb_touches: u64,
+}
+
+impl PrefillStats {
+    /// Merge another worker's counters into this one.
+    pub fn merge(&mut self, other: &PrefillStats) {
+        self.runs += other.runs;
+        self.fills += other.fills;
+        self.warm_skips += other.warm_skips;
+        self.walk_cycles += other.walk_cycles;
+        self.tlb_touches += other.tlb_touches;
+    }
+
+    /// Fraction of drain-open recency checks that found the caches
+    /// already warm.
+    pub fn hit_rate(&self) -> f64 {
+        let checks = self.runs + self.warm_skips;
+        if checks == 0 {
+            return 0.0;
+        }
+        self.warm_skips as f64 / checks as f64
+    }
+}
+
+/// One controller lane's gauges in the merged service report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneGauge {
+    /// Controller lane index.
+    pub lane: usize,
+    /// Current resident budget.
+    pub budget: usize,
+    /// Cumulative mean measured service cycles.
+    pub mean_service_cycles: u64,
+    /// Cumulative mean measured queue-wait cycles.
+    pub mean_wait_cycles: u64,
+    /// Decided calls sampled on this lane.
+    pub calls: u64,
+}
+
+/// Feedback-plane accounting in the merged service report.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackSummary {
+    /// The configuration the run used.
+    pub config: FeedbackConfig,
+    /// Merged trace-driven prefill counters.
+    pub prefill: PrefillStats,
+    /// Merged §5.1 Current-World-ID register counters (all zero unless
+    /// the register was wired).
+    pub prefetch: PrefetchStats,
+    /// Per-ring queue-wait EWMAs at drain (cycles), indexed by worker.
+    pub steal_wait_ewma: Vec<u64>,
+    /// Per-lane budget and measured-latency gauges, sorted by lane,
+    /// lanes that saw samples only.
+    pub lanes: Vec<LaneGauge>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_switches() {
+        let off = FeedbackConfig::off();
+        assert!(!off.enabled() && !off.budgets_on() && !off.steal_bias_on());
+        assert!(!off.prefill_on() && !off.register_on());
+        let on = FeedbackConfig::on();
+        assert!(on.enabled() && on.budgets_on() && on.steal_bias_on() && on.prefill_on());
+        assert!(!on.register_on(), "the §5.1 register is a separate knob");
+        let reg = FeedbackConfig {
+            prefetch_register: true,
+            ..FeedbackConfig::on()
+        };
+        assert!(reg.register_on());
+    }
+
+    #[test]
+    fn octaves_partition_the_range() {
+        assert_eq!(octave(0), 0);
+        assert_eq!(octave(1), 1);
+        assert_eq!(octave(2), 2);
+        assert_eq!(octave(3), 2);
+        assert_eq!(octave(1024), 11);
+        assert_eq!(octave(u64::MAX), WAIT_BUCKETS - 1);
+        for v in [0u64, 1, 7, 63, 64, 1 << 20, u64::MAX] {
+            let k = octave(v);
+            assert!(v <= octave_upper(k), "{v} above bucket {k} upper");
+            if k > 0 && k < WAIT_BUCKETS - 1 {
+                assert!(v > octave_upper(k - 1), "{v} below bucket {k} lower");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_folds_and_resets() {
+        let p = LaneProfile::new();
+        for _ in 0..9 {
+            p.record(100, 10);
+        }
+        p.record(100, 100_000);
+        let e = p.fold();
+        assert_eq!(e.count, 10);
+        assert_eq!(e.mean_service, 100);
+        assert_eq!(e.mean_wait, (9 * 10 + 100_000) / 10);
+        // p90 rank lands on the last of the nine 10-cycle waits.
+        assert_eq!(e.wait_p90, octave_upper(octave(10)));
+        // The fold reset the epoch accumulators...
+        let empty = p.fold();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.wait_p90, 0);
+        // ...but the cumulative gauges persist.
+        let (ms, _mw, n) = p.cumulative();
+        assert_eq!((ms, n), (100, 10));
+    }
+
+    #[test]
+    fn tail_wait_dominates_p90_when_heavy() {
+        let p = LaneProfile::new();
+        for _ in 0..5 {
+            p.record(100, 10);
+        }
+        for _ in 0..5 {
+            p.record(100, 1 << 20);
+        }
+        let e = p.fold();
+        assert!(e.wait_p90 >= 1 << 20, "p90 {} misses the tail", e.wait_p90);
+    }
+
+    #[test]
+    fn shift_detection_is_hysteretic() {
+        assert!(demand_shifted(0, 10), "first active epoch is a shift");
+        assert!(demand_shifted(10, 40));
+        assert!(demand_shifted(40, 10));
+        assert!(!demand_shifted(10, 39));
+        assert!(!demand_shifted(39, 10));
+        assert!(!demand_shifted(10, 0), "inactive epochs never fold");
+    }
+
+    fn ep(mean_service: u64, wait_p90: u64) -> LaneEpoch {
+        LaneEpoch {
+            count: 100,
+            mean_service,
+            mean_wait: wait_p90 / 2,
+            wait_p90,
+        }
+    }
+
+    #[test]
+    fn payoff_grows_while_transition_share_is_meaningful() {
+        // pair 460, budget 4 → payoff 57; 57×64 ≥ mean 800 → grow.
+        assert_eq!(
+            decide_lean(460, 4, 40, 0, 10, 10, 0, ep(800, 0)),
+            Lean::Grow
+        );
+        // budget 64 → payoff 3; 3×64 < 800, no backlog → hold.
+        assert_eq!(
+            decide_lean(460, 64, 640, 0, 10, 10, 0, ep(800, 0)),
+            Lean::Hold
+        );
+        // ...but a measured wait tail re-opens the grow.
+        assert_eq!(
+            decide_lean(460, 64, 640, 0, 10, 10, 0, ep(800, 6400)),
+            Lean::Grow
+        );
+        // A dry lane never grows, whatever the payoff.
+        assert_eq!(
+            decide_lean(460, 4, 4, 10, 0, 10, 0, ep(800, 6400)),
+            Lean::Shrink
+        );
+    }
+
+    #[test]
+    fn shrink_bands() {
+        // Demand band: 10 residencies × budget 16 vs 40 calls delivered.
+        assert_eq!(
+            decide_lean(460, 16, 40, 5, 5, 10, 0, ep(800, 0)),
+            Lean::Shrink
+        );
+        // Noise floor: dry-leaning and payoff 460/(2×64)=3; 3×256 < 1000.
+        assert_eq!(
+            decide_lean(460, 64, 640, 6, 4, 10, 0, ep(1000, 0)),
+            Lean::Shrink
+        );
+        // Same shape with a cheap measured service holds instead.
+        assert_eq!(
+            decide_lean(460, 64, 640, 6, 4, 10, 0, ep(700, 0)),
+            Lean::Hold
+        );
+    }
+
+    #[test]
+    fn prefill_stats_merge_and_hit_rate() {
+        let mut a = PrefillStats {
+            runs: 3,
+            fills: 6,
+            warm_skips: 9,
+            walk_cycles: 1080,
+            tlb_touches: 12,
+        };
+        let b = PrefillStats {
+            runs: 1,
+            fills: 2,
+            warm_skips: 3,
+            walk_cycles: 360,
+            tlb_touches: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.runs, 4);
+        assert_eq!(a.fills, 8);
+        assert_eq!(a.walk_cycles, 1440);
+        assert!((a.hit_rate() - 12.0 / 16.0).abs() < 1e-12);
+        assert_eq!(PrefillStats::default().hit_rate(), 0.0);
+    }
+}

@@ -69,6 +69,7 @@
 //! errors, same cache statistics, same metered cycles.
 
 pub mod epoch;
+pub mod feedback;
 pub mod observe;
 pub mod queue;
 pub mod report;
@@ -82,6 +83,9 @@ mod worker;
 
 pub use epoch::{
     EpochWorldTable, MaintainOutcome, RuntimeTable, TableHealth, TableMode, TableView,
+};
+pub use feedback::{
+    FeedbackConfig, FeedbackMode, FeedbackSummary, LaneGauge, PrefetchStats, PrefillStats,
 };
 pub use obs::{
     build_spans, top_slowest, verify, ConservationReport, Event, EventKind, EventRing,

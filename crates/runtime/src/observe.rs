@@ -89,6 +89,60 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
         reg.counter_set("xover_obs_events", recorded.total_events() as u64);
         reg.counter_set("xover_obs_dropped", recorded.dropped());
     }
+    // Feedback-plane gauges, exported whenever the plane was live (the
+    // registry is counters-only, so the hit rate ships as permille and
+    // per-lane/per-ring gauges are name-indexed).
+    let fb = &report.feedback;
+    if fb.config.enabled() {
+        reg.counter_set("xover_feedback_enabled", 1);
+        reg.counter_set("xover_feedback_prefill_runs", fb.prefill.runs);
+        reg.counter_set("xover_feedback_prefill_fills", fb.prefill.fills);
+        reg.counter_set("xover_feedback_prefill_warm_skips", fb.prefill.warm_skips);
+        reg.counter_set("xover_feedback_prefill_walk_cycles", fb.prefill.walk_cycles);
+        reg.counter_set("xover_feedback_prefill_tlb_touches", fb.prefill.tlb_touches);
+        reg.counter_set(
+            "xover_feedback_prefill_hit_rate_permille",
+            (fb.prefill.hit_rate() * 1000.0).round() as u64,
+        );
+        reg.counter_set(
+            "xover_feedback_prefetch_useful_walks",
+            fb.prefetch.useful_walks,
+        );
+        reg.counter_set(
+            "xover_feedback_prefetch_useless_walks",
+            fb.prefetch.useless_walks,
+        );
+        reg.counter_set(
+            "xover_feedback_prefetch_register_hits",
+            fb.prefetch.register_hits,
+        );
+        reg.counter_set(
+            "xover_feedback_prefetch_register_misses",
+            fb.prefetch.register_misses,
+        );
+        for (ring, ewma) in fb.steal_wait_ewma.iter().enumerate() {
+            reg.counter_set(
+                &format!("xover_feedback_ring{ring}_wait_ewma_cycles"),
+                *ewma,
+            );
+        }
+        for lane in &fb.lanes {
+            let i = lane.lane;
+            reg.counter_set(
+                &format!("xover_feedback_lane{i}_budget"),
+                lane.budget as u64,
+            );
+            reg.counter_set(
+                &format!("xover_feedback_lane{i}_mean_service_cycles"),
+                lane.mean_service_cycles,
+            );
+            reg.counter_set(
+                &format!("xover_feedback_lane{i}_mean_wait_cycles"),
+                lane.mean_wait_cycles,
+            );
+            reg.counter_set(&format!("xover_feedback_lane{i}_calls"), lane.calls);
+        }
+    }
     reg.histogram_set("xover_service_latency_cycles", report.latency_hist.clone());
     reg.histogram_set("xover_queue_wait_cycles", report.queue_wait_hist.clone());
     reg

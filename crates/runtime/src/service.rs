@@ -35,6 +35,7 @@ use mmu::tlb::TlbStats;
 use obs::{Event, EventKind, EventRing, LogHistogram, ObsConfig, ObsReport, SUBMIT_TRACK};
 
 use crate::epoch::{RuntimeTable, TableHealth, TableMode};
+use crate::feedback::{FeedbackConfig, FeedbackSummary};
 use crate::queue::{PushError, Queue};
 use crate::ring::RingSet;
 use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
@@ -104,6 +105,10 @@ pub struct RuntimeConfig {
     /// Switchless fast path (off by default: classic per-call behavior,
     /// bit for bit).
     pub switchless: SwitchlessConfig,
+    /// Profile-guided feedback plane (off by default: PR-3 heuristics,
+    /// round-robin stealing, no prefill — cycle-exact with the
+    /// open-loop runtime).
+    pub feedback: FeedbackConfig,
     /// What per-call cycle budgets bound (on-CPU time by default).
     pub deadline_policy: DeadlinePolicy,
     /// Healing-policy tuning (backoff, quarantine, respawn caps). Inert
@@ -129,6 +134,7 @@ impl Default for RuntimeConfig {
             unified_tlb: true,
             wtc_geometry: CacheGeometry::default(),
             switchless: SwitchlessConfig::default(),
+            feedback: FeedbackConfig::default(),
             deadline_policy: DeadlinePolicy::default(),
             supervisor: SupervisorConfig::default(),
             obs: ObsConfig::default(),
@@ -191,6 +197,23 @@ impl Dispatcher {
         match self {
             Dispatcher::Rings(r) => r.len_of(home),
             Dispatcher::Mutex(q) => q.len(),
+        }
+    }
+
+    /// Feeds one observed queue wait into `home`'s ring EWMA (the
+    /// biased-steal signal). A no-op under the mutex queue, which has a
+    /// single backlog and nothing to bias.
+    pub(crate) fn note_wait(&self, home: usize, wait_cycles: u64) {
+        if let Dispatcher::Rings(r) = self {
+            r.note_wait(home, wait_cycles);
+        }
+    }
+
+    /// Per-ring queue-wait EWMAs at drain (empty under the mutex queue).
+    fn wait_ewmas(&self) -> Vec<u64> {
+        match self {
+            Dispatcher::Rings(r) => r.wait_ewmas(),
+            Dispatcher::Mutex(_) => Vec::new(),
         }
     }
 }
@@ -347,6 +370,10 @@ pub struct ServiceReport {
     /// Switchless-path accounting (all zero / empty when the layer is
     /// off).
     pub switchless: SwitchlessSummary,
+    /// Feedback-plane accounting: merged prefill/prefetch counters,
+    /// per-ring queue-wait EWMAs, and per-lane budget/latency gauges
+    /// (all zero / empty when the plane is off).
+    pub feedback: FeedbackSummary,
     /// Healing summary: merged supervisor counters, degradation-ladder
     /// history and recovery latencies (all zero on clean runs).
     pub supervisor: SupervisorSummary,
@@ -452,9 +479,13 @@ impl WorldCallService {
     /// [`SmpMachine::try_new`]'s contract at drain too).
     pub fn new(config: RuntimeConfig) -> WorldCallService {
         assert!(config.workers > 0, "need at least one worker");
+        let template = Platform::new_default();
+        // The transition-pair price the feedback controller weighs
+        // measured service times against (a platform constant).
+        let pair_cycles = crossover::switchless::transition_pair_cycles(&template);
         WorldCallService {
             config,
-            template: Platform::new_default(),
+            template,
             table: Arc::new(RuntimeTable::build(
                 config.table_mode,
                 config.shards,
@@ -470,10 +501,13 @@ impl WorldCallService {
             clocks: Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect()),
             memory: HashMap::new(),
             segments: HashMap::new(),
-            controller: config
-                .switchless
-                .enabled()
-                .then(|| Arc::new(Controller::new(config.switchless))),
+            controller: config.switchless.enabled().then(|| {
+                Arc::new(Controller::with_feedback(
+                    config.switchless,
+                    config.feedback,
+                    pair_cycles,
+                ))
+            }),
             faults: None,
             health: Arc::new(HealthState::new(config.supervisor.recover_after_cycles)),
             handles: Vec::new(),
@@ -737,6 +771,7 @@ impl WorldCallService {
                 memory: Arc::clone(&memory),
                 wtc_geometry: self.config.wtc_geometry,
                 switchless: self.config.switchless,
+                feedback: self.config.feedback,
                 controller: self.controller.clone(),
                 segments: Arc::clone(&segments),
                 deadline_policy: self.config.deadline_policy,
@@ -906,8 +941,17 @@ impl WorldCallService {
             ..SupervisorSummary::default()
         };
         let mut per_callee: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut feedback = FeedbackSummary {
+            config: self.config.feedback,
+            ..FeedbackSummary::default()
+        };
         for r in &reports {
             supervisor.totals.absorb(&r.supervisor);
+            feedback.prefill.merge(&r.prefill);
+            feedback.prefetch.useful_walks += r.prefetch.useful_walks;
+            feedback.prefetch.useless_walks += r.prefetch.useless_walks;
+            feedback.prefetch.register_hits += r.prefetch.register_hits;
+            feedback.prefetch.register_misses += r.prefetch.register_misses;
             smp.core_mut(CoreId(r.index as u32))
                 .expect("one core per worker")
                 .meter_mut()
@@ -938,6 +982,10 @@ impl WorldCallService {
         switchless.per_callee.sort_unstable_by_key(|p| p.callee);
         if let Some(ctl) = &self.controller {
             switchless.epochs = ctl.history();
+            feedback.lanes = ctl.lane_gauges();
+        }
+        if self.config.feedback.steal_bias_on() {
+            feedback.steal_wait_ewma = self.dispatcher.wait_ewmas();
         }
         // Rings indexed by worker id; a panicked worker leaves an empty
         // ring in its slot rather than shifting everyone else's.
@@ -1003,6 +1051,7 @@ impl WorldCallService {
             contention: self.table.contention(),
             table: self.table.health(),
             switchless,
+            feedback,
             supervisor,
             outcomes,
             latency_hist,

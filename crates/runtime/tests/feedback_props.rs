@@ -1,0 +1,299 @@
+//! Feedback-plane properties: the profile-guided control loop's
+//! contract.
+//!
+//! The plane's promise is that it is a *performance* policy, never a
+//! semantic one — and that its costs and savings are priced, not
+//! hand-waved. Four invariants pin that down:
+//!
+//! 1. **On/off verdict equivalence.** On identical pre-submitted
+//!    schedules driven by a single worker, the full closed loop
+//!    ([`FeedbackConfig::on`]) must produce the same per-request
+//!    verdicts, in the same order, as the open loop. Budgets, steal
+//!    bias and prefill may move cycles; they may not move outcomes.
+//! 2. **Off is the default, bit for bit.** `FeedbackConfig::off()` and
+//!    `FeedbackConfig::default()` runs are indistinguishable down to
+//!    the meters — the ablation path costs zero cycles.
+//! 3. **Prefill is semantically invisible and exactly priced.** With
+//!    only prefill enabled, verdicts are identical to the open loop and
+//!    the whole-run cycle delta is *exactly* the prefill's recorded
+//!    charges minus what they avoided: one
+//!    [`TransitionKind::WtcMissFault`] + [`TransitionKind::WtcFill`]
+//!    per WT/IWT miss the warming prevented, and (walk − hit) cycles
+//!    per lane page walked into the TLB up front.
+//! 4. **Convergence survives chaos.** Under seeded fault plans (worker
+//!    crashes, stalls, IPI loss, slot corruption) the latency-driven
+//!    controller still resolves every call exactly once and its budget
+//!    vector still reaches a fixed point it holds through the tail of
+//!    the run.
+
+use machine::cost::CostModel;
+use machine::fault::FaultPlan;
+use machine::rng::{SplitMix64, Zipf};
+use machine::trace::TransitionKind;
+use mmu::tlb::{TLB_HIT_CYCLES, TWO_STAGE_WALK_CYCLES};
+use xover_runtime::{
+    converged, CallRequest, FeedbackConfig, RuntimeConfig, ServiceReport, SwitchlessConfig,
+    WorldCallService,
+};
+
+const SEEDS: [u64; 3] = [0xFEED_0001, 0x5EED_0002, 0xFA11_BACC];
+const CHAOS_SEEDS: [u64; 4] = [0xBEEF, 0x5EED_CAFE, 0xDEAD_10CC, 0x41];
+const CALLS: u64 = 900;
+const WORKING_SET_PAGES: u64 = 8;
+/// Worlds in the schedule: more than the recorded call history holds
+/// (depth 8), so cold pairs keep appearing and prefill actually runs.
+const TENANTS: u64 = 6;
+/// Short controller epochs so even a 900-call run holds dozens.
+const EPOCH_CYCLES: u64 = 60_000;
+
+/// `TENANTS` tenants × (user + kernel), all with working sets and
+/// switchless channels attached.
+fn build_service(
+    switchless: SwitchlessConfig,
+    feedback: FeedbackConfig,
+    workers: usize,
+) -> (WorldCallService, Vec<crossover::world::Wid>) {
+    let mut svc = WorldCallService::new(RuntimeConfig {
+        workers,
+        queue_capacity: CALLS as usize + 32,
+        batch_max: 32,
+        switchless,
+        feedback,
+        ..RuntimeConfig::default()
+    });
+    let mut worlds = Vec::new();
+    for t in 0..TENANTS {
+        let vm = svc
+            .create_vm(hypervisor::vm::VmConfig::named(&format!("fbp-{t}")))
+            .expect("create vm");
+        let user = svc
+            .register_guest_user(vm, 0x1000 * (t + 1), 0x40_0000)
+            .expect("register user world");
+        let kernel = svc
+            .register_guest_kernel(vm, 0x10_0000 * (t + 1), 0xFFFF_8000)
+            .expect("register kernel world");
+        for &w in &[user, kernel] {
+            svc.attach_working_set(w, vm, WORKING_SET_PAGES)
+                .expect("attach working set");
+            svc.attach_channel(w, vm).expect("attach channel");
+        }
+        worlds.push(user);
+        worlds.push(kernel);
+    }
+    (svc, worlds)
+}
+
+/// Zipf endpoints over twelve worlds: hot pairs recur (so coalescing
+/// and the controller's lanes see sustained traffic) while tail pairs
+/// recur at distances beyond the call history's depth (so prefill has
+/// cold pairs to warm). A few abusive budgets keep the timeout path in
+/// the schedule.
+fn draw_request(
+    rng: &mut SplitMix64,
+    zipf: &Zipf,
+    worlds: &[crossover::world::Wid],
+    tag: u64,
+) -> CallRequest {
+    let callee = worlds[zipf.sample(rng)];
+    let caller = loop {
+        let w = worlds[zipf.sample(rng)];
+        if w != callee {
+            break w;
+        }
+    };
+    let work_cycles = 500 + rng.below(1_500);
+    let mut req = CallRequest::new(caller, callee, work_cycles, work_cycles / 3).with_tag(tag);
+    if rng.chance(0.05) {
+        req = req.with_budget(work_cycles / 4);
+    }
+    req
+}
+
+fn adaptive() -> SwitchlessConfig {
+    SwitchlessConfig {
+        epoch_cycles: EPOCH_CYCLES,
+        ..SwitchlessConfig::adaptive()
+    }
+}
+
+fn run(
+    switchless: SwitchlessConfig,
+    feedback: FeedbackConfig,
+    seed: u64,
+    workers: usize,
+    plan: Option<FaultPlan>,
+) -> ServiceReport {
+    let (mut svc, worlds) = build_service(switchless, feedback, workers);
+    if let Some(plan) = plan {
+        svc.set_fault_plan(plan);
+    }
+    let zipf = Zipf::new(worlds.len(), 1.2);
+    let mut rng = SplitMix64::new(seed);
+    for tag in 0..CALLS {
+        svc.submit(draw_request(&mut rng, &zipf, &worlds, tag))
+            .expect("queue open");
+    }
+    svc.start();
+    svc.drain()
+}
+
+/// Zips two outcome streams: same requests, same order, same verdicts.
+fn assert_verdicts_equal(a: &ServiceReport, b: &ServiceReport) {
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "same stream length");
+    for (i, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
+        assert_eq!(x.request, y.request, "request order diverged at index {i}");
+        assert_eq!(x.verdict, y.verdict, "verdict diverged at index {i}");
+    }
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.timed_out, b.timed_out);
+    assert_eq!(a.failed, b.failed);
+}
+
+/// Invariant 1: the full closed loop moves cycles, never outcomes.
+#[test]
+fn feedback_on_preserves_verdicts_and_order() {
+    for seed in SEEDS {
+        let off = run(adaptive(), FeedbackConfig::off(), seed, 1, None);
+        let on = run(adaptive(), FeedbackConfig::on(), seed, 1, None);
+        assert_verdicts_equal(&off, &on);
+        assert!(
+            on.feedback.prefill.runs > 0,
+            "seed {seed:#x}: the schedule must actually exercise prefill"
+        );
+        assert!(
+            !on.feedback.lanes.is_empty(),
+            "seed {seed:#x}: the controller must be profiling lanes"
+        );
+    }
+}
+
+/// Invariant 2: `off()` IS `default()` — identical meters, identical
+/// outcomes, no feedback state anywhere in the report.
+#[test]
+fn feedback_off_is_bit_exact_default() {
+    for seed in SEEDS {
+        let off = run(adaptive(), FeedbackConfig::off(), seed, 1, None);
+        let default = run(adaptive(), FeedbackConfig::default(), seed, 1, None);
+        assert_verdicts_equal(&off, &default);
+        assert_eq!(off.smp.total_cycles(), default.smp.total_cycles());
+        assert_eq!(off.smp.makespan_cycles(), default.smp.makespan_cycles());
+        for r in [&off, &default] {
+            assert_eq!(r.feedback.prefill.runs, 0);
+            assert_eq!(r.feedback.prefill.walk_cycles, 0);
+            assert!(r.feedback.steal_wait_ewma.is_empty());
+            assert!(r.feedback.lanes.is_empty());
+        }
+    }
+}
+
+/// Invariant 3: prefill is exactly priced. Both runs use a *fixed*
+/// resident budget (no controller dynamics — an epoch closing at a
+/// shifted virtual time must not be able to move a budget), and only
+/// prefill is enabled, so the two schedules are identical and the
+/// whole-run cycle delta decomposes with no slack:
+///
+/// ```text
+/// prefill_total - open_total ==
+///     fills * (spec_walk + fill)        (what the warming charged)
+///   - avoided * (miss_fault + fill)     (faults the drains never took)
+///   + Δtlb_hits * hit + Δtlb_misses * walk   (touch accesses added,
+///                                             drain walks became hits)
+/// ```
+///
+/// `avoided` is the measured drop in WT+IWT misses — not the fill
+/// count: a world can be cold in the recorded trace yet still cached,
+/// in which case its fill was pure (priced) overhead. The TLB term uses
+/// the measured hit/miss deltas, which already net the touch accesses
+/// against the walks they moved out of the drains.
+#[test]
+fn prefill_is_semantically_invisible_and_exactly_priced() {
+    let model = CostModel::default();
+    let miss_fault = model.price(TransitionKind::WtcMissFault).cycles as i128;
+    let fill = model.price(TransitionKind::WtcFill).cycles as i128;
+    let spec_walk = crossover::prefetch::SPECULATIVE_WALK_CYCLES as i128;
+    let prefill_only = FeedbackConfig {
+        budgets: false,
+        steal_bias: false,
+        ..FeedbackConfig::on()
+    };
+    for seed in SEEDS {
+        let off = run(
+            SwitchlessConfig::fixed(8),
+            FeedbackConfig::off(),
+            seed,
+            1,
+            None,
+        );
+        let pf = run(SwitchlessConfig::fixed(8), prefill_only, seed, 1, None);
+        assert_verdicts_equal(&off, &pf);
+
+        let stats = &pf.feedback.prefill;
+        assert!(stats.runs > 0, "seed {seed:#x}: prefill must fire");
+        let misses_off = (off.wt.misses + off.iwt.misses) as i128;
+        let misses_pf = (pf.wt.misses + pf.iwt.misses) as i128;
+        let avoided = misses_off - misses_pf;
+        assert!(
+            avoided > 0,
+            "seed {seed:#x}: prefill must avoid some WTC miss faults (off {misses_off}, \
+             prefill {misses_pf})"
+        );
+
+        let lhs = pf.smp.total_cycles() as i128 - off.smp.total_cycles() as i128;
+        let charged = stats.fills as i128 * (spec_walk + fill);
+        let saved = avoided * (miss_fault + fill);
+        let tlb_delta = (pf.tlb.hits as i128 - off.tlb.hits as i128) * TLB_HIT_CYCLES as i128
+            + (pf.tlb.misses as i128 - off.tlb.misses as i128) * TWO_STAGE_WALK_CYCLES as i128;
+        assert_eq!(
+            lhs,
+            charged - saved + tlb_delta,
+            "seed {seed:#x}: prefill cycle delta must decompose exactly \
+             (fills {}, avoided misses {avoided}, tlb delta {tlb_delta})",
+            stats.fills
+        );
+    }
+}
+
+/// Invariant 4: chaos does not break the closed loop. Under seeded
+/// fault plans every call still resolves exactly once, and the
+/// controller still reaches a budget fixed point it holds through a
+/// stable stretch of the run's tail (strict end-of-run equality is too
+/// brittle under chaos: a respawn or a Zipf-tail lane's first call in
+/// the closing epochs legitimately moves one budget).
+#[test]
+fn controller_converges_under_seeded_chaos() {
+    for seed in CHAOS_SEEDS {
+        let plan = FaultPlan::from_seed(seed, 3_000_000, 3);
+        assert!(!plan.is_empty(), "seeded plan must carry events");
+        let report = run(adaptive(), FeedbackConfig::on(), seed, 1, Some(plan));
+
+        assert_eq!(
+            report.outcomes.len() as u64,
+            CALLS,
+            "seed {seed:#x}: every submitted call must produce an outcome"
+        );
+        let mut seen = vec![0u32; CALLS as usize];
+        for o in &report.outcomes {
+            seen[o.request.tag as usize] += 1;
+        }
+        for (tag, &count) in seen.iter().enumerate() {
+            assert_eq!(
+                count, 1,
+                "seed {seed:#x}: tag {tag} resolved {count} times (want exactly 1)"
+            );
+        }
+        assert_eq!(
+            report.completed + report.timed_out + report.failed + report.dead_lettered,
+            CALLS,
+            "seed {seed:#x}: verdict counters must partition the stream"
+        );
+        let history = &report.switchless.epochs;
+        let tail = &history[history.len() / 2..];
+        assert!(
+            tail.windows(3).any(|w| converged(w, 3)),
+            "seed {seed:#x}: the latency-driven controller must reach a budget fixed \
+             point it holds for 3 consecutive epochs in the run's second half \
+             ({} epochs total)",
+            history.len()
+        );
+    }
+}

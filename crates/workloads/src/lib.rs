@@ -15,11 +15,15 @@
 //! * [`openloop`] — open-loop arrival processes (Poisson and bursty
 //!   ON/OFF over a Zipf callee popularity law) for driving the async
 //!   tenant gateway past saturation.
+//! * [`shifting_hotspot`] — a Zipf popularity law whose hot callee set
+//!   rotates on a seeded virtual-time schedule, for exercising the
+//!   profile-guided feedback plane's re-convergence.
 
 pub mod lmbench;
 pub mod micro;
 pub mod openloop;
 pub mod openssh;
+pub mod shifting_hotspot;
 pub mod utilities;
 
 pub use micro::{MicroOp, RedirectTarget};
