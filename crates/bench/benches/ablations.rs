@@ -138,21 +138,34 @@ fn binding_table_roundtrip_cycles() -> u64 {
 }
 
 fn prefetch_ablation_cycles(worlds_registered: usize, context_switches: u64) -> (u64, u64) {
-    // On-demand filling: one WTC miss per world, amortized over the run.
-    let miss_cost = 2600u64;
-    let fill_cost = 250u64;
-    let on_demand = worlds_registered as u64 * (miss_cost + fill_cost);
-    // Prefetch register reload on *every* context switch — wasted fills
-    // when few worlds exist (§5.1: "prefetching a non-existed world at
-    // every context switch will cause cache miss and useless world table
-    // walk").
-    let prefetch = context_switches * fill_cost
-        + if worlds_registered < 4 {
-            // Most switches land on processes with no world: useless walk.
-            context_switches * miss_cost / 2
-        } else {
-            0
-        };
+    // Measured, not estimated: drive the real Current-World-ID register
+    // over a 32-process machine where only `worlds_registered` address
+    // spaces have world entries. Every switch pays the speculative walk;
+    // on-demand filling pays one WTC miss fault per registered world,
+    // ever (§5.1: "prefetching a non-existed world at every context
+    // switch will cause cache miss and useless world table walk").
+    let mut platform = Platform::new_default();
+    let vm = platform.create_vm(VmConfig::named("prefetch")).expect("vm");
+    let mut table = WorldTable::with_quota(64);
+    let registered: Vec<u64> = (0..worlds_registered as u64)
+        .map(|i| 0x1000 + i * 0x1000)
+        .collect();
+    for &cr3 in &registered {
+        table
+            .create(WorldDescriptor::guest_user(&platform, vm, cr3, 0).expect("desc"))
+            .expect("register");
+    }
+    platform.vmentry(vm).expect("vmentry");
+    let unregistered: Vec<u64> = (worlds_registered as u64..32)
+        .map(|i| 0x100_0000 + i * 0x1000)
+        .collect();
+    let (prefetch, on_demand) = crossover::prefetch::prefetch_tradeoff(
+        &mut platform,
+        &table,
+        &registered,
+        &unregistered,
+        context_switches,
+    );
     (on_demand, prefetch)
 }
 

@@ -200,6 +200,11 @@ pub enum ShedReason {
     Health = 1,
     /// `try_submit` returned `Busy` (or the busy latch had tripped).
     Busy = 2,
+    /// The service's authz policy holds no grant for the submission's
+    /// (caller, callee) pair — checked side-effect-free at admission,
+    /// so a doomed request never burns dispatch capacity. Distinct
+    /// from `Busy`: a denied tenant is refused by policy, not load.
+    Denied = 3,
 }
 
 /// One entry in a tenant's submission ring: the tenant's request plus

@@ -59,11 +59,12 @@ struct TenantTally {
     shed_ring_full: u64,
     shed_health: u64,
     shed_busy: u64,
+    shed_denied: u64,
 }
 
 impl TenantTally {
     fn shed(&self) -> u64 {
-        self.shed_ring_full + self.shed_health + self.shed_busy
+        self.shed_ring_full + self.shed_health + self.shed_busy + self.shed_denied
     }
 }
 
@@ -82,6 +83,9 @@ pub struct TenantReport {
     pub shed_health: u64,
     /// Shed on service backpressure (`Busy`, or the busy latch).
     pub shed_busy: u64,
+    /// Shed because the service's authz policy holds no grant for the
+    /// submission's (caller, callee) pair.
+    pub shed_denied: u64,
     /// Deepest the tenant's submission ring got.
     pub ring_high_water: usize,
     /// The tenant's completion ring, holding every delivered verdict.
@@ -94,7 +98,7 @@ pub struct TenantReport {
 impl TenantReport {
     /// Total sheds for this tenant, all reasons.
     pub fn shed(&self) -> u64 {
-        self.shed_ring_full + self.shed_health + self.shed_busy
+        self.shed_ring_full + self.shed_health + self.shed_busy + self.shed_denied
     }
 }
 
@@ -115,6 +119,8 @@ pub struct GatewayReport {
     pub shed_health: u64,
     /// Sheds on service backpressure.
     pub shed_busy: u64,
+    /// Sheds on authz policy refusal at the admission precheck.
+    pub shed_denied: u64,
     /// Completions delivered to tenant rings (ring mode: == admitted).
     pub completions_delivered: u64,
     /// Delivery batches flushed (== `completion_batch` events emitted).
@@ -154,7 +160,7 @@ impl GatewayReport {
                 self.submitted, self.admitted, self.shed
             ));
         }
-        if self.shed != self.shed_ring_full + self.shed_health + self.shed_busy {
+        if self.shed != self.shed_ring_full + self.shed_health + self.shed_busy + self.shed_denied {
             return Err(format!("{} sheds lack a reason", self.shed));
         }
         for t in &self.tenants {
@@ -171,7 +177,8 @@ impl GatewayReport {
         let verdicts = self.service.completed
             + self.service.timed_out
             + self.service.failed
-            + self.service.dead_lettered;
+            + self.service.dead_lettered
+            + self.service.denied;
         if self.admitted != verdicts {
             return Err(format!(
                 "verdict conservation broken: {} admitted != {verdicts} verdicts",
@@ -277,6 +284,7 @@ impl Gateway {
                 shed_ring_full: 0,
                 shed_health: 0,
                 shed_busy: 0,
+                shed_denied: 0,
                 ring_high_water: 0,
                 completions: CompletionRing::new(),
                 e2e_p99_cycles: 0,
@@ -290,6 +298,7 @@ impl Gateway {
             shed_ring_full: 0,
             shed_health: 0,
             shed_busy: 0,
+            shed_denied: 0,
             completions_delivered: 0,
             completion_batches: 0,
             tenants,
@@ -331,6 +340,7 @@ impl Gateway {
                 ShedReason::RingFull => tally.shed_ring_full += 1,
                 ShedReason::Health => tally.shed_health += 1,
                 ShedReason::Busy => tally.shed_busy += 1,
+                ShedReason::Denied => tally.shed_denied += 1,
             }
             events.push(Event::new(
                 at,
@@ -386,6 +396,19 @@ impl Gateway {
                             // the service never sees the request.
                             shed(sub, ShedReason::Health, t, &mut tallies, &mut events);
                             continue;
+                        }
+                        // Authz precheck, side-effect-free (`would_admit`
+                        // touches no counters and spends no tokens): a
+                        // (caller, callee) pair the policy would refuse
+                        // at dispatch anyway is shed here instead of
+                        // burning queue capacity. Chain-provenance and
+                        // rate-limit verdicts stay at dispatch — only
+                        // the static grant is knowable this early.
+                        if let Some(policy) = svc.authz() {
+                            if !policy.would_admit(sub.request.caller, sub.request.callee) {
+                                shed(sub, ShedReason::Denied, t, &mut tallies, &mut events);
+                                continue;
+                            }
                         }
                         let wire = sub.request.with_tag(sub.token).with_tenant(sub.tenant);
                         match svc.try_submit(wire) {
@@ -559,6 +582,7 @@ impl Gateway {
                 shed_ring_full: tally.shed_ring_full,
                 shed_health: tally.shed_health,
                 shed_busy: tally.shed_busy,
+                shed_denied: tally.shed_denied,
                 ring_high_water: rings[tid].high_water(),
                 e2e_p99_cycles: percentile(&e2e, 99.0),
                 completions: ring,
@@ -573,6 +597,7 @@ impl Gateway {
             shed_ring_full: tallies.iter().map(|t| t.shed_ring_full).sum(),
             shed_health: tallies.iter().map(|t| t.shed_health).sum(),
             shed_busy: tallies.iter().map(|t| t.shed_busy).sum(),
+            shed_denied: tallies.iter().map(|t| t.shed_denied).sum(),
             completions_delivered: delivered,
             completion_batches,
             tenants,

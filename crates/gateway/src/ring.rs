@@ -39,7 +39,9 @@ impl SubmissionRing {
     /// # Errors
     ///
     /// The rejected submission itself, so the caller can account the
-    /// shed without cloning.
+    /// shed without cloning — the Err carries ownership back by
+    /// design.
+    #[allow(clippy::result_large_err)]
     pub fn push(&mut self, sub: Submission) -> Result<(), Submission> {
         if self.entries.len() >= self.capacity {
             return Err(sub);

@@ -87,10 +87,17 @@ pub enum EventKind {
     /// Trace-driven prefill warmed a worker's WT/IWT/TLB before a
     /// resident drain. a=callee, b=worlds filled, c=walk cycles charged.
     PrefillRun = 31,
+    /// The authz policy refused a call. a=seq, b=deny code (0=denied,
+    /// 1=revoked, 2=rate-limited, 3=chain-too-deep), c=caller WID.
+    AuthzDeny = 32,
+    /// A worker observed a policy-generation bump at a batch boundary
+    /// (the revocation-visibility marker the one-batch bound is measured
+    /// against). a=generation now visible, b=previous generation.
+    Revocation = 33,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 34;
 
     pub const ALL: [EventKind; EventKind::COUNT] = [
         EventKind::RequestEnqueue,
@@ -125,6 +132,8 @@ impl EventKind {
         EventKind::BudgetGrow,
         EventKind::BudgetShrink,
         EventKind::PrefillRun,
+        EventKind::AuthzDeny,
+        EventKind::Revocation,
     ];
 
     /// Dense index (the discriminant).
@@ -167,6 +176,8 @@ impl EventKind {
             EventKind::BudgetGrow => "budget_grow",
             EventKind::BudgetShrink => "budget_shrink",
             EventKind::PrefillRun => "prefill_run",
+            EventKind::AuthzDeny => "authz_deny",
+            EventKind::Revocation => "revocation",
         }
     }
 

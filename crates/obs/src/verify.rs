@@ -228,6 +228,42 @@ pub fn verify(doc: &TraceDoc) -> ConservationReport {
         );
     }
 
+    // 8. Authz conservation: every policy denial is audited exactly once.
+    //    Each `AuthzDeny` event must pair with exactly one Denied-family
+    //    verdict (code 4) for the same request — a deny without a verdict
+    //    is a silently dropped request, a denied verdict without a deny
+    //    event is an unaudited refusal, and duplicates on either side mean
+    //    double-denies. Recordings without authz traffic skip the check,
+    //    so older traces stay valid; an overflowed ring skips it too.
+    let mut deny_events: HashMap<u64, u64> = HashMap::new();
+    let mut denied_verdicts: HashMap<u64, u64> = HashMap::new();
+    for e in &doc.events {
+        match e.kind {
+            EventKind::AuthzDeny => *deny_events.entry(e.a).or_insert(0) += 1,
+            EventKind::RequestVerdict if e.b == 4 => {
+                *denied_verdicts.entry(e.a).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    if (!deny_events.is_empty() || !denied_verdicts.is_empty()) && doc.dropped == 0 {
+        let same_requests = deny_events.len() == denied_verdicts.len()
+            && deny_events.keys().all(|k| denied_verdicts.contains_key(k));
+        let no_doubles =
+            deny_events.values().all(|&n| n == 1) && denied_verdicts.values().all(|&n| n == 1);
+        report.push(
+            "authz-denies-vs-verdicts",
+            same_requests && no_doubles,
+            format!(
+                "{} deny events over {} requests vs {} denied verdicts over {} requests",
+                deny_events.values().sum::<u64>(),
+                deny_events.len(),
+                denied_verdicts.values().sum::<u64>(),
+                denied_verdicts.len()
+            ),
+        );
+    }
+
     report
 }
 
@@ -436,6 +472,78 @@ mod tests {
             .failures()
             .iter()
             .any(|c| c.name == "budget-changes-vs-folds"));
+    }
+
+    #[test]
+    fn authz_free_recording_skips_authz_check() {
+        let report = verify(&clean_doc());
+        assert!(report
+            .checks
+            .iter()
+            .all(|c| c.name != "authz-denies-vs-verdicts"));
+    }
+
+    #[test]
+    fn paired_deny_and_denied_verdict_pass() {
+        let mut doc = clean_doc();
+        doc.events
+            .push(Event::new(110, 0, EventKind::RequestDispatch, 9, 0, 2));
+        doc.events
+            .push(Event::new(111, 0, EventKind::AuthzDeny, 9, 0, 1));
+        doc.events
+            .push(Event::new(111, 0, EventKind::RequestVerdict, 9, 4, 0));
+        let report = verify(&doc);
+        assert!(report.ok(), "failures: {:?}", report.failures());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "authz-denies-vs-verdicts"));
+    }
+
+    #[test]
+    fn silent_deny_drop_fails() {
+        // A deny event whose request never reaches a Denied verdict.
+        let mut doc = clean_doc();
+        doc.events
+            .push(Event::new(150, 0, EventKind::AuthzDeny, 9, 0, 1));
+        let report = verify(&doc);
+        assert!(report
+            .failures()
+            .iter()
+            .any(|c| c.name == "authz-denies-vs-verdicts"));
+    }
+
+    #[test]
+    fn double_deny_fails() {
+        let mut doc = clean_doc();
+        doc.events
+            .push(Event::new(110, 0, EventKind::RequestDispatch, 9, 0, 2));
+        doc.events
+            .push(Event::new(111, 0, EventKind::AuthzDeny, 9, 0, 1));
+        doc.events
+            .push(Event::new(112, 0, EventKind::AuthzDeny, 9, 0, 1));
+        doc.events
+            .push(Event::new(113, 0, EventKind::RequestVerdict, 9, 4, 0));
+        let report = verify(&doc);
+        assert!(report
+            .failures()
+            .iter()
+            .any(|c| c.name == "authz-denies-vs-verdicts"));
+    }
+
+    #[test]
+    fn unaudited_denied_verdict_fails() {
+        // A Denied verdict with no AuthzDeny audit event.
+        let mut doc = clean_doc();
+        doc.events
+            .push(Event::new(110, 0, EventKind::RequestDispatch, 9, 0, 2));
+        doc.events
+            .push(Event::new(111, 0, EventKind::RequestVerdict, 9, 4, 0));
+        let report = verify(&doc);
+        assert!(report
+            .failures()
+            .iter()
+            .any(|c| c.name == "authz-denies-vs-verdicts"));
     }
 
     #[test]

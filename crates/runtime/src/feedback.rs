@@ -396,6 +396,11 @@ pub struct FeedbackSummary {
     /// Merged §5.1 Current-World-ID register counters (all zero unless
     /// the register was wired).
     pub prefetch: PrefetchStats,
+    /// Merged cycles spent on the register's speculative table walks
+    /// ([`crossover::prefetch::CurrentWidRegister::walk_cycles_spent`])
+    /// — the cost side of the §5.1 trade-off, next to the hit counters
+    /// that are its benefit side.
+    pub register_walk_cycles: u64,
     /// Per-ring queue-wait EWMAs at drain (cycles), indexed by worker.
     pub steal_wait_ewma: Vec<u64>,
     /// Per-lane budget and measured-latency gauges, sorted by lane,

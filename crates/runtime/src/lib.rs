@@ -57,6 +57,14 @@
 //!   ring occupancy, shrinking idle channels back to the classic
 //!   per-call path ([`switchless::SwitchlessMode::Off`] keeps PR-2
 //!   behavior bit for bit).
+//! * [`authz`] — the callee-side authorization the paper's §3 defers
+//!   to software: capability grants with generation-stamped revocation
+//!   (`delete_world` auto-revokes, so a stale WID never authorizes as
+//!   its predecessor), per-caller token buckets priced in virtual
+//!   time, and bounded call-chain provenance. Enforced at worker
+//!   dispatch before path selection; checks charge zero virtual
+//!   cycles, so [`AuthzConfig::off`] (the default) is bit-for-bit
+//!   cycle-exact with the unenforced runtime.
 //! * `serve_bench` (the crate's binary) — sweeps the worker count and
 //!   emits `BENCH_runtime.json`: simulated calls/sec (derived from the
 //!   makespan, so it is host-independent), p50/p99 service latency,
@@ -68,6 +76,7 @@
 //! *indistinguishable* from the sequential table — same WIDs, same
 //! errors, same cache statistics, same metered cycles.
 
+pub mod authz;
 pub mod epoch;
 pub mod feedback;
 pub mod observe;
@@ -81,6 +90,7 @@ pub mod supervisor;
 pub mod switchless;
 mod worker;
 
+pub use authz::{AuthzConfig, AuthzMode, AuthzPolicy, AuthzSummary, RateLimitConfig};
 pub use epoch::{
     EpochWorldTable, MaintainOutcome, RuntimeTable, TableHealth, TableMode, TableView,
 };
@@ -94,7 +104,7 @@ pub use obs::{
 pub use observe::{metrics_registry, trace_doc};
 pub use queue::{PushError, Queue};
 pub use ring::{Ring, RingSet};
-pub use router::{CallError, CallOutcome, CallRequest, CallVerdict};
+pub use router::{CallError, CallOutcome, CallRequest, CallVerdict, Provenance, MAX_HOPS};
 pub use service::{
     DeadlinePolicy, DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError,
     TenantCounts, WorldCallService, WorldMemory,

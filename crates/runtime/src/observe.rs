@@ -46,6 +46,7 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
     reg.counter_set("xover_requests_timed_out", report.timed_out);
     reg.counter_set("xover_requests_failed", report.failed);
     reg.counter_set("xover_requests_dead_lettered", report.dead_lettered);
+    reg.counter_set("xover_requests_denied", report.denied);
     reg.counter_set("xover_requests_rejected_busy", report.rejected_busy);
     reg.counter_set("xover_requests_submitted", report.submitted);
     reg.counter_set("xover_requests_admitted", report.admitted);
@@ -120,6 +121,10 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
             "xover_feedback_prefetch_register_misses",
             fb.prefetch.register_misses,
         );
+        reg.counter_set(
+            "xover_feedback_register_walk_cycles",
+            fb.register_walk_cycles,
+        );
         for (ring, ewma) in fb.steal_wait_ewma.iter().enumerate() {
             reg.counter_set(
                 &format!("xover_feedback_ring{ring}_wait_ewma_cycles"),
@@ -142,6 +147,22 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
             );
             reg.counter_set(&format!("xover_feedback_lane{i}_calls"), lane.calls);
         }
+    }
+    // Authz-plane gauges, exported whenever the plane was live. The
+    // per-family deny counters partition `xover_authz_denied_total`;
+    // the generation gauge is the revocation clock dashboards line the
+    // `revocation` events up against.
+    let az = &report.authz;
+    if az.enabled {
+        reg.counter_set("xover_authz_enabled", 1);
+        reg.counter_set("xover_authz_checks", az.checks);
+        reg.counter_set("xover_authz_denied_total", az.total_denied());
+        reg.counter_set("xover_authz_denied_grant", az.denied);
+        reg.counter_set("xover_authz_denied_revoked", az.revoked_denies);
+        reg.counter_set("xover_authz_denied_rate_limited", az.rate_limited);
+        reg.counter_set("xover_authz_denied_chain_too_deep", az.chain_too_deep);
+        reg.counter_set("xover_authz_revocations", az.revocations);
+        reg.counter_set("xover_authz_generation", az.generation);
     }
     reg.histogram_set("xover_service_latency_cycles", report.latency_hist.clone());
     reg.histogram_set("xover_queue_wait_cycles", report.queue_wait_hist.clone());

@@ -11,6 +11,54 @@
 use crossover::world::Wid;
 use crossover::WorldError;
 
+/// Hops a call's provenance chain can carry. Chains deeper than this
+/// still *count* their depth (so the policy can refuse them), but only
+/// the first `MAX_HOPS` intermediary WIDs are recorded.
+pub const MAX_HOPS: usize = 4;
+
+/// Call-chain provenance: the worlds a request passed through before
+/// reaching the service, oldest first. A world that re-issues a call on
+/// behalf of another appends itself with [`CallRequest::via`]; the authz
+/// plane walks the chain so a confused deputy — a granted intermediary
+/// laundering calls for an ungranted origin — is denied at the policy,
+/// not discovered at the symptom.
+///
+/// Fixed-size so [`CallRequest`] stays `Copy` on the dispatch hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Provenance {
+    hops: [u64; MAX_HOPS],
+    depth: u8,
+}
+
+impl Provenance {
+    /// An empty chain (a first-hop call).
+    pub fn direct() -> Provenance {
+        Provenance::default()
+    }
+
+    /// Appends `wid` to the chain. Depth always advances; beyond
+    /// [`MAX_HOPS`] the WID itself is not recorded (the depth alone is
+    /// enough to refuse the chain).
+    pub fn push(&mut self, wid: Wid) {
+        if (self.depth as usize) < MAX_HOPS {
+            self.hops[self.depth as usize] = wid.raw();
+        }
+        self.depth = self.depth.saturating_add(1);
+    }
+
+    /// Total hops appended (may exceed the recorded window).
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// The recorded hop WIDs, oldest first.
+    pub fn hops(&self) -> impl Iterator<Item = Wid> + '_ {
+        self.hops[..(self.depth as usize).min(MAX_HOPS)]
+            .iter()
+            .map(|&raw| Wid::from_raw(raw))
+    }
+}
+
 /// One queued cross-world call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CallRequest {
@@ -40,6 +88,11 @@ pub struct CallRequest {
     /// counters and the gateway's completion rings agree on ownership. Pure
     /// accounting — the execution path never branches on it.
     pub tenant: u32,
+    /// Worlds the call already passed through (confused-deputy audit
+    /// trail). Empty for first-hop calls; the authz plane, when enabled,
+    /// requires every recorded hop to hold the same grant as the
+    /// immediate caller.
+    pub provenance: Provenance,
 }
 
 impl CallRequest {
@@ -54,6 +107,7 @@ impl CallRequest {
             touch_pages: 0,
             tag: 0,
             tenant: 0,
+            provenance: Provenance::default(),
         }
     }
 
@@ -79,6 +133,13 @@ impl CallRequest {
     /// Bills the call to a tenant (accounting only; 0 = untenanted).
     pub fn with_tenant(mut self, tenant: u32) -> CallRequest {
         self.tenant = tenant;
+        self
+    }
+
+    /// Records that this call was re-issued through `hop` (a world acting
+    /// on another's behalf). Chainable; hop order is oldest first.
+    pub fn via(mut self, hop: Wid) -> CallRequest {
+        self.provenance.push(hop);
         self
     }
 }
@@ -122,6 +183,63 @@ pub enum CallError {
         /// Respawns the supervisor had attempted.
         respawns: u32,
     },
+    /// The callee-side authz policy holds no grant admitting this caller
+    /// (or one of its provenance hops) to this callee.
+    Denied {
+        /// The refused caller.
+        caller: Wid,
+        /// The callee it tried to reach.
+        callee: Wid,
+    },
+    /// The caller held a grant, but it was revoked; `generation` is the
+    /// policy generation the revocation published.
+    Revoked {
+        /// The revoked caller.
+        caller: Wid,
+        /// Policy generation at which the grant died.
+        generation: u64,
+    },
+    /// The caller's token bucket ran dry (per-caller rate limit priced
+    /// in virtual time).
+    RateLimited {
+        /// The throttled caller.
+        caller: Wid,
+    },
+    /// The call's provenance chain is deeper than the policy allows —
+    /// a multi-hop deputy chain refused on depth alone.
+    ChainTooDeep {
+        /// Observed chain depth.
+        depth: u8,
+        /// The policy's maximum.
+        max: u8,
+    },
+}
+
+impl CallError {
+    /// Whether this error is an authz-policy refusal (the `Denied`
+    /// verdict family) rather than a runtime-infrastructure failure.
+    pub fn is_denial(&self) -> bool {
+        matches!(
+            self,
+            CallError::Denied { .. }
+                | CallError::Revoked { .. }
+                | CallError::RateLimited { .. }
+                | CallError::ChainTooDeep { .. }
+        )
+    }
+
+    /// Dense code for the denial family, used as the `AuthzDeny` event
+    /// payload (0=denied, 1=revoked, 2=rate-limited, 3=chain-too-deep).
+    /// `None` for non-denial errors.
+    pub fn denial_code(&self) -> Option<u64> {
+        match self {
+            CallError::Denied { .. } => Some(0),
+            CallError::Revoked { .. } => Some(1),
+            CallError::RateLimited { .. } => Some(2),
+            CallError::ChainTooDeep { .. } => Some(3),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for CallError {
@@ -138,6 +256,30 @@ impl std::fmt::Display for CallError {
                 write!(
                     f,
                     "worker {worker} crash-looped ({respawns} respawns); batch dead-lettered"
+                )
+            }
+            CallError::Denied { caller, callee } => {
+                write!(
+                    f,
+                    "caller {} holds no grant for callee {}",
+                    caller.raw(),
+                    callee.raw()
+                )
+            }
+            CallError::Revoked { caller, generation } => {
+                write!(
+                    f,
+                    "caller {}'s grant was revoked at policy generation {generation}",
+                    caller.raw()
+                )
+            }
+            CallError::RateLimited { caller } => {
+                write!(f, "caller {} exceeded its rate limit", caller.raw())
+            }
+            CallError::ChainTooDeep { depth, max } => {
+                write!(
+                    f,
+                    "provenance chain depth {depth} exceeds the policy max {max}"
                 )
             }
         }
@@ -159,6 +301,11 @@ pub enum CallVerdict {
     /// policy; the typed reason says why. Still exactly one verdict —
     /// dead-lettering accounts for the request, it does not drop it.
     DeadLettered(CallError),
+    /// The callee-side authz policy refused the call before any world
+    /// transition was issued. The typed reason is always one of the
+    /// denial family ([`CallError::is_denial`]). Still exactly one
+    /// verdict — a denial accounts for the request, it does not drop it.
+    Denied(CallError),
 }
 
 /// The per-request record a worker produces.
@@ -198,5 +345,38 @@ mod tests {
         let r = r.with_budget(5_000);
         assert_eq!(r.budget_cycles, Some(5_000));
         assert_eq!(r.caller, Wid::from_raw(1));
+    }
+
+    #[test]
+    fn provenance_counts_depth_past_the_recorded_window() {
+        let mut r = CallRequest::new(Wid::from_raw(1), Wid::from_raw(2), 100, 10);
+        assert_eq!(r.provenance.depth(), 0);
+        assert_eq!(r.provenance.hops().count(), 0);
+        for hop in 10..10 + MAX_HOPS as u64 + 2 {
+            r = r.via(Wid::from_raw(hop));
+        }
+        assert_eq!(r.provenance.depth() as usize, MAX_HOPS + 2);
+        let recorded: Vec<u64> = r.provenance.hops().map(|w| w.raw()).collect();
+        assert_eq!(recorded, vec![10, 11, 12, 13], "oldest hops are kept");
+    }
+
+    #[test]
+    fn denial_family_is_typed() {
+        let deny = CallError::Denied {
+            caller: Wid::from_raw(1),
+            callee: Wid::from_raw(2),
+        };
+        assert!(deny.is_denial());
+        assert_eq!(deny.denial_code(), Some(0));
+        let race = CallError::LookupRace {
+            wid: Wid::from_raw(1),
+            attempts: 3,
+        };
+        assert!(!race.is_denial());
+        assert_eq!(race.denial_code(), None);
+        assert_eq!(
+            CallError::ChainTooDeep { depth: 6, max: 4 }.denial_code(),
+            Some(3)
+        );
     }
 }

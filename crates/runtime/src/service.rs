@@ -34,6 +34,7 @@ use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
 use obs::{Event, EventKind, EventRing, LogHistogram, ObsConfig, ObsReport, SUBMIT_TRACK};
 
+use crate::authz::{AuthzConfig, AuthzPolicy, AuthzSummary};
 use crate::epoch::{RuntimeTable, TableHealth, TableMode};
 use crate::feedback::{FeedbackConfig, FeedbackSummary};
 use crate::queue::{PushError, Queue};
@@ -119,6 +120,13 @@ pub struct RuntimeConfig {
     /// the obs parity tests); `Ring` attaches per-worker flight-recorder
     /// rings whose events come back in [`ServiceReport::obs`].
     pub obs: ObsConfig,
+    /// Callee-side authorization plane: `Off` (the default) builds no
+    /// policy object at all — dispatch carries zero checks and the
+    /// runtime is bit-for-bit identical to a build without authz wiring
+    /// (pinned by the authz parity suite). `Enforce` gates every
+    /// dispatched call on grants, revocation generation, chain
+    /// provenance and token-bucket rate limits.
+    pub authz: AuthzConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -138,6 +146,7 @@ impl Default for RuntimeConfig {
             deadline_policy: DeadlinePolicy::default(),
             supervisor: SupervisorConfig::default(),
             obs: ObsConfig::default(),
+            authz: AuthzConfig::default(),
         }
     }
 }
@@ -170,6 +179,10 @@ impl Dispatcher {
         }
     }
 
+    // The Err variants below carry the rejected request back to the
+    // caller by value — backpressure hands ownership back, so the
+    // "large" Err is the point, not an accident.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_push(&self, home: usize, item: Queued) -> Result<(), PushError<Queued>> {
         match self {
             Dispatcher::Rings(r) => r.try_push(home, item),
@@ -177,6 +190,7 @@ impl Dispatcher {
         }
     }
 
+    #[allow(clippy::result_large_err)]
     fn push(&self, home: usize, item: Queued) -> Result<(), Queued> {
         match self {
             Dispatcher::Rings(r) => r.push(home, item),
@@ -282,6 +296,9 @@ pub struct TenantCounts {
     /// Submissions refused with `Busy` (backpressure or the shedding
     /// rung of the degradation ladder).
     pub shed: u64,
+    /// Admitted requests the authz policy refused at dispatch (filled at
+    /// drain from the denied outcomes; always zero with the plane off).
+    pub denied: u64,
 }
 
 /// Submit-side admission ledger: every decided submission is either
@@ -329,6 +346,9 @@ pub struct ServiceReport {
     /// Calls the supervisor gave up on with a typed
     /// [`crate::CallError`] verdict (retry/respawn policy exhausted).
     pub dead_lettered: u64,
+    /// Calls the authz policy refused at dispatch (typed
+    /// [`crate::CallError`] denial verdicts; zero with the plane off).
+    pub denied: u64,
     /// `try_submit` rejections over the service's lifetime.
     pub rejected_busy: u64,
     /// Decided submissions over the service's lifetime (admitted + shed;
@@ -377,6 +397,10 @@ pub struct ServiceReport {
     /// Healing summary: merged supervisor counters, degradation-ladder
     /// history and recovery latencies (all zero on clean runs).
     pub supervisor: SupervisorSummary,
+    /// Authorization-plane accounting: check/deny counters by family
+    /// and the final revocation generation (all zero when the plane is
+    /// off).
+    pub authz: AuthzSummary,
     /// Log-bucketed on-CPU service latency distribution (always built at
     /// drain, O(n) — replaces the per-sweep-point sorted-Vec percentile
     /// scan in the bench hot loops).
@@ -456,6 +480,9 @@ pub struct WorldCallService {
     faults: Option<Arc<FaultPlan>>,
     /// The pool-shared degradation ladder.
     health: Arc<HealthState>,
+    /// Shared callee-side authz policy (`None` when the plane is off —
+    /// the structurally inert, cycle-exact configuration).
+    authz: Option<Arc<AuthzPolicy>>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
     /// Submit-side admission counters (host-side bookkeeping only; never
@@ -510,6 +537,10 @@ impl WorldCallService {
             }),
             faults: None,
             health: Arc::new(HealthState::new(config.supervisor.recover_after_cycles)),
+            authz: config
+                .authz
+                .enabled()
+                .then(|| Arc::new(AuthzPolicy::new(config.authz))),
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
             admission: Mutex::new(AdmissionLedger::default()),
@@ -546,6 +577,14 @@ impl WorldCallService {
     /// The pool-shared degradation ladder (live view; level 0 = normal).
     pub fn health(&self) -> &HealthState {
         &self.health
+    }
+
+    /// The shared authz policy (`None` when [`RuntimeConfig::authz`] is
+    /// off). Grants, revocations and rate limits are issued through it,
+    /// before or while the pool runs — workers read the shared object,
+    /// so changes take effect within one batch.
+    pub fn authz(&self) -> Option<&Arc<AuthzPolicy>> {
+        self.authz.as_ref()
     }
 
     /// The configuration.
@@ -624,6 +663,13 @@ impl WorldCallService {
         self.table.delete(wid)?;
         if matches!(&*self.table, RuntimeTable::Striped(_)) {
             self.bus.broadcast(wid);
+        }
+        // A deleted world's authority dies with it: revoking here pins
+        // the WID dead in the policy, so a successor reusing the same
+        // context (or a forged replay of the stale WID) can never
+        // authorize as its predecessor — even under `default_allow`.
+        if let Some(policy) = &self.authz {
+            policy.revoke(wid);
         }
         Ok(())
     }
@@ -779,6 +825,7 @@ impl WorldCallService {
                 supervisor: self.config.supervisor,
                 health: Arc::clone(&self.health),
                 obs: self.config.obs,
+                authz: self.authz.clone(),
             };
             self.handles.push(
                 std::thread::Builder::new()
@@ -952,6 +999,7 @@ impl WorldCallService {
             feedback.prefetch.useless_walks += r.prefetch.useless_walks;
             feedback.prefetch.register_hits += r.prefetch.register_hits;
             feedback.prefetch.register_misses += r.prefetch.register_misses;
+            feedback.register_walk_cycles += r.prefetch_walk_cycles;
             smp.core_mut(CoreId(r.index as u32))
                 .expect("one core per worker")
                 .meter_mut()
@@ -1026,10 +1074,26 @@ impl WorldCallService {
             .iter()
             .filter(|o| matches!(o.verdict, CallVerdict::DeadLettered(_)))
             .count() as u64;
-        let failed = outcomes.len() as u64 - completed - timed_out - dead_lettered;
+        let denied = outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, CallVerdict::Denied(_)))
+            .count() as u64;
+        let failed = outcomes.len() as u64 - completed - timed_out - dead_lettered - denied;
         let queue_wait_cycles = outcomes.iter().map(|o| o.queue_wait_cycles).sum();
         let ledger = std::mem::take(&mut *self.admission.lock().unwrap_or_else(|e| e.into_inner()));
-        let mut per_tenant: Vec<TenantCounts> = ledger.per_tenant.into_values().collect();
+        let mut tenant_counts = ledger.per_tenant;
+        for o in &outcomes {
+            if matches!(o.verdict, CallVerdict::Denied(_)) {
+                tenant_counts
+                    .entry(o.request.tenant)
+                    .or_insert(TenantCounts {
+                        tenant: o.request.tenant,
+                        ..TenantCounts::default()
+                    })
+                    .denied += 1;
+            }
+        }
+        let mut per_tenant: Vec<TenantCounts> = tenant_counts.into_values().collect();
         per_tenant.sort_unstable_by_key(|t| t.tenant);
         ServiceReport {
             smp,
@@ -1037,6 +1101,7 @@ impl WorldCallService {
             timed_out,
             failed,
             dead_lettered,
+            denied,
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             submitted: ledger.totals.submitted,
             admitted: ledger.totals.admitted,
@@ -1053,6 +1118,7 @@ impl WorldCallService {
             switchless,
             feedback,
             supervisor,
+            authz: self.authz.as_ref().map(|p| p.summary()).unwrap_or_default(),
             outcomes,
             latency_hist,
             queue_wait_hist,
@@ -1193,12 +1259,14 @@ mod tests {
                     submitted: 4,
                     admitted: 4,
                     shed: 0,
+                    denied: 0,
                 },
                 TenantCounts {
                     tenant: 9,
                     submitted: 1,
                     admitted: 0,
                     shed: 1,
+                    denied: 0,
                 },
             ]
         );

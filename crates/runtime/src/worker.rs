@@ -62,6 +62,7 @@ use mmu::perms::Perms;
 use mmu::tlb::TlbStats;
 use obs::{EventKind, EventRing, ObsConfig, Recorder};
 
+use crate::authz::AuthzPolicy;
 use crate::epoch::{RuntimeTable, TableView};
 use crate::feedback::{FeedbackConfig, PrefillStats};
 use crate::router::{CallError, CallOutcome, CallRequest, CallVerdict, Queued};
@@ -105,6 +106,10 @@ pub(crate) struct WorkerContext {
     /// Obs-plane configuration; `Off` keeps this worker's recorder a
     /// no-op (one branch per would-be event, no stamping, no state).
     pub obs: ObsConfig,
+    /// The shared callee-side authz policy (`None` when the plane is
+    /// off: the dispatch path then carries zero checks, preserving
+    /// bit-for-bit parity with the pre-authz runtime).
+    pub authz: Option<Arc<AuthzPolicy>>,
 }
 
 /// Stable numeric codes for [`FaultSite`] carried in `FaultObserved.a`
@@ -198,6 +203,9 @@ pub struct WorkerReport {
     /// §5.1 Current-World-ID register counters (all zero unless the
     /// register was wired into this worker's call unit).
     pub prefetch: PrefetchStats,
+    /// Cycles this worker's register spent on speculative table walks
+    /// (the §5.1 trade-off's cost side, for the feedback gauges).
+    pub prefetch_walk_cycles: u64,
     /// Healing counters from this worker's supervisor (all zero without
     /// an armed fault plan).
     pub supervisor: SupervisorReport,
@@ -297,6 +305,15 @@ struct Engine<'a> {
     /// post-respawn recovery sample (taken whether or not warming is
     /// on, so the two configurations are directly comparable).
     awaiting_post_respawn_sample: bool,
+    /// Shared callee-side authz policy. `None` (the plane off) makes
+    /// enforcement a single branch per group — no checks, no events —
+    /// so the off configuration stays cycle-exact with the pre-authz
+    /// runtime. Checks are host-side and charge zero virtual cycles.
+    authz: Option<Arc<AuthzPolicy>>,
+    /// Policy generation this worker last observed at a batch boundary;
+    /// a bump emits the `Revocation` visibility marker the one-batch
+    /// revocation bound is measured against.
+    authz_gen_seen: u64,
 }
 
 impl Engine<'_> {
@@ -332,6 +349,9 @@ impl Engine<'_> {
             let reason = match err {
                 CallError::LookupRace { .. } => 0,
                 CallError::CrashLoop { .. } => 1,
+                // Denial-family errors ride the Denied verdict, never
+                // DeadLettered; the sentinel keeps the match total.
+                _ => u64::MAX,
             };
             self.emit(EventKind::DeadLetter, seq, reason, 0);
         }
@@ -340,6 +360,7 @@ impl Engine<'_> {
             CallVerdict::TimedOut => 1,
             CallVerdict::Failed(_) => 2,
             CallVerdict::DeadLettered(_) => 3,
+            CallVerdict::Denied(_) => 4,
         };
         self.emit(EventKind::RequestVerdict, seq, code, u64::from(coalesced));
     }
@@ -704,6 +725,67 @@ impl Engine<'_> {
                 None => Err(CallVerdict::Failed(WorldError::InvalidWid { wid })),
             };
         }
+    }
+
+    /// Runs a same-caller group through the authz policy, denying every
+    /// request the policy refuses before any path (classic or resident)
+    /// sees it, and returning the admitted remainder in order. With the
+    /// plane off this is one branch and the group passes through
+    /// untouched — the cycle-exact off configuration. Checking at the
+    /// group boundary (after the batch-boundary retire pull) is what
+    /// bounds revocation staleness at one batch: a revocation lands in
+    /// the shared policy immediately, and the longest anything already
+    /// past this gate can run is the remainder of its batch.
+    fn enforce_authz(&mut self, group: Vec<(Queued, bool)>) -> Vec<(Queued, bool)> {
+        let Some(policy) = self.authz.clone() else {
+            return group;
+        };
+        let mut admitted = Vec::with_capacity(group.len());
+        for (queued, was_stolen) in group {
+            let now = self.now();
+            match policy.check(&queued.req, now) {
+                Ok(()) => admitted.push((queued, was_stolen)),
+                Err(err) => self.deny(&queued, was_stolen, err),
+            }
+        }
+        admitted
+    }
+
+    /// Records a policy denial: the request is dispatched (so the event
+    /// stream keeps its dispatch-per-verdict pairing), the `AuthzDeny`
+    /// audit event fires, and the request resolves with exactly one
+    /// `Denied` verdict at zero service latency — the callee body never
+    /// ran and no world was touched, so the outcome bypasses the
+    /// call-history warmers.
+    fn deny(&mut self, queued: &Queued, was_stolen: bool, err: CallError) {
+        let wait = self.stamp_wait(queued);
+        self.queue_wait_cycles += wait;
+        self.emit(
+            EventKind::RequestDispatch,
+            queued.seq,
+            wait,
+            queued.req.callee.raw(),
+        );
+        if was_stolen {
+            self.emit(EventKind::RequestSteal, queued.seq, 0, 0);
+        }
+        self.emit(
+            EventKind::AuthzDeny,
+            queued.seq,
+            err.denial_code().unwrap_or(u64::MAX),
+            queued.req.caller.raw(),
+        );
+        let verdict = CallVerdict::Denied(err);
+        self.emit_verdict(queued.seq, &verdict, false);
+        self.outcomes.push(CallOutcome {
+            request: queued.req,
+            verdict,
+            latency_cycles: 0,
+            queue_wait_cycles: wait,
+            worker: self.index,
+            stolen: was_stolen,
+            coalesced: false,
+        });
     }
 
     /// Services one request on the classic path and records its outcome.
@@ -1179,6 +1261,8 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         last_budgets: HashMap::new(),
         call_history: VecDeque::new(),
         awaiting_post_respawn_sample: false,
+        authz: ctx.authz.clone(),
+        authz_gen_seen: ctx.authz.as_ref().map(|p| p.generation()).unwrap_or(0),
     };
     loop {
         pace(
@@ -1348,6 +1432,19 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                 engine.emit(EventKind::GraceReclaim, m.reclaimed, 0, 0);
             }
         }
+        // Revocation visibility marker: one atomic load per batch when
+        // the plane is on. Enforcement itself reads the shared policy
+        // per group, so this event only *witnesses* the generation bump
+        // — it is the timestamped edge the one-batch revocation-latency
+        // bound in the authz bench is measured against.
+        if let Some(policy) = &engine.authz {
+            let generation = policy.generation();
+            if generation != engine.authz_gen_seen {
+                let prev = engine.authz_gen_seen;
+                engine.authz_gen_seen = generation;
+                engine.emit(EventKind::Revocation, generation, prev, 0);
+            }
+        }
         // One relaxed load on the clean path; steps the pool back up the
         // degradation ladder once a quiet window has passed.
         engine.health.maybe_recover(engine.now());
@@ -1363,6 +1460,13 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
             None
         };
         for (caller, group) in split_by_caller(batch, first_stolen) {
+            // Policy gate: denials resolve here with typed verdicts;
+            // only the admitted remainder picks a service path. A group
+            // thinned below the coalescing threshold rides classic.
+            let group = engine.enforce_authz(group);
+            if group.is_empty() {
+                continue;
+            }
             match segment {
                 Some(seg) if seg.admits(caller) && group.len() >= 2 => {
                     for chunk in group.chunks(budget) {
@@ -1454,6 +1558,7 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         switchless,
         prefill,
         prefetch: unit.prefetch().map(|r| r.stats()).unwrap_or_default(),
+        prefetch_walk_cycles: unit.prefetch().map(|r| r.walk_cycles_spent()).unwrap_or(0),
         world_calls: ctx.platform.cpu().trace().count(TransitionKind::WorldCall) - calls_before,
         world_returns: ctx
             .platform

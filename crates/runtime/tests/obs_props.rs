@@ -240,6 +240,7 @@ fn spans_join_outcomes_one_to_one() {
             CallVerdict::TimedOut => 1,
             CallVerdict::Failed(_) => 2,
             CallVerdict::DeadLettered(_) => 3,
+            CallVerdict::Denied(_) => 4,
         };
         assert_eq!(
             span.verdict, verdict_code,

@@ -1,0 +1,244 @@
+//! Seeded adversarial-tenant workload: deterministic attack schedules
+//! against the world-call service's authorization plane.
+//!
+//! The paper leaves caller authorization to callee-side software (§3);
+//! this module generates the traffic that software must survive. Each
+//! plan is a seeded, time-ordered list of abstract [`AdversaryOp`]s —
+//! the six attack families below — which the driving harness lowers to
+//! concrete `CallRequest`s against its own world registry. The plan is
+//! deliberately runtime-agnostic (this crate models workloads, not
+//! services): it speaks in victim indices, raw WID guesses, hop counts
+//! and cache-set indices, never in live table handles, so the same plan
+//! replays identically against any service configuration and can be
+//! interleaved with a fault plan sharing the same virtual timeline.
+//!
+//! Attack families, each modeling a published attack class (see the
+//! DESIGN.md threat-model table for the mapping):
+//!
+//! * [`AttackKind::ForgedWid`] — calls naming WIDs that were never
+//!   minted (identity forgery; WIDs are monotonic and never reused, so
+//!   high guesses probe the allocator's frontier).
+//! * [`AttackKind::StaleReplay`] — calls replaying WIDs the harness has
+//!   deleted, timed to land across the eviction/grace/refault window
+//!   where a stale cache line would be most valuable.
+//! * [`AttackKind::QuotaExhaust`] — bursts of world-registration
+//!   attempts meant to exhaust a tenant's creation quota and starve
+//!   legitimate registration.
+//! * [`AttackKind::ChannelFlood`] — same-(caller, callee) call bursts
+//!   meant to monopolize a victim callee's switchless channel slots and
+//!   resident-drain budget.
+//! * [`AttackKind::ConfusedDeputy`] — calls laundered through a
+//!   multi-hop provenance chain, betting the callee authorizes the
+//!   deputy's identity instead of the chain's origin.
+//! * [`AttackKind::CacheProbe`] — call sets aimed at one WT/IWT cache
+//!   set, extracting occupancy signals from hit/miss timing.
+
+use machine::rng::SplitMix64;
+
+/// One attack family (see the module docs for what each models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Call a WID that was never minted.
+    ForgedWid,
+    /// Replay a WID the harness has deleted.
+    StaleReplay,
+    /// Burst world registrations against the tenant quota.
+    QuotaExhaust,
+    /// Burst calls into one victim callee's channel.
+    ChannelFlood,
+    /// Launder a call through a provenance chain.
+    ConfusedDeputy,
+    /// Aim a call set at one WT/IWT cache set.
+    CacheProbe,
+}
+
+impl AttackKind {
+    /// All families, in discriminant order.
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::ForgedWid,
+        AttackKind::StaleReplay,
+        AttackKind::QuotaExhaust,
+        AttackKind::ChannelFlood,
+        AttackKind::ConfusedDeputy,
+        AttackKind::CacheProbe,
+    ];
+
+    /// Stable machine-readable name (for reports and JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::ForgedWid => "forged_wid",
+            AttackKind::StaleReplay => "stale_replay",
+            AttackKind::QuotaExhaust => "quota_exhaust",
+            AttackKind::ChannelFlood => "channel_flood",
+            AttackKind::ConfusedDeputy => "confused_deputy",
+            AttackKind::CacheProbe => "cache_probe",
+        }
+    }
+}
+
+/// One abstract adversarial operation. The harness interprets the
+/// fields per [`AdversaryOp::kind`]; unused fields are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryOp {
+    /// Virtual-time instant the op is scheduled at (ordering and
+    /// fault-plan interleaving only; the harness may quantize it).
+    pub at_cycles: u64,
+    /// The attack family.
+    pub kind: AttackKind,
+    /// Victim index into the harness's victim-callee set.
+    pub victim: usize,
+    /// Raw WID guess for `ForgedWid` (an offset past the harness's
+    /// highest minted WID) and replay-slot selector for `StaleReplay`.
+    pub wid_offset: u64,
+    /// Calls (or registration attempts) in this op's burst.
+    pub burst: u32,
+    /// Provenance hops for `ConfusedDeputy` (≥ 1).
+    pub hops: u8,
+    /// Target cache-set index for `CacheProbe`.
+    pub set_index: u64,
+}
+
+/// A seeded, time-ordered adversary schedule.
+#[derive(Debug, Clone)]
+pub struct AdversaryPlan {
+    seed: u64,
+    ops: Vec<AdversaryOp>,
+}
+
+impl AdversaryPlan {
+    /// Builds a plan of `ops` operations over `victims` victim callees,
+    /// spread across `horizon_cycles` of virtual time, all derived from
+    /// `seed`. Every family appears in every non-trivial plan: the kind
+    /// cycles through [`AttackKind::ALL`] with seeded jitter, so a plan
+    /// of ≥ 12 ops exercises each family at least once while two plans
+    /// with different seeds still differ in timing, victims and bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victims` is zero or `horizon_cycles` is zero.
+    pub fn from_seed(seed: u64, ops: usize, victims: usize, horizon_cycles: u64) -> AdversaryPlan {
+        assert!(victims > 0, "need at least one victim callee");
+        assert!(horizon_cycles > 0, "need a positive horizon");
+        let mut rng = SplitMix64::new(seed ^ 0xAD5A_05A1_7E5C_0DE5u64.rotate_left(1));
+        let mut list: Vec<AdversaryOp> = (0..ops)
+            .map(|i| {
+                // Deterministic family coverage with seeded perturbation:
+                // every run of ALL.len() consecutive ops covers all six
+                // families, but which op lands where is seed-dependent.
+                let kind = AttackKind::ALL[(i + rng.below(2) as usize) % AttackKind::ALL.len()];
+                AdversaryOp {
+                    at_cycles: rng.below(horizon_cycles),
+                    kind,
+                    victim: rng.below(victims as u64) as usize,
+                    wid_offset: 1 + rng.below(1 << 20),
+                    burst: match kind {
+                        AttackKind::QuotaExhaust | AttackKind::ChannelFlood => {
+                            4 + rng.below(28) as u32
+                        }
+                        AttackKind::CacheProbe => 2 + rng.below(14) as u32,
+                        _ => 1,
+                    },
+                    hops: match kind {
+                        AttackKind::ConfusedDeputy => 1 + rng.below(5) as u8,
+                        _ => 0,
+                    },
+                    set_index: rng.below(64),
+                }
+            })
+            .collect();
+        list.sort_by_key(|op| (op.at_cycles, op.victim as u64, op.wid_offset));
+        AdversaryPlan { seed, ops: list }
+    }
+
+    /// The generating seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The schedule, ordered by `at_cycles`.
+    pub fn ops(&self) -> &[AdversaryOp] {
+        &self.ops
+    }
+
+    /// Ops of one family, in schedule order.
+    pub fn of_kind(&self, kind: AttackKind) -> impl Iterator<Item = &AdversaryOp> + '_ {
+        self.ops.iter().filter(move |op| op.kind == kind)
+    }
+
+    /// Total individual attack actions (bursts expanded).
+    pub fn total_actions(&self) -> u64 {
+        self.ops.iter().map(|op| u64::from(op.burst)).sum()
+    }
+
+    /// Per-family op counts, indexed like [`AttackKind::ALL`].
+    pub fn counts(&self) -> [u64; AttackKind::ALL.len()] {
+        let mut counts = [0u64; AttackKind::ALL.len()];
+        for op in &self.ops {
+            let idx = AttackKind::ALL
+                .iter()
+                .position(|&k| k == op.kind)
+                .expect("kind drawn from ALL");
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = AdversaryPlan::from_seed(42, 64, 4, 1_000_000);
+        let b = AdversaryPlan::from_seed(42, 64, 4, 1_000_000);
+        assert_eq!(a.ops(), b.ops());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = AdversaryPlan::from_seed(1, 64, 4, 1_000_000);
+        let b = AdversaryPlan::from_seed(2, 64, 4, 1_000_000);
+        assert_ne!(a.ops(), b.ops());
+    }
+
+    #[test]
+    fn every_family_appears_in_a_nontrivial_plan() {
+        let plan = AdversaryPlan::from_seed(7, 48, 3, 500_000);
+        let counts = plan.counts();
+        for (kind, count) in AttackKind::ALL.iter().zip(counts) {
+            assert!(count > 0, "{} never scheduled", kind.name());
+        }
+        assert_eq!(counts.iter().sum::<u64>(), 48);
+    }
+
+    #[test]
+    fn ops_are_time_ordered_and_fields_bounded() {
+        let plan = AdversaryPlan::from_seed(9, 96, 5, 250_000);
+        let mut last = 0u64;
+        for op in plan.ops() {
+            assert!(op.at_cycles >= last, "schedule must be time-ordered");
+            last = op.at_cycles;
+            assert!(op.at_cycles < 250_000);
+            assert!(op.victim < 5);
+            assert!(op.wid_offset >= 1);
+            assert!(op.burst >= 1);
+            match op.kind {
+                AttackKind::ConfusedDeputy => assert!(op.hops >= 1),
+                _ => assert_eq!(op.hops, 0),
+            }
+        }
+        assert!(plan.total_actions() >= 96, "bursts only add actions");
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        for a in AttackKind::ALL {
+            for b in AttackKind::ALL {
+                if a != b {
+                    assert_ne!(a.name(), b.name());
+                }
+            }
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //! * [`shifting_hotspot`] — a Zipf popularity law whose hot callee set
 //!   rotates on a seeded virtual-time schedule, for exercising the
 //!   profile-guided feedback plane's re-convergence.
+//! * [`adversary`] — seeded adversarial-tenant schedules (forged and
+//!   replayed WIDs, quota and channel floods, confused-deputy chains,
+//!   WT/IWT set probes) for exercising the callee authorization plane.
 
+pub mod adversary;
 pub mod lmbench;
 pub mod micro;
 pub mod openloop;
