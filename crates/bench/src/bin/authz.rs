@@ -24,7 +24,9 @@
 //!   more than one batch of that caller's calls completes after the
 //!   witness.
 //!
-//! Usage: `authz [output-path]` (default `BENCH_authz.json`).
+//! Usage: `authz [output-path] [--trace-out PATH]` (default
+//! `BENCH_authz.json`). With `--trace-out` the revocation probe's
+//! recording is written as a combined Perfetto/recording document.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -419,8 +421,10 @@ fn parity() -> (u64, u64) {
 
 /// Revocation latency: revoke a warm, switchless-resident caller
 /// mid-run; the worker must witness the generation bump and complete at
-/// most one more batch of that caller's calls after the witness.
-fn revocation_probe() -> (u64, u64) {
+/// most one more batch of that caller's calls after the witness. With
+/// `trace_out` the probe's recording is written as a combined
+/// Perfetto/recording document.
+fn revocation_probe(trace_out: Option<&str>) -> (u64, u64) {
     let mut h = build(
         1,
         DispatchMode::LockFreeRings,
@@ -476,13 +480,24 @@ fn revocation_probe() -> (u64, u64) {
         after_witness <= BATCH_MAX as u64,
         "revocation overran one batch: {after_witness} completions after the witness"
     );
+    if let Some(trace_path) = trace_out {
+        std::fs::write(trace_path, doc.render_json()).expect("write trace json");
+        eprintln!("wrote {trace_path} ({} events)", doc.events.len());
+    }
     (after_witness, witness_ts)
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_authz.json".to_string());
+    let mut out_path = "BENCH_authz.json".to_string();
+    let mut trace_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            positional => out_path = positional.to_string(),
+        }
+    }
 
     // ---- Parity: the plane is free when it denies nothing. -----------
     let (parity_cycles, parity_checks) = parity();
@@ -533,7 +548,7 @@ fn main() {
     );
 
     // ---- Revocation latency. -----------------------------------------
-    let (after_witness, witness_ts) = revocation_probe();
+    let (after_witness, witness_ts) = revocation_probe(trace_out.as_deref());
     eprintln!(
         "revocation: witnessed at ts {witness_ts}, {after_witness} completions after \
          the witness (bound: one batch of {BATCH_MAX})"

@@ -22,13 +22,16 @@
 //!    regression tripwire for the CI perf-smoke job);
 //! 3. tuned simulated throughput scales monotonically with workers.
 //!
-//! Usage: `hotpath [output-path]` (default `BENCH_hotpath.json`).
+//! Usage: `hotpath [output-path] [--trace-out PATH]` (default
+//! `BENCH_hotpath.json`). With `--trace-out` the tuned 4-worker point
+//! is repeated with the obs plane recording and the combined
+//! Perfetto/recording document is written to PATH.
 
 use std::fmt::Write as _;
 
 use machine::rng::SplitMix64;
 use runtime::report::hit_rate;
-use runtime::{CallRequest, DispatchMode, RuntimeConfig, WorldCallService};
+use runtime::{trace_doc, CallRequest, DispatchMode, ObsConfig, RuntimeConfig, WorldCallService};
 
 const CALLS_PER_POINT: u64 = 6_000;
 const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -75,12 +78,17 @@ struct Point {
     stolen: u64,
 }
 
-fn build_service(cfg: Config, workers: usize) -> (WorldCallService, Vec<crossover::world::Wid>) {
+fn build_service(
+    cfg: Config,
+    workers: usize,
+    obs: ObsConfig,
+) -> (WorldCallService, Vec<crossover::world::Wid>) {
     let mut svc = WorldCallService::new(RuntimeConfig {
         workers,
         queue_capacity: CALLS_PER_POINT as usize,
         dispatch: cfg.dispatch,
         unified_tlb: cfg.unified_tlb,
+        obs,
         ..RuntimeConfig::default()
     });
     let mut worlds = Vec::new();
@@ -125,7 +133,7 @@ fn draw_request(rng: &mut SplitMix64, worlds: &[crossover::world::Wid]) -> CallR
 }
 
 fn run_point(cfg: Config, workers: usize) -> Point {
-    let (mut svc, worlds) = build_service(cfg, workers);
+    let (mut svc, worlds) = build_service(cfg, workers, ObsConfig::off());
     let mut rng = SplitMix64::new(SEED);
     for _ in 0..CALLS_PER_POINT {
         svc.submit(draw_request(&mut rng, &worlds))
@@ -188,10 +196,33 @@ fn write_point(out: &mut String, p: &Point) {
     );
 }
 
+/// Re-runs the tuned 4-worker point with the obs plane recording and
+/// writes the combined Perfetto/recording document.
+fn trace_run(trace_path: &str) {
+    let (mut svc, worlds) = build_service(CONFIGS[1], 4, ObsConfig::ring());
+    let mut rng = SplitMix64::new(SEED);
+    for _ in 0..CALLS_PER_POINT {
+        svc.submit(draw_request(&mut rng, &worlds))
+            .expect("dispatcher open while benching");
+    }
+    svc.start();
+    let report = svc.drain();
+    let doc = trace_doc("hotpath tuned", &report, 3.4).expect("obs was enabled for the traced run");
+    std::fs::write(trace_path, doc.render_json()).expect("write trace json");
+    eprintln!("wrote {trace_path} ({} events)", doc.events.len());
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let mut out_path = "BENCH_hotpath.json".to_string();
+    let mut trace_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out needs a path")),
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            positional => out_path = positional.to_string(),
+        }
+    }
 
     let mut sweeps: Vec<(Config, Vec<Point>)> = Vec::new();
     for cfg in CONFIGS {
@@ -286,4 +317,7 @@ fn main() {
     out.push_str("  ]\n}\n");
     std::fs::write(&out_path, out).expect("write benchmark json");
     eprintln!("wrote {out_path}");
+    if let Some(trace_path) = trace_out {
+        trace_run(&trace_path);
+    }
 }

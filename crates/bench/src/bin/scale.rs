@@ -26,8 +26,11 @@
 //! at s ≤ 1.2 the tail of a 10⁵-world sweep is so flat that the p90
 //! reuse distance (hence the window) exceeds the whole trace.
 //!
-//! Usage: `scale [output-path] [--max-worlds N]` (defaults
-//! `BENCH_scale.json`, 1_000_000; CI passes `--max-worlds 100000`).
+//! Usage: `scale [output-path] [--max-worlds N] [--trace-out PATH]`
+//! (defaults `BENCH_scale.json`, 1_000_000; CI passes
+//! `--max-worlds 100000`). With `--trace-out` the 10k-world service
+//! point is repeated with the obs plane recording and written as a
+//! combined Perfetto/recording document.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,7 +38,9 @@ use std::time::Instant;
 use crossover::world::{Wid, WorldDescriptor};
 use machine::rng::{SplitMix64, Zipf};
 use runtime::report::percentile;
-use runtime::{CallRequest, EpochWorldTable, RuntimeConfig, WorldCallService};
+use runtime::{
+    trace_doc, CallRequest, EpochWorldTable, ObsConfig, RuntimeConfig, WorldCallService,
+};
 
 const ZIPF_S: f64 = 1.4;
 const SEED: u64 = 0x5CA1_E0DD;
@@ -103,9 +108,15 @@ fn distinct_in_window(stream: &[u32], window: u64) -> usize {
 /// The service point: the full registration resident underneath, calls
 /// among a small hot callee set on top. Returns virtual cycles/call.
 fn service_point(n: usize) -> f64 {
+    let report = service_report(n, ObsConfig::off());
+    report.smp.total_cycles() as f64 / report.completed as f64
+}
+
+fn service_report(n: usize, obs: ObsConfig) -> runtime::ServiceReport {
     let mut svc = WorldCallService::new(RuntimeConfig {
         workers: SERVICE_WORKERS,
         queue_capacity: SERVICE_CALLS as usize + 1,
+        obs,
         ..RuntimeConfig::default()
     });
     let mut callees: Vec<Wid> = Vec::new();
@@ -130,7 +141,17 @@ fn service_point(n: usize) -> f64 {
         report.completed, SERVICE_CALLS,
         "every service-point call completes at n={n}"
     );
-    report.smp.total_cycles() as f64 / report.completed as f64
+    report
+}
+
+/// Re-runs the 10k-world service point with the obs plane recording
+/// and writes the combined Perfetto/recording document.
+fn trace_run(trace_path: &str) {
+    let report = service_report(10_000, ObsConfig::ring());
+    let doc =
+        trace_doc("scale service point", &report, 3.4).expect("obs was enabled for the traced run");
+    std::fs::write(trace_path, doc.render_json()).expect("write trace json");
+    eprintln!("wrote {trace_path} ({} events)", doc.events.len());
 }
 
 fn run_point(n: usize) -> Point {
@@ -244,6 +265,7 @@ fn run_point(n: usize) -> Point {
 fn main() {
     let mut out_path = String::from("BENCH_scale.json");
     let mut max_worlds = 1_000_000usize;
+    let mut trace_out = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -253,6 +275,10 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .expect("--max-worlds N");
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).expect("--trace-out needs a path").clone());
                 i += 2;
             }
             p => {
@@ -354,4 +380,7 @@ fn main() {
     );
     std::fs::write(&out_path, out).expect("write benchmark json");
     eprintln!("wrote {out_path} (flatness {flatness:.2}x, bounded {all_bounded})");
+    if let Some(trace_path) = trace_out {
+        trace_run(&trace_path);
+    }
 }

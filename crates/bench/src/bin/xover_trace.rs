@@ -1,10 +1,12 @@
 //! `xover-trace`: replay a recorded run and hold it to its invariants.
 //!
 //! Reads a combined Perfetto/recording document (the `--trace-out`
-//! output of `serve_bench`, `switchless` or `faults`), stitches the
-//! per-request span tree back out of the event stream, prints the top-N
-//! slowest spans with their phase breakdown (queue wait vs on-CPU
-//! service), and runs the conservation checks:
+//! output of `serve_bench`, `switchless`, `faults`, `hotpath`, `scale`,
+//! `authz` or `slo`), stitches the per-request span tree back out of
+//! the event stream, prints the top-N slowest spans with their phase
+//! breakdown (queue wait vs on-CPU service), prints the causal
+//! critical-path decomposition (where the recorded cycles actually
+//! went, component by component), and runs the conservation checks:
 //!
 //! * per-kind obs `world_call`/`world_return` counts equal the
 //!   machine-level `Trace` counts recorded alongside (lossless runs);
@@ -18,6 +20,7 @@
 //!
 //! Usage: `xover-trace <recording.json> [--top N]`
 
+use obs::causal::analyze;
 use obs::{top_slowest, verify, TraceDoc};
 
 fn main() {
@@ -81,6 +84,25 @@ fn main() {
             s.verdict_name(),
             if s.coalesced { " [coalesced]" } else { "" },
             if s.stolen { " [stolen]" } else { "" },
+        );
+    }
+
+    // Causal decomposition: the same events, attributed. Components sum
+    // to queue wait + service for every request (the `critical-path`
+    // conservation check below holds this to the cycle).
+    let causal = analyze(&doc.events);
+    let attributed: u64 = causal.totals.iter().sum();
+    println!(
+        "\ncritical-path decomposition ({} paths, {} cycles attributed):",
+        causal.paths.len(),
+        attributed
+    );
+    for (component, cycles) in causal.ranked() {
+        println!(
+            "  {:>11} {:>14} cyc  {:>5.1}%",
+            component.name(),
+            cycles,
+            100.0 * cycles as f64 / attributed.max(1) as f64
         );
     }
 

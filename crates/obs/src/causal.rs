@@ -1,0 +1,552 @@
+//! Causal critical-path decomposition of recorded request lifecycles.
+//!
+//! Every event inside a request's service window is stamped on the
+//! *same* worker clock, so the window's interior events partition it
+//! exactly: walking the boundaries (dispatch → retries → world call →
+//! drain slot → world return → verdict) and attributing each segment to
+//! a named component yields a decomposition whose components sum to the
+//! measured end-to-end latency **to the cycle** — not approximately, but
+//! by construction, because virtual time never advances between two
+//! consecutive boundary timestamps except through metered charges. That
+//! identity is checked per request by the `critical-path` conservation
+//! check (`verify`) and is what makes the watchdog's "top contributor"
+//! attribution trustworthy: the named cycles *are* the latency, with no
+//! unattributed residue.
+//!
+//! The decomposition is a single forward pass. Request windows on one
+//! worker track never overlap (a verdict is emitted before the next
+//! dispatch, both on the classic path and inside a resident drain), so
+//! one open window per track suffices; a re-dispatch of the same
+//! request (supervisor crash retry, broken-drain classic re-run)
+//! supersedes the abandoned window and the final decomposition reflects
+//! the attempt that actually reached the verdict — mirroring how
+//! [`crate::span::build_spans`] keeps the last dispatch.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, EventKind};
+use crate::span::{build_spans, Span};
+
+/// Number of named latency components.
+pub const COMPONENT_COUNT: usize = 8;
+
+/// A named slice of a request's end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Component {
+    /// Virtual-time dispatch delay: submission stamp to pickup (the
+    /// authoritative queue-wait settled by the dispatching worker).
+    QueueWait = 0,
+    /// Cycles between pickup and execution attributable to the steal
+    /// hop. Stealing is free in virtual time (the hop itself meters
+    /// nothing); the component exists so the taxonomy is total and a
+    /// future priced hop lands in a named bucket instead of vanishing.
+    StealHop = 1,
+    /// World-transition cycles on the request's own critical path:
+    /// caller state save + `world_call` entry, and the return + caller
+    /// state restore after the body (forced restores included). Requests
+    /// serviced by a resident drain amortize the pair across the batch
+    /// and show (near-)zero here — exactly the paper's claim.
+    Transition = 2,
+    /// On-CPU callee service: the body between the call and return
+    /// boundaries, or a drained request's slice of the residency.
+    Service = 3,
+    /// Switchless channel slot cycles that were observed as their own
+    /// segment (a verified slot read that faulted before the body ran).
+    /// Healthy drains fold slot reads/writes into [`Component::Service`]
+    /// — no event boundary separates them from the body.
+    Slot = 4,
+    /// Supervisor retry backoff charged to this request's window
+    /// (exact, from the `RetryBackoff` payload).
+    Backoff = 5,
+    /// Recovery cycles: failed lookup attempts between retries, fault
+    /// observation and quarantine handling, dead-letter settlement.
+    Recovery = 6,
+    /// Interior cycles not claimed by a more specific component (for
+    /// example the pre-call segment of a request that failed before
+    /// any transition). Kept named so the identity stays exact.
+    Other = 7,
+}
+
+/// Every component, in dense index order.
+pub const ALL_COMPONENTS: [Component; COMPONENT_COUNT] = [
+    Component::QueueWait,
+    Component::StealHop,
+    Component::Transition,
+    Component::Service,
+    Component::Slot,
+    Component::Backoff,
+    Component::Recovery,
+    Component::Other,
+];
+
+impl Component {
+    /// Dense index (the discriminant).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable machine-readable name used in exports and incidents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::QueueWait => "queue_wait",
+            Component::StealHop => "steal_hop",
+            Component::Transition => "transition",
+            Component::Service => "service",
+            Component::Slot => "slot",
+            Component::Backoff => "backoff",
+            Component::Recovery => "recovery",
+            Component::Other => "other",
+        }
+    }
+}
+
+/// One request's exact latency decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Submission sequence number (joins with [`Span::seq`]).
+    pub seq: u64,
+    /// Worker that serviced the final attempt.
+    pub worker: u32,
+    /// Callee world id.
+    pub callee: u64,
+    /// Worker-clock pickup time of the decisive dispatch.
+    pub dispatched_at: u64,
+    /// Worker-clock verdict time.
+    pub ended_at: u64,
+    /// Verdict code (see [`crate::span::verdict_name`]).
+    pub verdict: u8,
+    /// Whether a resident drain serviced the request.
+    pub coalesced: bool,
+    /// Whether the request was stolen from a peer's ring.
+    pub stolen: bool,
+    /// Cycles per component, indexed by [`Component::index`].
+    pub components: [u64; COMPONENT_COUNT],
+}
+
+impl CriticalPath {
+    /// Sum of all named components. Equal to
+    /// `queue_wait + (ended_at - dispatched_at)` by construction.
+    pub fn total_cycles(&self) -> u64 {
+        self.components.iter().sum()
+    }
+
+    /// Cycles attributed to one component.
+    pub fn component(&self, c: Component) -> u64 {
+        self.components[c.index()]
+    }
+
+    /// The dominant component, service-side components first on ties.
+    pub fn top_component(&self) -> Component {
+        let mut best = Component::QueueWait;
+        for c in ALL_COMPONENTS {
+            if self.components[c.index()] > self.components[best.index()] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Aggregated decomposition over a recording.
+#[derive(Debug, Clone, Default)]
+pub struct CausalReport {
+    /// Per-request decompositions, ascending by `seq`.
+    pub paths: Vec<CriticalPath>,
+    /// Cycle totals per component across all paths.
+    pub totals: [u64; COMPONENT_COUNT],
+}
+
+impl CausalReport {
+    /// Components ranked by aggregate cycles, largest first, zeros
+    /// omitted. The ranking an incident reports as its contributors.
+    pub fn ranked(&self) -> Vec<(Component, u64)> {
+        let mut out: Vec<(Component, u64)> = ALL_COMPONENTS
+            .iter()
+            .map(|&c| (c, self.totals[c.index()]))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        out.sort_by_key(|&(c, v)| (std::cmp::Reverse(v), c.index()));
+        out
+    }
+
+    /// Like [`CausalReport::ranked`] but restricted to paths whose
+    /// verdict landed inside `[from, to]` — the incident-window view.
+    pub fn ranked_within(&self, from: u64, to: u64) -> Vec<(Component, u64)> {
+        let mut totals = [0u64; COMPONENT_COUNT];
+        for p in &self.paths {
+            if p.ended_at >= from && p.ended_at <= to {
+                for (t, c) in totals.iter_mut().zip(&p.components) {
+                    *t += c;
+                }
+            }
+        }
+        let mut out: Vec<(Component, u64)> = ALL_COMPONENTS
+            .iter()
+            .map(|&c| (c, totals[c.index()]))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        out.sort_by_key(|&(c, v)| (std::cmp::Reverse(v), c.index()));
+        out
+    }
+}
+
+/// Per-track walking state for one open request window.
+struct Window {
+    seq: u64,
+    callee: u64,
+    queue_wait: u64,
+    dispatched_at: u64,
+    /// Timestamp of the last boundary event processed.
+    prev_ts: u64,
+    /// Kind of the last *meaningful* boundary (classifies the segment
+    /// that the verdict terminates).
+    last: EventKind,
+    /// Backoff cycles announced by the last `RetryBackoff`, consumed by
+    /// the next segment (the charge lands immediately after the event).
+    pending_backoff: u64,
+    stolen: bool,
+    coalesced: bool,
+    components: [u64; COMPONENT_COUNT],
+}
+
+impl Window {
+    fn open(e: &Event) -> Window {
+        Window {
+            seq: e.a,
+            callee: e.c,
+            queue_wait: e.b,
+            dispatched_at: e.ts,
+            prev_ts: e.ts,
+            last: EventKind::RequestDispatch,
+            pending_backoff: 0,
+            stolen: false,
+            coalesced: false,
+            components: [0; COMPONENT_COUNT],
+        }
+    }
+
+    /// Closes the segment `[prev_ts, e.ts]`, splitting off any pending
+    /// backoff first (exact: the backoff charge is the first thing on
+    /// the clock after a `RetryBackoff` event), and attributes the
+    /// remainder to `to`.
+    fn segment(&mut self, ts: u64, to: Component) {
+        let mut seg = ts.saturating_sub(self.prev_ts);
+        let backoff = seg.min(self.pending_backoff);
+        self.components[Component::Backoff.index()] += backoff;
+        self.pending_backoff -= backoff;
+        seg -= backoff;
+        self.components[to.index()] += seg;
+        self.prev_ts = ts;
+    }
+}
+
+/// Decomposes every request lifecycle in a merged event stream. Only
+/// windows that reach a verdict produce a path; `seq`s ascend. Pair
+/// with [`build_spans`] over the same events to cross-check the
+/// identity (`verify` does exactly that).
+pub fn decompose(events: &[Event]) -> Vec<CriticalPath> {
+    let mut open: HashMap<u32, Window> = HashMap::new();
+    let mut paths = Vec::new();
+    for e in events {
+        if e.kind == EventKind::RequestDispatch {
+            // A dispatch supersedes any window its track left open (a
+            // crash retry or broken-drain re-run will re-dispatch the
+            // abandoned seq later).
+            open.insert(e.worker, Window::open(e));
+            continue;
+        }
+        let Some(w) = open.get_mut(&e.worker) else {
+            continue;
+        };
+        match e.kind {
+            EventKind::RequestSteal => {
+                // Zero-length by construction (emitted back-to-back
+                // with the dispatch); close it into the named bucket so
+                // a future priced hop is already attributed.
+                w.segment(e.ts, Component::StealHop);
+                w.stolen = true;
+            }
+            EventKind::WorldCall => {
+                // Save + call entry (plus any final lookup attempt).
+                w.segment(e.ts, Component::Transition);
+                w.last = EventKind::WorldCall;
+            }
+            EventKind::WorldReturn => {
+                // Body up to (and including) the return switch; the
+                // restore tail is closed by the verdict.
+                w.segment(e.ts, Component::Service);
+                w.last = EventKind::WorldReturn;
+            }
+            EventKind::DrainExtend => {
+                w.segment(e.ts, Component::Slot);
+                w.last = EventKind::DrainExtend;
+                w.coalesced = true;
+            }
+            EventKind::RetryBackoff => {
+                // The segment behind us is the failed attempt; the
+                // announced backoff is consumed by the next segment.
+                w.segment(e.ts, Component::Recovery);
+                w.pending_backoff += e.b;
+                w.last = EventKind::RetryBackoff;
+            }
+            EventKind::FaultObserved | EventKind::Quarantine | EventKind::DeadLetter => {
+                // Inside a drained window a fault boundary closes the
+                // verified slot read that refused the body.
+                let to = if w.last == EventKind::DrainExtend {
+                    Component::Slot
+                } else {
+                    Component::Recovery
+                };
+                w.segment(e.ts, to);
+                w.last = e.kind;
+            }
+            EventKind::RequestVerdict if e.a == w.seq => {
+                let tail = match w.last {
+                    EventKind::WorldReturn => Component::Transition,
+                    EventKind::DrainExtend => Component::Service,
+                    EventKind::RetryBackoff
+                    | EventKind::FaultObserved
+                    | EventKind::Quarantine
+                    | EventKind::DeadLetter => Component::Recovery,
+                    _ => Component::Other,
+                };
+                let mut w = open.remove(&e.worker).expect("window just probed");
+                w.segment(e.ts, tail);
+                w.components[Component::QueueWait.index()] += w.queue_wait;
+                paths.push(CriticalPath {
+                    seq: w.seq,
+                    worker: e.worker,
+                    callee: w.callee,
+                    dispatched_at: w.dispatched_at,
+                    ended_at: e.ts,
+                    verdict: e.b as u8,
+                    coalesced: w.coalesced || e.c != 0,
+                    stolen: w.stolen,
+                    components: w.components,
+                });
+            }
+            _ => {} // neutral marker (cache deltas, authz audit, drain close…)
+        }
+    }
+    paths.sort_by_key(|p| p.seq);
+    paths
+}
+
+/// Decomposes a merged stream and aggregates component totals.
+pub fn analyze(events: &[Event]) -> CausalReport {
+    let paths = decompose(events);
+    let mut totals = [0u64; COMPONENT_COUNT];
+    for p in &paths {
+        for (t, c) in totals.iter_mut().zip(&p.components) {
+            *t += c;
+        }
+    }
+    CausalReport { paths, totals }
+}
+
+/// Cross-checks the decomposition against independently stitched spans:
+/// every span must have exactly one path whose components sum to the
+/// span's end-to-end cycles, with matching queue-wait. Returns the
+/// human-readable violations (empty means the identity holds for every
+/// traced request).
+pub fn check_exact(events: &[Event]) -> (Vec<CriticalPath>, Vec<String>) {
+    let spans: Vec<Span> = build_spans(events);
+    let paths = decompose(events);
+    let mut violations = Vec::new();
+    let by_seq: HashMap<u64, &CriticalPath> = paths.iter().map(|p| (p.seq, p)).collect();
+    if spans.len() != paths.len() {
+        violations.push(format!(
+            "{} spans stitched but {} critical paths decomposed",
+            spans.len(),
+            paths.len()
+        ));
+    }
+    for s in &spans {
+        match by_seq.get(&s.seq) {
+            None => violations.push(format!("seq {}: span has no critical path", s.seq)),
+            Some(p) => {
+                if p.total_cycles() != s.total_cycles() {
+                    violations.push(format!(
+                        "seq {}: components sum to {} but span measured {}",
+                        s.seq,
+                        p.total_cycles(),
+                        s.total_cycles()
+                    ));
+                }
+                if p.component(Component::QueueWait) != s.queue_wait {
+                    violations.push(format!(
+                        "seq {}: queue-wait component {} vs span {}",
+                        s.seq,
+                        p.component(Component::QueueWait),
+                        s.queue_wait
+                    ));
+                }
+            }
+        }
+    }
+    (paths, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::SUBMIT_TRACK;
+
+    fn ev(ts: u64, w: u32, kind: EventKind, a: u64, b: u64, c: u64) -> Event {
+        Event::new(ts, w, kind, a, b, c)
+    }
+
+    #[test]
+    fn classic_call_decomposes_into_transition_service_transition() {
+        let events = [
+            ev(5, SUBMIT_TRACK, EventKind::RequestEnqueue, 0, 1, 2),
+            ev(100, 0, EventKind::RequestDispatch, 0, 95, 2),
+            ev(140, 0, EventKind::WorldCall, 1, 2, 0), // 40 save+call
+            ev(900, 0, EventKind::WorldReturn, 2, 1, 0), // 760 body+return
+            ev(930, 0, EventKind::RequestVerdict, 0, 0, 0), // 30 restore
+        ];
+        let paths = decompose(&events);
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.component(Component::QueueWait), 95);
+        assert_eq!(p.component(Component::Transition), 40 + 30);
+        assert_eq!(p.component(Component::Service), 760);
+        assert_eq!(p.component(Component::Backoff), 0);
+        assert_eq!(p.total_cycles(), 95 + 830);
+        assert_eq!(p.top_component(), Component::Service);
+    }
+
+    #[test]
+    fn retry_backoff_is_split_exactly() {
+        let events = [
+            ev(100, 0, EventKind::RequestDispatch, 0, 10, 2),
+            // attempt 0 fails after 5 cycles of lookup, backs off 200
+            ev(105, 0, EventKind::RetryBackoff, 0, 200, 0),
+            // attempt 1 succeeds after the backoff + 7 more lookup cycles
+            ev(312, 0, EventKind::WorldCall, 1, 2, 0),
+            ev(500, 0, EventKind::WorldReturn, 2, 1, 0),
+            ev(520, 0, EventKind::RequestVerdict, 0, 0, 0),
+        ];
+        let p = &decompose(&events)[0];
+        assert_eq!(p.component(Component::Recovery), 5);
+        assert_eq!(p.component(Component::Backoff), 200);
+        assert_eq!(p.component(Component::Transition), 7 + 20);
+        assert_eq!(p.component(Component::Service), 188);
+        assert_eq!(p.total_cycles(), 10 + 420);
+    }
+
+    #[test]
+    fn drained_slice_is_service_with_amortized_transitions() {
+        let events = [
+            ev(50, 0, EventKind::WorldCall, 1, 2, 1), // residency open: no window
+            ev(50, 0, EventKind::DrainOpen, 1, 2, 3),
+            ev(60, 0, EventKind::RequestDispatch, 4, 12, 2),
+            ev(60, 0, EventKind::DrainExtend, 4, 2, 0),
+            ev(300, 0, EventKind::RequestVerdict, 4, 0, 1),
+        ];
+        let p = &decompose(&events)[0];
+        assert!(p.coalesced);
+        assert_eq!(p.component(Component::Transition), 0);
+        assert_eq!(p.component(Component::Service), 240);
+        assert_eq!(p.component(Component::QueueWait), 12);
+        assert_eq!(p.total_cycles(), 252);
+    }
+
+    #[test]
+    fn dead_letter_after_retries_lands_in_recovery() {
+        let events = [
+            ev(100, 0, EventKind::RequestDispatch, 9, 0, 2),
+            ev(110, 0, EventKind::FaultObserved, 7, 0, 0),
+            ev(110, 0, EventKind::RetryBackoff, 0, 300, 0),
+            ev(415, 0, EventKind::FaultObserved, 7, 0, 0),
+            ev(415, 0, EventKind::DeadLetter, 9, 0, 0),
+            ev(415, 0, EventKind::RequestVerdict, 9, 3, 0),
+        ];
+        let p = &decompose(&events)[0];
+        assert_eq!(p.verdict, 3);
+        assert_eq!(p.component(Component::Backoff), 300);
+        assert_eq!(p.component(Component::Recovery), 10 + 5);
+        assert_eq!(p.total_cycles(), 315);
+        assert_eq!(p.top_component(), Component::Backoff);
+    }
+
+    #[test]
+    fn superseded_dispatch_uses_the_decisive_attempt() {
+        // First dispatch abandoned (broken drain), classic re-run decides.
+        let events = [
+            ev(100, 0, EventKind::RequestDispatch, 3, 10, 2),
+            ev(100, 0, EventKind::DrainExtend, 3, 2, 0),
+            ev(130, 0, EventKind::FaultObserved, 5, 0, 0),
+            ev(130, 0, EventKind::Quarantine, 2, 0, 0),
+            ev(200, 0, EventKind::RequestDispatch, 3, 10, 2),
+            ev(230, 0, EventKind::WorldCall, 1, 2, 0),
+            ev(400, 0, EventKind::WorldReturn, 2, 1, 0),
+            ev(420, 0, EventKind::RequestVerdict, 3, 0, 0),
+        ];
+        let paths = decompose(&events);
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.dispatched_at, 200);
+        assert!(!p.coalesced, "decisive attempt was classic");
+        assert_eq!(p.total_cycles(), 10 + 220);
+    }
+
+    #[test]
+    fn check_exact_agrees_with_spans() {
+        let events = [
+            ev(5, SUBMIT_TRACK, EventKind::RequestEnqueue, 0, 1, 2),
+            ev(100, 0, EventKind::RequestDispatch, 0, 95, 2),
+            ev(140, 0, EventKind::WorldCall, 1, 2, 0),
+            ev(900, 0, EventKind::WorldReturn, 2, 1, 0),
+            ev(930, 0, EventKind::RequestVerdict, 0, 0, 0),
+            ev(935, 1, EventKind::RequestDispatch, 1, 3, 4),
+            ev(935, 1, EventKind::RequestSteal, 1, 0, 0),
+            ev(950, 1, EventKind::WorldCall, 1, 4, 0),
+            ev(990, 1, EventKind::WorldReturn, 4, 1, 0),
+            ev(999, 1, EventKind::RequestVerdict, 1, 0, 0),
+        ];
+        let (paths, violations) = check_exact(&events);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(paths.len(), 2);
+        assert!(paths[1].stolen);
+    }
+
+    #[test]
+    fn check_exact_reports_a_missing_path() {
+        // A verdict with no dispatch on its track produces a span-side
+        // anomaly but no path; the cross-check must flag the imbalance
+        // rather than silently passing.
+        let events = [
+            ev(100, 0, EventKind::RequestDispatch, 0, 5, 2),
+            ev(200, 0, EventKind::RequestVerdict, 0, 0, 0),
+            ev(300, 1, EventKind::RequestVerdict, 8, 0, 0),
+        ];
+        let (_, violations) = check_exact(&events);
+        assert!(violations.is_empty(), "orphan verdicts stitch no span");
+        let spans = build_spans(&events);
+        assert_eq!(spans.len(), 1);
+    }
+
+    #[test]
+    fn ranked_orders_components_and_windows_filter() {
+        let events = [
+            ev(100, 0, EventKind::RequestDispatch, 0, 50, 2),
+            ev(120, 0, EventKind::WorldCall, 1, 2, 0),
+            ev(400, 0, EventKind::WorldReturn, 2, 1, 0),
+            ev(410, 0, EventKind::RequestVerdict, 0, 0, 0),
+            ev(1000, 0, EventKind::RequestDispatch, 1, 5, 2),
+            ev(1600, 0, EventKind::WorldCall, 1, 2, 0),
+            ev(1650, 0, EventKind::WorldReturn, 2, 1, 0),
+            ev(1660, 0, EventKind::RequestVerdict, 1, 0, 0),
+        ];
+        let report = analyze(&events);
+        let ranked = report.ranked();
+        assert_eq!(ranked[0].0, Component::Transition); // 20+10 + 600+10
+                                                        // Only the second request ended inside [1000, 2000]: transition
+                                                        // dominates its window (the 600-cycle pre-call segment).
+        let windowed = report.ranked_within(1000, 2000);
+        assert_eq!(windowed[0].0, Component::Transition);
+        assert_eq!(windowed[0].1, 610);
+    }
+}

@@ -94,10 +94,16 @@ pub enum EventKind {
     /// (the revocation-visibility marker the one-batch bound is measured
     /// against). a=generation now visible, b=previous generation.
     Revocation = 33,
+    /// The SLO watchdog raised an incident. Synthesized post-hoc on the
+    /// [`WATCHDOG_TRACK`](crate::ring::WATCHDOG_TRACK) when a recorded
+    /// trace is annotated — never emitted from a worker ring. a=epoch
+    /// index of the breached window, b=objective code (0=latency-p99,
+    /// 1=shed-rate, 2=dead-letter-budget), c=burn rate ×100.
+    SloIncident = 34,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 35;
 
     pub const ALL: [EventKind; EventKind::COUNT] = [
         EventKind::RequestEnqueue,
@@ -134,6 +140,7 @@ impl EventKind {
         EventKind::PrefillRun,
         EventKind::AuthzDeny,
         EventKind::Revocation,
+        EventKind::SloIncident,
     ];
 
     /// Dense index (the discriminant).
@@ -178,6 +185,7 @@ impl EventKind {
             EventKind::PrefillRun => "prefill_run",
             EventKind::AuthzDeny => "authz_deny",
             EventKind::Revocation => "revocation",
+            EventKind::SloIncident => "slo_incident",
         }
     }
 

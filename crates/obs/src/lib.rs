@@ -31,6 +31,7 @@
 //! virtual cycles, so an instrumented run is cycle-exact with an
 //! uninstrumented one (asserted by the runtime's obs parity tests).
 
+pub mod causal;
 pub mod config;
 pub mod event;
 pub mod hist;
@@ -41,11 +42,12 @@ pub mod ring;
 pub mod span;
 pub mod verify;
 
+pub use causal::{decompose, CausalReport, Component, CriticalPath, COMPONENT_COUNT};
 pub use config::{ObsConfig, ObsMode, DEFAULT_RING_CAPACITY};
 pub use event::{Event, EventKind};
 pub use hist::LogHistogram;
 pub use perfetto::TraceDoc;
 pub use registry::Registry;
-pub use ring::{EventRing, ObsReport, Recorder, SUBMIT_TRACK};
+pub use ring::{EventRing, ObsReport, Recorder, SUBMIT_TRACK, WATCHDOG_TRACK};
 pub use span::{build_spans, top_slowest, Span};
 pub use verify::{verify, ConservationReport};

@@ -212,6 +212,19 @@ impl TraceDoc {
                         e.b,
                     ));
                 }
+                EventKind::SloIncident => {
+                    // Watchdog annotations are process-scoped: an SLO
+                    // breach belongs to the run, not to one worker lane.
+                    emit(format!(
+                        "{{\"name\": \"slo_incident\", \"cat\": \"slo\", \"ph\": \"i\", \
+                         \"s\": \"p\", \"ts\": {:.4}, \"pid\": 1, \"tid\": 0, \
+                         \"args\": {{\"epoch\": {}, \"objective\": {}, \"burn_x100\": {}}}}}",
+                        self.us(e.ts),
+                        e.a,
+                        e.b,
+                        e.c,
+                    ));
+                }
                 _ => {}
             }
         }

@@ -19,6 +19,11 @@ use crate::event::{Event, EventKind};
 /// any worker.
 pub const SUBMIT_TRACK: u32 = u32::MAX;
 
+/// Track id used for post-hoc watchdog annotations (`SloIncident` events
+/// synthesized into a recorded trace at finalize). Never written by a
+/// worker ring. `u32::MAX - 1` is the gateway's track.
+pub const WATCHDOG_TRACK: u32 = u32::MAX - 2;
+
 /// A bounded, drop-counted event log owned by one producer.
 #[derive(Debug, Clone, Default)]
 pub struct EventRing {

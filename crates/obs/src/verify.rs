@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::causal::check_exact;
 use crate::event::EventKind;
 use crate::perfetto::TraceDoc;
 use crate::span::build_spans_checked;
@@ -261,6 +262,25 @@ pub fn verify(doc: &TraceDoc) -> ConservationReport {
                 denied_verdicts.values().sum::<u64>(),
                 denied_verdicts.len()
             ),
+        );
+    }
+
+    // 9. Critical-path identity: every stitched span decomposes into
+    //    named latency components that sum to its measured end-to-end
+    //    cycles exactly — virtual time only advances through metered
+    //    charges, so the decomposition has no unattributed residue. An
+    //    overflowed ring can orphan the interior boundaries of a span,
+    //    so the check only runs on lossless recordings.
+    if doc.dropped == 0 {
+        let (paths, violations) = check_exact(&doc.events);
+        report.push(
+            "critical-path",
+            violations.is_empty(),
+            if violations.is_empty() {
+                format!("{} requests decomposed cycle-exactly", paths.len())
+            } else {
+                violations.join("; ")
+            },
         );
     }
 
@@ -544,6 +564,37 @@ mod tests {
             .failures()
             .iter()
             .any(|c| c.name == "authz-denies-vs-verdicts"));
+    }
+
+    #[test]
+    fn clean_recording_decomposes_cycle_exactly() {
+        let report = verify(&clean_doc());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "critical-path" && c.passed));
+    }
+
+    #[test]
+    fn cross_worker_verdict_breaks_the_critical_path_identity() {
+        // A span whose verdict lands on a different track than its
+        // dispatch stitches (with an anomaly) but cannot be walked as
+        // one window — the decomposition must refuse it loudly.
+        let mut doc = clean_doc();
+        doc.events
+            .push(Event::new(150, 0, EventKind::RequestDispatch, 9, 0, 2));
+        doc.events
+            .push(Event::new(160, 1, EventKind::RequestVerdict, 9, 0, 0));
+        let report = verify(&doc);
+        assert!(report.failures().iter().any(|c| c.name == "critical-path"));
+    }
+
+    #[test]
+    fn dropped_recording_skips_critical_path_check() {
+        let mut doc = clean_doc();
+        doc.dropped = 1;
+        let report = verify(&doc);
+        assert!(report.checks.iter().all(|c| c.name != "critical-path"));
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub mod service;
 pub mod shard;
 pub mod supervisor;
 pub mod switchless;
+pub mod watchdog;
 mod worker;
 
 pub use authz::{AuthzConfig, AuthzMode, AuthzPolicy, AuthzSummary, RateLimitConfig};
@@ -101,13 +102,13 @@ pub use obs::{
     build_spans, top_slowest, verify, ConservationReport, Event, EventKind, EventRing,
     LogHistogram, ObsConfig, ObsMode, ObsReport, Registry, Span, TraceDoc,
 };
-pub use observe::{metrics_registry, trace_doc};
+pub use observe::{annotate_trace, metrics_registry, trace_doc};
 pub use queue::{PushError, Queue};
 pub use ring::{Ring, RingSet};
 pub use router::{CallError, CallOutcome, CallRequest, CallVerdict, Provenance, MAX_HOPS};
 pub use service::{
     DeadlinePolicy, DispatchMode, InvalidationBus, RuntimeConfig, ServiceReport, SubmitError,
-    TenantCounts, WorldCallService, WorldMemory,
+    TenantCounts, TenantLatency, WorldCallService, WorldMemory,
 };
 pub use shard::{auto_shards, ContentionSnapshot, ShardedWorldTable};
 pub use supervisor::{
@@ -116,5 +117,9 @@ pub use supervisor::{
 pub use switchless::{
     converged, Controller, EpochSnapshot, PairTraffic, SwitchlessConfig, SwitchlessMode,
     SwitchlessSummary, SwitchlessWorkerStats,
+};
+pub use watchdog::{
+    incident_events, incidents_to_json, Contributor, Incident, Objective, Watchdog, WatchdogConfig,
+    WatchdogMode, WatchdogSummary,
 };
 pub use worker::WorkerReport;

@@ -8,9 +8,13 @@
 //! post-hoc: they run after the pool has drained and charge nothing to
 //! any virtual clock.
 
-use obs::{Registry, TraceDoc};
+use std::collections::BTreeMap;
 
+use obs::{LogHistogram, Registry, TraceDoc, SUBMIT_TRACK};
+
+use crate::router::CallVerdict;
 use crate::service::ServiceReport;
+use crate::watchdog::{incident_events, WatchdogSummary};
 
 /// Builds the recording document for a drained run, or `None` when the
 /// run was not recorded ([`crate::RuntimeConfig::obs`] was off).
@@ -34,6 +38,22 @@ pub fn trace_doc(benchmark: &str, report: &ServiceReport, frequency_ghz: f64) ->
         events: recorded.merged_events(),
         dropped: recorded.dropped(),
     })
+}
+
+/// Annotates a recorded trace with the watchdog's incidents: one
+/// synthesized [`obs::EventKind::SloIncident`] event per incident on
+/// the dedicated watchdog track (stamped at the breached window's
+/// start), then restores the stream's `(ts, submit-first)` merge order
+/// so conservation checks and the Perfetto renderer see a well-ordered
+/// document. Purely post-hoc — the recording itself never contains
+/// watchdog events.
+pub fn annotate_trace(doc: &mut TraceDoc, summary: &WatchdogSummary) {
+    if summary.incidents.is_empty() {
+        return;
+    }
+    doc.events.extend(incident_events(summary));
+    doc.events
+        .sort_by_key(|e| (e.ts, if e.worker == SUBMIT_TRACK { 0 } else { 1 }));
 }
 
 /// Flattens a drained run into a metrics registry (counters plus the
@@ -164,7 +184,67 @@ pub fn metrics_registry(report: &ServiceReport) -> Registry {
         reg.counter_set("xover_authz_revocations", az.revocations);
         reg.counter_set("xover_authz_generation", az.generation);
     }
+    // SLO watchdog gauges, exported whenever the plane was live. The
+    // per-incident gauges are name-indexed (the registry is plain
+    // counters) so dashboards can line each breach up against the
+    // `slo_incident` trace annotations.
+    if let Some(wd) = &report.watchdog {
+        reg.counter_set("xover_slo_watchdog_enabled", 1);
+        reg.counter_set("xover_slo_incidents", wd.incidents.len() as u64);
+        reg.counter_set("xover_slo_epochs_evaluated", wd.epochs_evaluated);
+        reg.counter_set("xover_slo_baseline_ready", wd.baseline_ready as u64);
+        reg.counter_set("xover_slo_late_samples", wd.late_samples);
+        for (i, inc) in wd.incidents.iter().enumerate() {
+            reg.counter_set(&format!("xover_incident{i}_epoch"), inc.epoch);
+            reg.counter_set(
+                &format!("xover_incident{i}_objective_code"),
+                inc.objective.code(),
+            );
+            reg.counter_set(
+                &format!("xover_incident{i}_subject"),
+                inc.objective.subject(),
+            );
+            reg.counter_set(
+                &format!("xover_incident{i}_burn_short_x100"),
+                inc.burn_short_x100,
+            );
+            reg.counter_set(
+                &format!("xover_incident{i}_burn_long_x100"),
+                inc.burn_long_x100,
+            );
+            reg.counter_set(
+                &format!("xover_incident{i}_detected_at_cycles"),
+                inc.detected_at,
+            );
+            if let Some(top) = inc.top_contributor() {
+                reg.counter_set(
+                    &format!("xover_incident{i}_top_component"),
+                    top.index() as u64,
+                );
+            }
+        }
+    }
     reg.histogram_set("xover_service_latency_cycles", report.latency_hist.clone());
     reg.histogram_set("xover_queue_wait_cycles", report.queue_wait_hist.clone());
+    // Per-callee and per-tenant completed-call latency histograms
+    // (name-indexed like the per-lane feedback gauges; each histogram
+    // renders its own quantile gauges, so per-callee and per-tenant
+    // p50/p99 come for free in the Prometheus dump).
+    let mut per_callee: BTreeMap<u64, LogHistogram> = BTreeMap::new();
+    for o in &report.outcomes {
+        if o.verdict == CallVerdict::Completed {
+            per_callee
+                .entry(o.request.callee.raw())
+                .or_default()
+                .record(o.latency_cycles);
+        }
+    }
+    for (callee, hist) in per_callee {
+        reg.histogram_set(&format!("xover_callee{callee}_latency_cycles"), hist);
+    }
+    for t in &report.tenant_latency {
+        let id = t.tenant;
+        reg.histogram_set(&format!("xover_tenant{id}_latency_cycles"), t.hist.clone());
+    }
     reg
 }

@@ -41,8 +41,9 @@ use crate::queue::{PushError, Queue};
 use crate::ring::RingSet;
 use crate::router::{CallOutcome, CallRequest, CallVerdict, Queued};
 use crate::shard::ContentionSnapshot;
-use crate::supervisor::{HealthState, SupervisorConfig, SupervisorSummary};
+use crate::supervisor::{DegradeLevel, HealthState, SupervisorConfig, SupervisorSummary};
 use crate::switchless::{Controller, PairTraffic, SwitchlessConfig, SwitchlessSummary};
+use crate::watchdog::{Watchdog, WatchdogConfig, WatchdogSummary};
 use crate::worker::{self, WorkerContext, WorkerReport};
 
 /// Which dispatch structure carries requests from submitters to workers.
@@ -127,6 +128,14 @@ pub struct RuntimeConfig {
     /// dispatched call on grants, revocation generation, chain
     /// provenance and token-bucket rate limits.
     pub authz: AuthzConfig,
+    /// Online SLO watchdog: `Off` (the default) builds no watchdog
+    /// object at all and the runtime is bit-for-bit identical to a
+    /// build without the plane (pinned by the watchdog parity tests).
+    /// `On` learns per-objective baselines from the run's first clean
+    /// epochs and raises structured [`crate::watchdog::Incident`]s on
+    /// multi-window burn-rate breaches — all host-side, at batch
+    /// boundaries, charging zero virtual cycles.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -147,6 +156,7 @@ impl Default for RuntimeConfig {
             supervisor: SupervisorConfig::default(),
             obs: ObsConfig::default(),
             authz: AuthzConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -301,6 +311,21 @@ pub struct TenantCounts {
     pub denied: u64,
 }
 
+/// Per-tenant completed-call latency digest (see
+/// [`ServiceReport::tenant_latency`]).
+#[derive(Debug, Clone)]
+pub struct TenantLatency {
+    /// The tenant (0 = untenanted traffic).
+    pub tenant: u32,
+    /// Log-bucketed on-CPU latency distribution of the tenant's
+    /// completed calls.
+    pub hist: LogHistogram,
+    /// Median on-CPU latency, cycles (log-bucket resolution).
+    pub p50_cycles: u64,
+    /// 99th-percentile on-CPU latency, cycles (log-bucket resolution).
+    pub p99_cycles: u64,
+}
+
 /// Submit-side admission ledger: every decided submission is either
 /// admitted or shed, so `submitted == admitted + shed` holds by
 /// construction — gateway conservation checks read these totals instead
@@ -364,6 +389,10 @@ pub struct ServiceReport {
     /// Per-tenant breakdown of the three admission counters, sorted by
     /// tenant id (tenant 0 collects untenanted traffic).
     pub per_tenant: Vec<TenantCounts>,
+    /// Per-tenant completed-call latency histograms with p50/p99,
+    /// sorted by tenant id — the tenant-facing twin of the service-wide
+    /// [`ServiceReport::latency_hist`].
+    pub tenant_latency: Vec<TenantLatency>,
     /// Batches popped across all workers.
     pub batches: u64,
     /// Summed WT-cache statistics across workers.
@@ -410,6 +439,10 @@ pub struct ServiceReport {
     /// Flight-recorder rings from the run (`None` unless
     /// [`RuntimeConfig::obs`] enabled recording).
     pub obs: Option<ObsReport>,
+    /// SLO watchdog summary (`None` unless [`RuntimeConfig::watchdog`]
+    /// was on): incidents with burn rates, causal contributors and
+    /// frozen event snapshots, finalized at drain.
+    pub watchdog: Option<WatchdogSummary>,
 }
 
 impl ServiceReport {
@@ -483,6 +516,9 @@ pub struct WorldCallService {
     /// Shared callee-side authz policy (`None` when the plane is off —
     /// the structurally inert, cycle-exact configuration).
     authz: Option<Arc<AuthzPolicy>>,
+    /// Shared SLO watchdog (`None` when the plane is off — structurally
+    /// inert, cycle-exact with the unwatched runtime).
+    watchdog: Option<Arc<Watchdog>>,
     handles: Vec<JoinHandle<WorkerReport>>,
     rejected_busy: AtomicU64,
     /// Submit-side admission counters (host-side bookkeeping only; never
@@ -510,6 +546,10 @@ impl WorldCallService {
         // The transition-pair price the feedback controller weighs
         // measured service times against (a platform constant).
         let pair_cycles = crossover::switchless::transition_pair_cycles(&template);
+        // Hoisted: the watchdog buckets samples against the same
+        // published clocks submissions are stamped from.
+        let clocks: Arc<Vec<AtomicU64>> =
+            Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect());
         WorldCallService {
             config,
             template,
@@ -525,7 +565,6 @@ impl WorldCallService {
                 config.queue_capacity,
             )),
             bus: Arc::new(InvalidationBus::new(config.workers)),
-            clocks: Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect()),
             memory: HashMap::new(),
             segments: HashMap::new(),
             controller: config.switchless.enabled().then(|| {
@@ -541,6 +580,11 @@ impl WorldCallService {
                 .authz
                 .enabled()
                 .then(|| Arc::new(AuthzPolicy::new(config.authz))),
+            watchdog: config
+                .watchdog
+                .enabled()
+                .then(|| Arc::new(Watchdog::new(config.watchdog, Arc::clone(&clocks)))),
+            clocks,
             handles: Vec::new(),
             rejected_busy: AtomicU64::new(0),
             admission: Mutex::new(AdmissionLedger::default()),
@@ -585,6 +629,52 @@ impl WorldCallService {
     /// so changes take effect within one batch.
     pub fn authz(&self) -> Option<&Arc<AuthzPolicy>> {
         self.authz.as_ref()
+    }
+
+    /// The shared SLO watchdog (`None` when [`RuntimeConfig::watchdog`]
+    /// is off). Benches poll incident counts off it while the pool
+    /// runs; the full summary lands in [`ServiceReport::watchdog`] at
+    /// drain.
+    pub fn watchdog(&self) -> Option<&Arc<Watchdog>> {
+        self.watchdog.as_ref()
+    }
+
+    /// The pool's current virtual time: the minimum live worker clock.
+    /// Benches use it to schedule mid-run operational events (fault
+    /// bursts, degrade drills) at virtual-time offsets.
+    pub fn virtual_now(&self) -> u64 {
+        self.stamp()
+    }
+
+    /// Operational drill: forces the degradation ladder to `level` and
+    /// pins it there (automatic recovery is suspended) until
+    /// [`WorldCallService::end_degrade_drill`]. Forcing `ClassicOnly`
+    /// mid-run rehearses a switchless-plane outage — every subsequent
+    /// call pays per-call transition pairs, which is exactly the
+    /// regression the watchdog's latency objectives plus the causal
+    /// analyzer's `transition` component must attribute.
+    pub fn force_degrade(&self, level: DegradeLevel) {
+        self.health.pin_level(level, self.stamp());
+    }
+
+    /// Ends a [`WorldCallService::force_degrade`] drill: the ladder
+    /// resumes normal quiet-window recovery from the pinned rung.
+    pub fn end_degrade_drill(&self) {
+        self.health.unpin(self.stamp());
+    }
+
+    /// Records a shed decided *outside* the service (the gateway's
+    /// admission reactor refusing a submission before it ever reaches
+    /// `try_submit`) so the watchdog's per-tenant shed-rate objective
+    /// sees the tenant's whole decided load. `at_cycles` is the
+    /// shedder's virtual time (the gateway's modeled admission clock).
+    /// A no-op when the watchdog is off; never touches the service's
+    /// own admission ledger, whose `submitted == admitted + shed`
+    /// invariant covers service-side decisions only.
+    pub fn note_external_shed(&self, tenant: u32, at_cycles: u64) {
+        if let Some(wd) = &self.watchdog {
+            wd.note_admission(tenant, false, at_cycles);
+        }
     }
 
     /// The configuration.
@@ -826,6 +916,7 @@ impl WorldCallService {
                 health: Arc::clone(&self.health),
                 obs: self.config.obs,
                 authz: self.authz.clone(),
+                watchdog: self.watchdog.clone(),
             };
             self.handles.push(
                 std::thread::Builder::new()
@@ -910,12 +1001,17 @@ impl WorldCallService {
         Ok(())
     }
 
-    /// Records an admission decision in the submit-side ledger.
+    /// Records an admission decision in the submit-side ledger and
+    /// feeds the watchdog's shed-rate objective (stamped with the same
+    /// minimum-live-clock submissions are stamped with).
     fn note_decision(&self, tenant: u32, admitted: bool) {
         self.admission
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .decide(tenant, admitted);
+        if let Some(wd) = &self.watchdog {
+            wd.note_admission(tenant, admitted, self.stamp());
+        }
     }
 
     /// Non-blocking submission with backpressure.
@@ -1095,6 +1191,32 @@ impl WorldCallService {
         }
         let mut per_tenant: Vec<TenantCounts> = tenant_counts.into_values().collect();
         per_tenant.sort_unstable_by_key(|t| t.tenant);
+        let mut tenant_hists: HashMap<u32, LogHistogram> = HashMap::new();
+        for o in &outcomes {
+            if o.verdict == CallVerdict::Completed {
+                tenant_hists
+                    .entry(o.request.tenant)
+                    .or_default()
+                    .record(o.latency_cycles);
+            }
+        }
+        let mut tenant_latency: Vec<TenantLatency> = tenant_hists
+            .into_iter()
+            .map(|(tenant, hist)| TenantLatency {
+                tenant,
+                p50_cycles: hist.value_at_percentile(50.0),
+                p99_cycles: hist.value_at_percentile(99.0),
+                hist,
+            })
+            .collect();
+        tenant_latency.sort_unstable_by_key(|t| t.tenant);
+        // The watchdog settles every remaining epoch (all clocks are
+        // parked now) and, when the run was recorded, attaches each
+        // incident's causal context from the merged event stream.
+        let watchdog = self.watchdog.take().map(|wd| {
+            let merged = obs.as_ref().map(|o| o.merged_events());
+            wd.finalize(merged.as_deref(), self.health.level() as u8)
+        });
         ServiceReport {
             smp,
             completed,
@@ -1107,6 +1229,7 @@ impl WorldCallService {
             admitted: ledger.totals.admitted,
             shed: ledger.totals.shed,
             per_tenant,
+            tenant_latency,
             batches,
             wt,
             iwt,
@@ -1123,6 +1246,7 @@ impl WorldCallService {
             latency_hist,
             queue_wait_hist,
             obs,
+            watchdog,
         }
     }
 }

@@ -30,7 +30,7 @@
 //! measured on worker meters, not host clocks.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use machine::rng::SplitMix64;
 
@@ -117,6 +117,10 @@ pub struct HealthState {
     escalations: AtomicU64,
     sheds: AtomicU64,
     recover_after_cycles: u64,
+    /// Set by [`HealthState::pin_level`] (operational drills): while
+    /// pinned, [`HealthState::maybe_recover`] is a no-op so the forced
+    /// rung holds until the drill ends.
+    pinned: AtomicBool,
 }
 
 impl HealthState {
@@ -128,6 +132,7 @@ impl HealthState {
             escalations: AtomicU64::new(0),
             sheds: AtomicU64::new(0),
             recover_after_cycles,
+            pinned: AtomicBool::new(false),
         }
     }
 
@@ -166,12 +171,30 @@ impl HealthState {
         }
     }
 
+    /// Forces the ladder to at least `to` and *pins* it there:
+    /// [`HealthState::maybe_recover`] becomes a no-op until
+    /// [`HealthState::unpin`]. This is the operational-drill hook —
+    /// e.g. forcing `ClassicOnly` mid-run to rehearse a
+    /// switchless-plane outage — so the drill's rung cannot quietly
+    /// heal away under it.
+    pub fn pin_level(&self, to: DegradeLevel, now: u64) {
+        self.escalate(to, now);
+        self.pinned.store(true, Ordering::Relaxed);
+    }
+
+    /// Ends a drill: recovery resumes from the current rung.
+    pub fn unpin(&self, now: u64) {
+        self.pinned.store(false, Ordering::Relaxed);
+        // The freed rung must still earn its quiet window.
+        self.degraded_at.store(now, Ordering::Relaxed);
+    }
+
     /// Steps the ladder down one rung if a full quiet window has passed
     /// since the last escalation (or the last step-down). Call with a
     /// worker's virtual clock; cheap enough for every batch.
     pub fn maybe_recover(&self, now: u64) {
         let cur = self.level.load(Ordering::Relaxed);
-        if cur == 0 {
+        if cur == 0 || self.pinned.load(Ordering::Relaxed) {
             return;
         }
         let since = self.degraded_at.load(Ordering::Relaxed);

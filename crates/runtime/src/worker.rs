@@ -71,6 +71,7 @@ use crate::supervisor::{
     DegradeLevel, HealthState, Supervisor, SupervisorConfig, SupervisorReport,
 };
 use crate::switchless::{Controller, SwitchlessConfig, SwitchlessWorkerStats};
+use crate::watchdog::Watchdog;
 
 /// Everything a worker thread needs; built by the service at start.
 pub(crate) struct WorkerContext {
@@ -110,6 +111,11 @@ pub(crate) struct WorkerContext {
     /// off: the dispatch path then carries zero checks, preserving
     /// bit-for-bit parity with the pre-authz runtime).
     pub authz: Option<Arc<AuthzPolicy>>,
+    /// The shared SLO watchdog (`None` when the plane is off). Fed at
+    /// batch boundaries only — host-side bookkeeping that charges zero
+    /// virtual cycles and changes no control path, preserving
+    /// bit-for-bit parity with the unwatched runtime.
+    pub watchdog: Option<Arc<Watchdog>>,
 }
 
 /// Stable numeric codes for [`FaultSite`] carried in `FaultObserved.a`
@@ -1223,6 +1229,9 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
         unit.enable_prefetch();
     }
     let mut batches = 0u64;
+    // Cursor into `engine.outcomes`: everything before it has already
+    // been fed to the SLO watchdog at a previous batch boundary.
+    let mut watchdog_fed = 0usize;
     let mut backlog: VecDeque<Queued> = VecDeque::new();
     // A batch held over a crash-respawn: requeued whole, order
     // preserved, before any of it was serviced (dispatcher-agnostic —
@@ -1531,6 +1540,24 @@ pub(crate) fn run(mut ctx: WorkerContext) -> WorkerReport {
                 }
             }
         }
+        // SLO watchdog feed: this batch's outcomes enter the epoch
+        // buckets stamped with the worker's clock, then every epoch the
+        // minimum live clock has passed is judged. Host-side only — no
+        // virtual cycles charged, no control path changed (the parity
+        // suite pins watchdog-on cycle-exact with watchdog-off).
+        if let Some(wd) = &ctx.watchdog {
+            let now = engine.platform.cpu().meter().cycles();
+            wd.ingest(&engine.outcomes[watchdog_fed..], now);
+            watchdog_fed = engine.outcomes.len();
+            wd.evaluate(engine.health.level() as u8);
+        }
+    }
+    // Outcomes recorded after the last evaluated boundary (including
+    // crash-loop dead letters whose batch never reached it) still feed
+    // the watchdog; drain-time finalize settles their epochs.
+    if let Some(wd) = &ctx.watchdog {
+        let now = engine.platform.cpu().meter().cycles();
+        wd.ingest(&engine.outcomes[watchdog_fed..], now);
     }
     // Any invalidation still deferred heals before the caches are
     // reported: no stale entry survives the pool.
